@@ -1,0 +1,51 @@
+// atum-dbg is the interactive machine monitor: boot a workload mix and
+// poke at the simulated machine — single-step, breakpoints, memory and
+// register examination, live ATUM tracing.
+//
+// Usage:
+//
+//	atum-dbg -workloads sieve,hash
+//	dbg> break h_chmk
+//	dbg> run
+//	dbg> where
+//	dbg> trace on
+//	dbg> run 10000
+//	dbg> records 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atum/internal/kernel"
+	"atum/internal/monitor"
+	"atum/internal/workload"
+)
+
+func main() {
+	var (
+		loads   = flag.String("workloads", "sieve", "comma-separated workload names")
+		memMB   = flag.Uint("mem", 8, "physical memory in MB")
+		resKB   = flag.Uint("reserved", 512, "reserved trace region in KB")
+		quantum = flag.Uint("quantum", 10000, "interval-timer period in microcycles")
+	)
+	flag.Parse()
+
+	cfg := kernel.DefaultConfig()
+	cfg.Machine.MemSize = uint32(*memMB) << 20
+	cfg.Machine.ReservedSize = uint32(*resKB) << 10
+	cfg.ICRCycles = uint32(*quantum)
+
+	sys, err := workload.BootMix(cfg, strings.Split(*loads, ",")...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atum-dbg:", err)
+		os.Exit(1)
+	}
+	mon := monitor.New(sys, os.Stdout)
+	if err := mon.Run(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "atum-dbg:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+// atum-experiments regenerates the paper-reproduction tables and figures
+// indexed in DESIGN.md (the data recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	atum-experiments            # run everything
+//	atum-experiments t1 f1 f5   # run selected experiments
+//	atum-experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atum/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	md := flag.Bool("md", false, "render tables as markdown")
+	csv := flag.Bool("csv", false, "render tables as CSV")
+	flag.Parse()
+
+	registry := experiments.All()
+	if *list {
+		for _, e := range registry {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToLower(a)] = true
+	}
+
+	ran := 0
+	for _, e := range registry {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		rep, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atum-experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch {
+		case *md:
+			fmt.Printf("## %s: %s\n\n", rep.ID, rep.Title)
+			for _, t := range rep.Tables {
+				fmt.Println(t.Markdown())
+			}
+			for _, n := range rep.Notes {
+				fmt.Println("> " + n)
+			}
+			fmt.Println()
+		case *csv:
+			for _, t := range rep.Tables {
+				fmt.Printf("# %s: %s\n%s\n", rep.ID, t.Title, t.CSV())
+			}
+		default:
+			fmt.Println(rep)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "atum-experiments: no matching experiments (use -list)")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,91 @@
+// atum-stats prints the summary statistics of a captured trace file:
+// reference mix, user/system split, context switches, distinct pages —
+// the per-trace columns of the paper's trace table.
+//
+// Usage:
+//
+//	atum-stats mix.trc
+//	atum-stats -pid 2 -dump 20 mix.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atum/internal/analysis"
+	"atum/internal/trace"
+)
+
+func main() {
+	var (
+		pid   = flag.Int("pid", -1, "restrict to one process id")
+		user  = flag.Bool("user", false, "restrict to user-mode references")
+		dump  = flag.Int("dump", 0, "also print the first N records")
+		wset  = flag.Bool("wset", false, "compute working-set curve")
+		byPID = flag.Bool("by-pid", false, "per-process breakdown table")
+		check = flag.Bool("check", false, "lint the trace for structural violations")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: atum-stats [flags] trace-file")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	recs, meta, err := trace.ReadFileMeta(f)
+	if err != nil {
+		fatal(err)
+	}
+	if meta != "" {
+		fmt.Println("capture:", meta)
+	}
+
+	if *pid >= 0 {
+		recs = trace.FilterPID(recs, uint8(*pid))
+	}
+	if *user {
+		recs = trace.FilterUser(recs)
+	}
+
+	if *check {
+		violations := trace.Lint(recs)
+		if len(violations) == 0 {
+			fmt.Println("lint: trace is well-formed")
+		} else {
+			for _, v := range violations {
+				fmt.Println("lint:", v)
+			}
+			defer os.Exit(1)
+		}
+	}
+
+	fmt.Print(trace.Summarize(recs))
+
+	if *byPID {
+		fmt.Print(analysis.PerPID(recs))
+	}
+
+	if *wset {
+		taus := []uint32{100, 1000, 10_000, 100_000}
+		ws := analysis.WorkingSet(recs, taus)
+		tb := &analysis.Table{Title: "working set", Headers: []string{"tau", "W(tau) pages"}}
+		for i, tau := range taus {
+			tb.AddRow(analysis.N(tau), analysis.F(ws[i], 1))
+		}
+		fmt.Print(tb)
+	}
+
+	for i := 0; i < *dump && i < len(recs); i++ {
+		fmt.Println(recs[i])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atum-stats:", err)
+	os.Exit(1)
+}

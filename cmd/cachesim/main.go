@@ -1,0 +1,194 @@
+// cachesim drives a captured trace file through cache and TLB
+// configurations.
+//
+// Usage:
+//
+//	cachesim -size 64K -block 16 -assoc 2 mix.trc
+//	cachesim -sweep sizes -sizes 1K,4K,16K,64K mix.trc
+//	cachesim -tlb -entries 256 mix.trc
+//	cachesim -user-only -size 64K mix.trc      # the pre-ATUM view
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"atum/internal/analysis"
+	"atum/internal/cache"
+	"atum/internal/stackdist"
+	"atum/internal/tlbsim"
+	"atum/internal/trace"
+)
+
+func main() {
+	var (
+		size     = flag.String("size", "64K", "cache size")
+		block    = flag.Uint("block", 16, "block size in bytes")
+		assoc    = flag.Uint("assoc", 1, "ways of associativity")
+		repl     = flag.String("repl", "lru", "replacement: lru, fifo, random")
+		flush    = flag.Bool("flush", false, "flush on context switch (no PID tags)")
+		userOnly = flag.Bool("user-only", false, "simulate the user-only subset of the trace")
+		pte      = flag.Bool("pte", true, "include page-table references")
+		sweep    = flag.String("sweep", "", "sweep: sizes, blocks or assoc")
+		sizesArg = flag.String("sizes", "1K,2K,4K,8K,16K,32K,64K,128K,256K", "sweep sizes")
+		tlb      = flag.Bool("tlb", false, "simulate a translation buffer instead")
+		entries  = flag.Uint("entries", 256, "TLB entries")
+		mattson  = flag.Bool("mattson", false, "one-pass stack-distance analysis: print the fully-associative LRU miss curve")
+		l2       = flag.String("l2", "", "two-level mode: unified L2 of this size behind split L1s of -size")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cachesim [flags] trace-file")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadFile(f)
+	if err != nil {
+		fatal(err)
+	}
+	if *userOnly {
+		recs = trace.FilterUser(recs)
+	}
+
+	if *mattson {
+		prof := stackdist.FromTrace(recs, stackdist.Options{
+			BlockBytes: uint32(*block), PIDTag: !*flush, IncludePTE: *pte,
+		})
+		tb := &analysis.Table{
+			Title:   "fully-associative LRU miss-rate curve (one pass)",
+			Headers: []string{"capacity", "blocks", "miss rate"},
+		}
+		for _, blocks := range []int{16, 64, 256, 1024, 4096, 16384} {
+			bytes := uint32(blocks) * uint32(*block)
+			tb.AddRow(fmt.Sprintf("%dKB", bytes>>10), analysis.N(blocks),
+				analysis.Pct(prof.MissRate(blocks)))
+		}
+		fmt.Print(tb)
+		fmt.Printf("cold misses: %d of %d refs; max stack depth %d\n",
+			prof.Cold, prof.Total, prof.MaxDepth())
+		return
+	}
+
+	if *tlb {
+		cfg := tlbsim.Config{
+			Entries: uint32(*entries), Assoc: 2, SplitSystem: true,
+			PIDTags: !*flush, FlushOnSwitch: *flush, IncludeSystem: true,
+		}
+		st, err := tlbsim.Run(recs, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("TB %s: accesses=%d misses=%d miss-rate=%s flushes=%d\n",
+			cfg, st.Accesses, st.Misses, analysis.Pct(st.MissRate()), st.Flushes)
+		return
+	}
+
+	cfg := cache.Config{
+		Name:          "cli",
+		SizeBytes:     parseSize(*size),
+		BlockBytes:    uint32(*block),
+		Assoc:         uint32(*assoc),
+		WritePolicy:   cache.WriteBack,
+		WriteAllocate: true,
+		PIDTags:       !*flush,
+		FlushOnSwitch: *flush,
+	}
+	switch *repl {
+	case "lru":
+		cfg.Replacement = cache.LRU
+	case "fifo":
+		cfg.Replacement = cache.FIFO
+	case "random":
+		cfg.Replacement = cache.Random
+	default:
+		fatal(fmt.Errorf("unknown replacement %q", *repl))
+	}
+	opts := cache.RunOptions{IncludePTE: *pte}
+
+	if *l2 != "" {
+		l2cfg := cfg
+		l2cfg.SizeBytes = parseSize(*l2)
+		l2cfg.Assoc = 4
+		res, err := cache.RunHierarchy(recs, cache.HierarchyConfig{L1: cfg, L2: l2cfg}, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("L1I: %s miss  L1D: %s miss  global L2: %s  memory accesses: %d\n",
+			analysis.Pct(res.L1I.MissRate()), analysis.Pct(res.L1D.MissRate()),
+			analysis.Pct(res.GlobalL2MissRate), res.MemoryAccesses)
+		return
+	}
+
+	switch *sweep {
+	case "":
+		res, err := cache.RunUnified(recs, cfg, opts)
+		if err != nil {
+			fatal(err)
+		}
+		report([]cache.Result{res})
+	case "sizes":
+		var sizes []uint32
+		for _, s := range strings.Split(*sizesArg, ",") {
+			sizes = append(sizes, parseSize(s))
+		}
+		res, err := cache.SweepSizes(recs, cfg, sizes, opts)
+		if err != nil {
+			fatal(err)
+		}
+		report(res)
+	case "blocks":
+		res, err := cache.SweepBlocks(recs, cfg, []uint32{4, 8, 16, 32, 64, 128}, opts)
+		if err != nil {
+			fatal(err)
+		}
+		report(res)
+	case "assoc":
+		res, err := cache.SweepAssoc(recs, cfg, []uint32{1, 2, 4, 8}, opts)
+		if err != nil {
+			fatal(err)
+		}
+		report(res)
+	default:
+		fatal(fmt.Errorf("unknown sweep %q", *sweep))
+	}
+}
+
+func report(results []cache.Result) {
+	tb := &analysis.Table{
+		Headers: []string{"config", "accesses", "misses", "miss rate", "cold", "writebacks"},
+	}
+	for _, r := range results {
+		tb.AddRow(r.Config.String(), analysis.N(r.Stats.Accesses), analysis.N(r.Stats.Misses),
+			analysis.Pct(r.Stats.MissRate()), analysis.N(r.Stats.ColdMisses), analysis.N(r.Stats.Writebacks))
+	}
+	fmt.Print(tb)
+}
+
+func parseSize(s string) uint32 {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := uint32(1)
+	switch {
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, s[:len(s)-1]
+	}
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		fatal(fmt.Errorf("bad size %q", s))
+	}
+	return uint32(v) * mult
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cachesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// vasm assembles and disassembles programs for the simulated machine,
+// and can run a program standalone (no kernel: flat physical addressing,
+// console via MTPR TXDB) for quick experiments.
+//
+// Usage:
+//
+//	vasm prog.s                      assemble, print listing + symbols
+//	vasm -o prog.bin prog.s          assemble to a flat binary
+//	vasm -d prog.bin -org 0x200      disassemble a binary
+//	vasm -run prog.s                 assemble and execute bare-machine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"atum/internal/micro"
+	"atum/internal/vax"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "write assembled bytes to this file")
+		dis     = flag.Bool("d", false, "disassemble a binary instead of assembling")
+		orgFlag = flag.String("org", "", "origin for disassembly (default 0)")
+		run     = flag.Bool("run", false, "execute the program on a bare machine")
+		maxIn   = flag.Uint64("max", 10_000_000, "instruction budget for -run")
+		quiet   = flag.Bool("q", false, "suppress output")
+		listing = flag.Bool("l", false, "print a source listing instead of a disassembly")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vasm [flags] file")
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dis {
+		org := uint32(0)
+		if *orgFlag != "" {
+			v, err := strconv.ParseUint(*orgFlag, 0, 32)
+			if err != nil {
+				fatal(fmt.Errorf("bad -org: %v", err))
+			}
+			org = uint32(v)
+		}
+		for _, line := range vax.Disassemble(data, org) {
+			fmt.Println(line)
+		}
+		return
+	}
+
+	prog, err := vax.Assemble(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet && *listing {
+		fmt.Print(vax.Listing(prog, string(data)))
+	} else if !*quiet {
+		fmt.Printf("origin %#x, %d bytes\n", prog.Origin, len(prog.Bytes))
+		for _, line := range vax.Disassemble(prog.Bytes, prog.Origin) {
+			fmt.Println(line)
+		}
+		fmt.Println("symbols:")
+		for _, n := range prog.SymbolsSorted() {
+			fmt.Printf("  %08x %s\n", prog.Symbols[n], n)
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, prog.Bytes, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *run {
+		runBare(prog, *maxIn)
+	}
+}
+
+// runBare executes the program with address translation off: virtual
+// addresses are physical, kernel mode throughout, HALT stops.
+func runBare(prog *vax.Program, budget uint64) {
+	m, err := micro.New(micro.Config{MemSize: 1 << 20, ReservedSize: 0, TBEntries: 64})
+	if err != nil {
+		fatal(err)
+	}
+	if err := m.Mem.LoadBytes(prog.Origin, prog.Bytes); err != nil {
+		fatal(err)
+	}
+	entry := prog.Origin
+	if s, ok := prog.Symbol("start"); ok {
+		entry = s
+	}
+	m.CPU.R[vax.PC] = entry
+	m.CPU.R[vax.SP] = 0xF0000
+	reason, err := m.Run(budget)
+	if err != nil {
+		fatal(err)
+	}
+	if out := m.Mem.Console(); len(out) > 0 {
+		fmt.Printf("console: %q\n", out)
+	}
+	fmt.Printf("stopped: %v after %d instructions, %d cycles\n%s\n",
+		reason, m.Instrs, m.Cycles, m.State())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vasm:", err)
+	os.Exit(1)
+}

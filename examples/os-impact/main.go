@@ -1,0 +1,70 @@
+// os-impact reproduces the paper's headline study: how much do
+// operating-system references change cache miss rates? It captures a
+// complete trace of a multiprogrammed workload, then simulates the same
+// cache twice — once on the user-only subset (all that pre-ATUM traces
+// contained) and once on the full system trace.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atum/internal/analysis"
+	"atum/internal/atum"
+	"atum/internal/cache"
+	"atum/internal/kernel"
+	"atum/internal/trace"
+	"atum/internal/workload"
+)
+
+func main() {
+	cfg := kernel.DefaultConfig()
+	sys, err := workload.BootMix(cfg, workload.StandardMix...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("running %v under ATUM...\n", workload.StandardMix)
+	capture, err := atum.Run(sys.M, atum.DefaultOptions(), func() error {
+		_, err := sys.Run(2_000_000_000)
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := capture.All()
+	userOnly := trace.FilterUser(full)
+	fmt.Printf("full trace: %d records; user-only subset: %d records\n\n",
+		len(full), len(userOnly))
+
+	base := cache.Config{
+		Name: "study", BlockBytes: 16, Assoc: 1,
+		Replacement: cache.LRU, WritePolicy: cache.WriteBack,
+		WriteAllocate: true, PIDTags: true,
+	}
+	sizes := []uint32{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10}
+	opts := cache.RunOptions{IncludePTE: true}
+
+	fullRes, err := cache.SweepSizes(full, base, sizes, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	userRes, err := cache.SweepSizes(userOnly, base, sizes, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := &analysis.Table{
+		Title:   "Cache miss rate: what user-only traces hide",
+		Headers: []string{"cache size", "user-only trace", "full system trace"},
+	}
+	for i, sz := range sizes {
+		tb.AddRow(fmt.Sprintf("%dKB", sz>>10),
+			analysis.Pct(userRes[i].Stats.MissRate()),
+			analysis.Pct(fullRes[i].Stats.MissRate()))
+	}
+	fmt.Print(tb)
+	fmt.Println("\nThe full-system miss rate stays high where the user-only curve")
+	fmt.Println("has flattened: the OS working set keeps missing even in caches")
+	fmt.Println("big enough for the user programs — the paper's central finding.")
+}

@@ -1,0 +1,59 @@
+// tracing-methods compares the three trace-collection techniques on the
+// same workload: ATUM microcode patches, inline software
+// instrumentation, and trap-driven (T-bit) single-stepping. Slowdowns
+// are measured on the simulated machine's own clock, not assumed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"atum/internal/analysis"
+	"atum/internal/baseline"
+	"atum/internal/kernel"
+	"atum/internal/micro"
+	"atum/internal/workload"
+)
+
+func main() {
+	factory := func() (*micro.Machine, func() error, error) {
+		sys, err := workload.BootMix(kernel.DefaultConfig(), "sort", "sieve")
+		if err != nil {
+			return nil, nil, err
+		}
+		return sys.M, func() error {
+			_, err := sys.Run(2_000_000_000)
+			return err
+		}, nil
+	}
+
+	fmt.Println("measuring (each technique runs the identical workload)...")
+	outcomes, err := baseline.Compare(factory,
+		baseline.Atum{},
+		baseline.Inline{},
+		baseline.TrapDriven{},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tb := &analysis.Table{
+		Title: "Trace-collection techniques (sort+sieve mix)",
+		Headers: []string{"technique", "slowdown", "records",
+			"OS refs", "PTE refs", "context switches"},
+	}
+	yn := func(b bool) string {
+		if b {
+			return "captured"
+		}
+		return "invisible"
+	}
+	for _, o := range outcomes {
+		tb.AddRow(o.Name, fmt.Sprintf("%.1fx", o.Dilation()),
+			analysis.N(o.Records), yn(o.SawKernel), yn(o.SawPTE), yn(o.SawMultiprog))
+	}
+	fmt.Print(tb)
+	fmt.Println("\nATUM's bargain: near-instrumentation slowdown with complete")
+	fmt.Println("system visibility; trap-driven methods pay orders of magnitude")
+	fmt.Println("more and still see only user space.")
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders small ASCII line charts — the "figure" form of the
+// experiment results, since the paper's evaluation is figures of curves.
+type Chart struct {
+	Title  string
+	YLabel string
+	// Height is the number of plot rows (default 12).
+	Height int
+
+	XLabels []string
+	Series  []Series
+}
+
+// Series is one plotted curve; points align with the chart's XLabels.
+type Series struct {
+	Name   string
+	Marker byte
+	Values []float64
+}
+
+// Add appends a series.
+func (c *Chart) Add(name string, marker byte, values []float64) {
+	c.Series = append(c.Series, Series{Name: name, Marker: marker, Values: values})
+}
+
+// String renders the chart. Columns are evenly spaced per x label; the
+// y axis is linear from zero to the maximum observed value.
+func (c *Chart) String() string {
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	n := len(c.XLabels)
+	if n == 0 || len(c.Series) == 0 {
+		return c.Title + " (no data)\n"
+	}
+	colWidth := 0
+	for _, l := range c.XLabels {
+		if len(l) > colWidth {
+			colWidth = len(l)
+		}
+	}
+	colWidth += 2
+
+	maxV := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	// Grid of plot cells.
+	width := n * colWidth
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range c.Series {
+		for i, v := range s.Values {
+			if i >= n || math.IsNaN(v) {
+				continue
+			}
+			row := height - 1 - int(v/maxV*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			col := i*colWidth + colWidth/2
+			if grid[row][col] == ' ' {
+				grid[row][col] = s.Marker
+			} else {
+				grid[row][col] = '*' // overlapping series
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	axisW := 9
+	for r := 0; r < height; r++ {
+		// Y tick every quarter.
+		label := ""
+		if r == 0 || r == height-1 || r == height/2 {
+			v := maxV * float64(height-1-r) / float64(height-1)
+			label = fmt.Sprintf("%8.3g", v)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", axisW-1, label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", axisW-1), strings.Repeat("-", width))
+	// X labels.
+	fmt.Fprintf(&b, "%s  ", strings.Repeat(" ", axisW-1))
+	for _, l := range c.XLabels {
+		pad := colWidth - len(l)
+		left := pad / 2
+		b.WriteString(strings.Repeat(" ", left) + l + strings.Repeat(" ", pad-left))
+	}
+	b.WriteString("\n")
+	// Legend.
+	if len(c.Series) > 1 || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  ", strings.Repeat(" ", axisW-1))
+		parts := make([]string, 0, len(c.Series)+1)
+		if c.YLabel != "" {
+			parts = append(parts, "y: "+c.YLabel)
+		}
+		for _, s := range c.Series {
+			parts = append(parts, fmt.Sprintf("%c = %s", s.Marker, s.Name))
+		}
+		b.WriteString(strings.Join(parts, "   "))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

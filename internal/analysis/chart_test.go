@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendering(t *testing.T) {
+	c := &Chart{
+		Title:   "F1: miss rate vs size",
+		YLabel:  "miss %",
+		Height:  8,
+		XLabels: []string{"1K", "2K", "4K", "8K"},
+	}
+	c.Add("user", 'u', []float64{4, 2, 1, 1})
+	c.Add("full", 'f', []float64{8, 6, 4, 2})
+	s := c.String()
+
+	if !strings.Contains(s, "F1: miss rate vs size") {
+		t.Error("title missing")
+	}
+	for _, want := range []string{"u", "f", "1K", "8K", "y: miss %", "u = user", "f = full"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chart missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// title + 8 plot rows + axis + labels + legend = 12
+	if len(lines) != 12 {
+		t.Errorf("line count = %d:\n%s", len(lines), s)
+	}
+	// The maximum value (8, series f at x=1K) must sit on the top row.
+	if !strings.Contains(lines[1], "f") {
+		t.Errorf("max point not on top row:\n%s", s)
+	}
+}
+
+func TestChartMarkersAtCorrectColumns(t *testing.T) {
+	c := &Chart{Height: 4, XLabels: []string{"a", "bb"}}
+	c.Add("s", 'x', []float64{1, 2})
+	s := c.String()
+	lines := strings.Split(s, "\n")
+	// Max (2) on top plot row; 1 at middle.
+	if !strings.Contains(lines[0], "x") {
+		t.Errorf("top row missing marker:\n%s", s)
+	}
+	// Overlap marker.
+	c2 := &Chart{Height: 4, XLabels: []string{"a"}}
+	c2.Add("p", 'p', []float64{5})
+	c2.Add("q", 'q', []float64{5})
+	if !strings.Contains(c2.String(), "*") {
+		t.Error("overlapping points not starred")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if !strings.Contains(c.String(), "no data") {
+		t.Error("empty chart not handled")
+	}
+}
+
+func TestChartZeroValues(t *testing.T) {
+	c := &Chart{Height: 4, XLabels: []string{"a", "b"}}
+	c.Add("z", 'z', []float64{0, 0})
+	s := c.String()
+	// All-zero series renders on the bottom row without dividing by zero.
+	lines := strings.Split(s, "\n")
+	if !strings.Contains(lines[3], "z") {
+		t.Errorf("zero series not on bottom row:\n%s", s)
+	}
+}

@@ -1,0 +1,110 @@
+package atum
+
+import (
+	"atum/internal/micro"
+	"atum/internal/trace"
+)
+
+// Capture is the result of a tracing run: the samples extracted each time
+// the reserved buffer filled, in order, plus the final partial sample.
+type Capture struct {
+	Samples   [][]trace.Record
+	Collector *Collector
+}
+
+// All stitches the samples into one continuous trace. Because extraction
+// here is instantaneous (the "dump" does not execute on the machine), the
+// stitched trace has no gaps; T3 studies gap effects by *discarding*
+// inter-sample records instead.
+func (c *Capture) All() []trace.Record {
+	n := 0
+	for _, s := range c.Samples {
+		n += len(s)
+	}
+	out := make([]trace.Record, 0, n)
+	for _, s := range c.Samples {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Run executes run on machine m with ATUM installed, extracting a sample
+// each time the buffer fills, and returns the full stitched capture. The
+// collector is uninstalled before returning.
+func Run(m *micro.Machine, opts Options, run func() error) (*Capture, error) {
+	cap := &Capture{}
+	inner := opts.OnFull
+	opts.OnFull = func(c *Collector) {
+		recs, err := c.Extract()
+		if err != nil {
+			panic(err) // reserved-region parse cannot fail on collector-written data
+		}
+		cap.Samples = append(cap.Samples, recs)
+		if inner != nil {
+			inner(c)
+		}
+	}
+	col, err := Install(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	cap.Collector = col
+	defer col.Uninstall()
+	if err := run(); err != nil {
+		return nil, err
+	}
+	final, err := col.Extract()
+	if err != nil {
+		return nil, err
+	}
+	if len(final) > 0 {
+		cap.Samples = append(cap.Samples, final)
+	}
+	return cap, nil
+}
+
+// DilationResult reports the measured slowdown of a tracing technique.
+type DilationResult struct {
+	BaseCycles   uint64
+	TracedCycles uint64
+	Instrs       uint64
+	Records      uint64
+}
+
+// Factor returns TracedCycles/BaseCycles.
+func (d DilationResult) Factor() float64 {
+	if d.BaseCycles == 0 {
+		return 0
+	}
+	return float64(d.TracedCycles) / float64(d.BaseCycles)
+}
+
+// MeasureDilation runs an identical deterministic workload twice — once
+// bare, once under ATUM — and reports the slowdown. factory must build a
+// fresh machine and runner each call (the machine is deterministic, so
+// the two runs execute the same instruction stream).
+func MeasureDilation(factory func() (*micro.Machine, func() error, error), opts Options) (DilationResult, error) {
+	var res DilationResult
+
+	m1, run1, err := factory()
+	if err != nil {
+		return res, err
+	}
+	if err := run1(); err != nil {
+		return res, err
+	}
+	res.BaseCycles = m1.Cycles
+
+	m2, run2, err := factory()
+	if err != nil {
+		return res, err
+	}
+	cap, err := Run(m2, opts, run2)
+	if err != nil {
+		return res, err
+	}
+	res.TracedCycles = m2.Cycles
+	res.Instrs = m2.Instrs
+	res.Records = cap.Collector.Recorded
+	return res, nil
+}

@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"testing"
+
+	"atum/internal/kernel"
+	"atum/internal/micro"
+	"atum/internal/trace"
+	"atum/internal/workload"
+)
+
+func factory(t *testing.T, names ...string) Factory {
+	t.Helper()
+	return func() (*micro.Machine, func() error, error) {
+		cfg := kernel.DefaultConfig()
+		cfg.Machine.MemSize = 4 << 20
+		cfg.Machine.ReservedSize = 256 << 10
+		sys, err := workload.BootMix(cfg, names...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sys.M, func() error {
+			_, err := sys.Run(500_000_000)
+			return err
+		}, nil
+	}
+}
+
+func TestCompareTechniques(t *testing.T) {
+	outcomes, err := Compare(factory(t, "sieve"),
+		Atum{}, Inline{}, TrapDriven{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 3 {
+		t.Fatalf("got %d outcomes", len(outcomes))
+	}
+	byName := map[string]Outcome{}
+	for _, o := range outcomes {
+		byName[o.Name] = o
+		if o.Records == 0 {
+			t.Errorf("%s captured nothing", o.Name)
+		}
+		if o.Dilation() <= 1 {
+			t.Errorf("%s dilation %.2f <= 1", o.Name, o.Dilation())
+		}
+	}
+
+	a, inl, trap := byName["ATUM"], byName["instrumentation"], byName["trap-driven"]
+
+	// Completeness: only ATUM sees the kernel and the page tables.
+	if !a.SawKernel || !a.SawPTE {
+		t.Errorf("ATUM incomplete: %+v", a)
+	}
+	if inl.SawKernel || inl.SawPTE {
+		t.Errorf("instrumentation should not see kernel/PTE refs: %+v", inl)
+	}
+	if trap.SawKernel || trap.SawPTE {
+		t.Errorf("trap-driven should not see kernel/PTE refs: %+v", trap)
+	}
+
+	// Slowdown ordering: instrumentation <= ATUM << trap-driven.
+	if !(trap.Dilation() > 4*a.Dilation()) {
+		t.Errorf("trap-driven (%.1fx) should be far above ATUM (%.1fx)",
+			trap.Dilation(), a.Dilation())
+	}
+	if inl.Dilation() > a.Dilation() {
+		t.Errorf("instrumentation (%.1fx) should not exceed ATUM (%.1fx)",
+			inl.Dilation(), a.Dilation())
+	}
+}
+
+func TestMultiprogrammingVisibility(t *testing.T) {
+	outcomes, err := Compare(factory(t, "sieve", "list"), Atum{}, Inline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, inl Outcome
+	for _, o := range outcomes {
+		if o.Name == "ATUM" {
+			a = o
+		} else {
+			inl = o
+		}
+	}
+	if !a.SawMultiprog {
+		t.Error("ATUM missed multiprogramming")
+	}
+	// Instrumentation sees both PIDs' user refs (it is "linked into"
+	// both programs) but no switch markers; SawMultiprog via PIDs is
+	// acceptable — what it must never see is the kernel.
+	if inl.SawKernel {
+		t.Error("instrumentation saw kernel refs")
+	}
+}
+
+func TestInlineSessionRecordsAreUserOnly(t *testing.T) {
+	m, run, err := factory(t, "strops")()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Inline{}.Install(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	recs := sess.Records()
+	sess.Uninstall()
+	if len(recs) == 0 {
+		t.Fatal("no records")
+	}
+	for _, r := range recs {
+		if !r.User {
+			t.Fatalf("non-user record captured: %v", r)
+		}
+		if r.Kind != trace.KindIFetch && r.Kind != trace.KindDRead && r.Kind != trace.KindDWrite {
+			t.Fatalf("unexpected kind: %v", r)
+		}
+	}
+}
+
+func TestTrapDrivenUninstallRestoresMicrostore(t *testing.T) {
+	m, run, err := factory(t, "sieve")()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := TrapDriven{}.Install(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+	sess.Uninstall()
+	// Stock names restored.
+	if got := m.Microstore.Lookup(0xD0).Name; got != "movl" {
+		t.Errorf("microstore not restored: %q", got)
+	}
+}

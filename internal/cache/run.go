@@ -1,0 +1,151 @@
+package cache
+
+import (
+	"fmt"
+
+	"atum/internal/trace"
+)
+
+// RunOptions controls trace-driven simulation.
+type RunOptions struct {
+	// IncludePTE feeds translation-microcode references to the data
+	// cache (they are real bus references on the 8200).
+	IncludePTE bool
+	// SkipPhys drops physical-address records (PCB context references)
+	// rather than mixing address spaces; default keeps them.
+	SkipPhys bool
+}
+
+// Result pairs a configuration with its simulation outcome.
+type Result struct {
+	Config Config
+	Stats  Stats
+}
+
+// RunUnified drives one unified cache with every memory reference in the
+// trace, honouring context-switch flushes.
+func RunUnified(recs []trace.Record, cfg Config, opts RunOptions) (Result, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, r := range recs {
+		feedRecord(c, c, r, cfg, opts)
+	}
+	return Result{Config: cfg, Stats: c.Stats}, nil
+}
+
+// SplitResult reports a split I/D simulation.
+type SplitResult struct {
+	IConfig, DConfig Config
+	I, D             Stats
+}
+
+// Combined returns the overall miss rate across both halves.
+func (s SplitResult) Combined() float64 {
+	acc := s.I.Accesses + s.D.Accesses
+	if acc == 0 {
+		return 0
+	}
+	return float64(s.I.Misses+s.D.Misses) / float64(acc)
+}
+
+// RunSplit drives a split instruction/data cache pair.
+func RunSplit(recs []trace.Record, icfg, dcfg Config, opts RunOptions) (SplitResult, error) {
+	ic, err := New(icfg)
+	if err != nil {
+		return SplitResult{}, err
+	}
+	dc, err := New(dcfg)
+	if err != nil {
+		return SplitResult{}, err
+	}
+	for _, r := range recs {
+		feedRecord(ic, dc, r, icfg, opts)
+	}
+	return SplitResult{IConfig: icfg, DConfig: dcfg, I: ic.Stats, D: dc.Stats}, nil
+}
+
+// feedRecord routes one record into the i-cache (ifetches) or d-cache
+// (everything else). For a unified cache pass the same cache twice.
+//
+// PID tags apply only to process-private addresses: system-space (S0)
+// and physical references are globally shared, so they carry tag 0 —
+// the "global" treatment PID/ASN-tagged memory hardware gives kernel
+// addresses (and what the machine's own TB does for its system half).
+func feedRecord(ic, dc *Cache, r trace.Record, cfg Config, opts RunOptions) {
+	pid := r.PID
+	if r.Phys || r.Addr>>30 == 2 {
+		pid = 0
+	}
+	switch r.Kind {
+	case trace.KindCtxSwitch:
+		if cfg.FlushOnSwitch {
+			ic.Flush()
+			if dc != ic {
+				dc.Flush()
+			}
+		}
+	case trace.KindIFetch:
+		ic.Access(r.Addr, false, pid)
+	case trace.KindDRead, trace.KindDWrite:
+		if r.Phys && opts.SkipPhys {
+			return
+		}
+		dc.Access(r.Addr, r.Kind == trace.KindDWrite, pid)
+	case trace.KindPTERead, trace.KindPTEWrite:
+		if !opts.IncludePTE {
+			return
+		}
+		dc.Access(r.Addr, r.Kind == trace.KindPTEWrite, pid)
+	}
+}
+
+// SweepSizes runs the trace through a series of cache sizes derived from
+// base (same block/assoc/policies) and returns one result per size.
+func SweepSizes(recs []trace.Record, base Config, sizes []uint32, opts RunOptions) ([]Result, error) {
+	out := make([]Result, 0, len(sizes))
+	for _, sz := range sizes {
+		cfg := base
+		cfg.SizeBytes = sz
+		cfg.Name = fmt.Sprintf("%s-%dKB", base.Name, sz>>10)
+		res, err := RunUnified(recs, cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// SweepBlocks varies the block size at fixed capacity.
+func SweepBlocks(recs []trace.Record, base Config, blocks []uint32, opts RunOptions) ([]Result, error) {
+	out := make([]Result, 0, len(blocks))
+	for _, b := range blocks {
+		cfg := base
+		cfg.BlockBytes = b
+		cfg.Name = fmt.Sprintf("%s-%dB", base.Name, b)
+		res, err := RunUnified(recs, cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// SweepAssoc varies associativity at fixed capacity.
+func SweepAssoc(recs []trace.Record, base Config, ways []uint32, opts RunOptions) ([]Result, error) {
+	out := make([]Result, 0, len(ways))
+	for _, w := range ways {
+		cfg := base
+		cfg.Assoc = w
+		cfg.Name = fmt.Sprintf("%s-%dway", base.Name, w)
+		res, err := RunUnified(recs, cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,992 @@
+// Package experiments implements the paper-reproduction suite indexed in
+// DESIGN.md: every table (T*) and figure (F*) of the evaluation, plus the
+// ablations (A*). Each experiment captures traces with ATUM on the
+// simulated machine and reduces them with the cache/TLB/analysis
+// packages, returning text tables that cmd/atum-experiments prints and
+// EXPERIMENTS.md records.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"atum/internal/analysis"
+	"atum/internal/atum"
+	"atum/internal/baseline"
+	"atum/internal/cache"
+	"atum/internal/kernel"
+	"atum/internal/micro"
+	"atum/internal/stackdist"
+	"atum/internal/tlbsim"
+	"atum/internal/trace"
+	"atum/internal/workload"
+)
+
+// Report is one experiment's output.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*analysis.Table
+	Charts []*analysis.Chart
+	Notes  []string
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "== %s: %s ==\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	for _, c := range r.Charts {
+		b.WriteString(c.String())
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner produces a report.
+type Runner func() (*Report, error)
+
+// All returns the experiment registry in canonical order.
+func All() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"t1", T1TechniqueComparison},
+		{"t2", T2TraceCharacteristics},
+		{"f1", F1OSImpact},
+		{"f2", F2Multiprogramming},
+		{"f3", F3BlockSize},
+		{"f4", F4Associativity},
+		{"f5", F5TLB},
+		{"f6", F6WorkingSet},
+		{"f7", F7Hierarchy},
+		{"f8", F8EffectiveAccess},
+		{"f9", F9Paging},
+		{"t3", T3Sampling},
+		{"a1", A1PatchCost},
+		{"a2", A2Codec},
+		{"a3", A3StackDistance},
+		{"a4", A4WritePolicy},
+		{"a5", A5TraceDrivenFidelity},
+	}
+}
+
+// sysConfig is the standard machine for the experiment suite: smaller
+// than the default so the suite runs quickly, but with the paper's
+// ~half-megabyte reserved trace region.
+func sysConfig() kernel.Config {
+	cfg := kernel.DefaultConfig()
+	cfg.Machine.MemSize = 8 << 20
+	cfg.Machine.ReservedSize = 512 << 10
+	return cfg
+}
+
+// captureMix boots the named workloads and captures the complete ATUM
+// trace of the whole run (kernel included).
+func captureMix(cfg kernel.Config, names ...string) ([]trace.Record, error) {
+	sys, err := workload.BootMix(cfg, names...)
+	if err != nil {
+		return nil, err
+	}
+	cap, err := atum.Run(sys.M, atum.DefaultOptions(), func() error {
+		reason, err := sys.Run(2_000_000_000)
+		if err != nil {
+			return err
+		}
+		if reason != micro.StopHalt {
+			return fmt.Errorf("experiments: workload did not finish: %v", reason)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cap.All(), nil
+}
+
+// mixTrace memoizes the standard-mix capture across experiments within
+// one process (the machine is deterministic, so this is sound).
+var mixTraceCache []trace.Record
+
+func standardMixTrace() ([]trace.Record, error) {
+	if mixTraceCache != nil {
+		return mixTraceCache, nil
+	}
+	recs, err := captureMix(sysConfig(), workload.StandardMix...)
+	if err != nil {
+		return nil, err
+	}
+	mixTraceCache = recs
+	return recs, nil
+}
+
+// baseCacheCfg is the default cache for the sweeps: direct-mapped, 16 B
+// blocks, write-back write-allocate, PID-tagged, 8 KB — the size class
+// of the paper's machines (the VAX-11/780 and 8200 shipped with 8 KB
+// caches). Our workloads and kernel are miniatures of the paper's, so
+// the interesting size range scales down with them; see EXPERIMENTS.md.
+func baseCacheCfg() cache.Config {
+	return cache.Config{
+		Name:          "std",
+		SizeBytes:     8 << 10,
+		BlockBytes:    16,
+		Assoc:         1,
+		Replacement:   cache.LRU,
+		WritePolicy:   cache.WriteBack,
+		WriteAllocate: true,
+		PIDTags:       true,
+	}
+}
+
+// kb renders a byte count as KB.
+func kb(b uint32) string { return fmt.Sprintf("%dKB", b>>10) }
+
+// ---- T1: technique comparison ----
+
+// T1TechniqueComparison measures slowdown and completeness of ATUM
+// against inline instrumentation and trap-driven tracing on a
+// two-process workload.
+func T1TechniqueComparison() (*Report, error) {
+	factory := func() (*micro.Machine, func() error, error) {
+		sys, err := workload.BootMix(sysConfig(), "sieve", "list")
+		if err != nil {
+			return nil, nil, err
+		}
+		return sys.M, func() error {
+			_, err := sys.Run(2_000_000_000)
+			return err
+		}, nil
+	}
+	outcomes, err := baseline.Compare(factory,
+		baseline.Atum{}, baseline.Inline{}, baseline.TrapDriven{})
+	if err != nil {
+		return nil, err
+	}
+	tb := &analysis.Table{
+		Title:   "Trace-collection techniques on the sieve+list mix",
+		Headers: []string{"technique", "slowdown", "records", "OS refs", "PTE refs", "multiprog"},
+	}
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, o := range outcomes {
+		tb.AddRow(o.Name, fmt.Sprintf("%.1fx", o.Dilation()), analysis.N(o.Records),
+			yn(o.SawKernel), yn(o.SawPTE), yn(o.SawMultiprog))
+	}
+	return &Report{
+		ID:     "T1",
+		Title:  "Slowdown and completeness of trace-collection techniques",
+		Tables: []*analysis.Table{tb},
+		Notes: []string{
+			"paper analogue: ATUM traces at ~20x slowdown while capturing OS and multiprogramming;",
+			"trap-driven methods run orders of magnitude slower and see user space only.",
+		},
+	}, nil
+}
+
+// ---- T2: trace characteristics ----
+
+// T2TraceCharacteristics reports, per workload and for the standard mix,
+// the columns of the paper's trace table: record counts, reference mix,
+// and the system-reference share only ATUM-style tracing can measure.
+func T2TraceCharacteristics() (*Report, error) {
+	tb := &analysis.Table{
+		Title: "Trace characteristics (complete system traces)",
+		Headers: []string{"workload", "memrefs", "%ifetch", "%read", "%write",
+			"%system", "switches", "pages", "pids"},
+	}
+	row := func(name string, recs []trace.Record) {
+		s := trace.Summarize(recs)
+		tb.AddRow(name,
+			analysis.N(s.MemRefs),
+			analysis.F(100*float64(s.IFetches)/float64(s.MemRefs), 1),
+			analysis.F(100*float64(s.Reads)/float64(s.MemRefs), 1),
+			analysis.F(100*float64(s.Writes)/float64(s.MemRefs), 1),
+			analysis.F(s.PercentSystem(), 1),
+			analysis.N(s.CtxSwitches),
+			analysis.N(s.DistinctPages),
+			analysis.N(s.DistinctPIDs))
+	}
+	for _, w := range workload.All {
+		if w.Name == "producer" || w.Name == "consumer" {
+			continue // they only run as the prodcons pair
+		}
+		recs, err := captureMix(sysConfig(), w.Name)
+		if err != nil {
+			return nil, fmt.Errorf("T2 %s: %w", w.Name, err)
+		}
+		row(w.Name, recs)
+	}
+	pc, err := captureMix(sysConfig(), workload.Mixes["prodcons"]...)
+	if err != nil {
+		return nil, fmt.Errorf("T2 prodcons: %w", err)
+	}
+	row("prodcons", pc)
+	mix, err := standardMixTrace()
+	if err != nil {
+		return nil, err
+	}
+	row("mix4", mix)
+	return &Report{
+		ID:     "T2",
+		Title:  "Trace characteristics per workload",
+		Tables: []*analysis.Table{tb},
+		Notes: []string{
+			"system references come from the scheduler, pager, syscalls and clock interrupts;",
+			"earlier user-level traces reported 0% system by construction.",
+		},
+	}, nil
+}
+
+// ---- F1: OS impact on cache miss rate ----
+
+// F1OSImpact sweeps cache size and compares the miss rate computed from
+// the full system trace against the user-only subset of the same trace —
+// the paper's headline comparison.
+func F1OSImpact() (*Report, error) {
+	full, err := standardMixTrace()
+	if err != nil {
+		return nil, err
+	}
+	userOnly := trace.FilterUser(full)
+	sizes := []uint32{256, 512, 1 << 10, 2 << 10, 4 << 10, 8 << 10}
+	cfg := baseCacheCfg()
+	opts := cache.RunOptions{IncludePTE: true}
+
+	fullRes, err := cache.SweepSizes(full, cfg, sizes, opts)
+	if err != nil {
+		return nil, err
+	}
+	userRes, err := cache.SweepSizes(userOnly, cfg, sizes, opts)
+	if err != nil {
+		return nil, err
+	}
+	tb := &analysis.Table{
+		Title:   "Miss rate vs cache size (direct-mapped, 16B blocks)",
+		Headers: []string{"size", "user-only", "user+system", "ratio"},
+	}
+	ch := &analysis.Chart{Title: "figure: miss rate (%) vs cache size", YLabel: "miss %"}
+	var uCurve, fCurve []float64
+	for i, sz := range sizes {
+		u := userRes[i].Stats.MissRate()
+		f := fullRes[i].Stats.MissRate()
+		ratio := 0.0
+		if u > 0 {
+			ratio = f / u
+		}
+		label := fmt.Sprintf("%dB", sz)
+		if sz >= 1024 {
+			label = kb(sz)
+		}
+		tb.AddRow(label, analysis.Pct(u), analysis.Pct(f), analysis.F(ratio, 2))
+		ch.XLabels = append(ch.XLabels, label)
+		uCurve = append(uCurve, 100*u)
+		fCurve = append(fCurve, 100*f)
+	}
+	ch.Add("user-only", 'u', uCurve)
+	ch.Add("user+system", 'S', fCurve)
+	return &Report{
+		ID:     "F1",
+		Title:  "Operating-system references raise cache miss rates",
+		Tables: []*analysis.Table{tb},
+		Charts: []*analysis.Chart{ch},
+		Notes: []string{
+			"expected shape: full-system miss rate exceeds user-only at every size in the",
+			"range where the kernel working set rivals the cache (the paper's machines had",
+			"1-8KB caches); above that our miniature kernel fits and the effect dilutes,",
+			"where VMS — two orders of magnitude larger — kept missing.",
+		},
+	}, nil
+}
+
+// ---- F2: multiprogramming ----
+
+// F2Multiprogramming compares single-process, PID-tagged multiprogrammed,
+// and flush-on-switch multiprogrammed miss rates across cache sizes, and
+// sweeps the scheduling quantum at a fixed size.
+func F2Multiprogramming() (*Report, error) {
+	mix, err := standardMixTrace()
+	if err != nil {
+		return nil, err
+	}
+	solo, err := captureMix(sysConfig(), "sort")
+	if err != nil {
+		return nil, err
+	}
+	sizes := []uint32{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10}
+	opts := cache.RunOptions{IncludePTE: true}
+
+	tb := &analysis.Table{
+		Title:   "Miss rate vs cache size under multiprogramming",
+		Headers: []string{"size", "single-process", "mix (PID tags)", "mix (flush on switch)"},
+	}
+	for _, sz := range sizes {
+		cfg := baseCacheCfg()
+		cfg.SizeBytes = sz
+		soloRes, err := cache.RunUnified(solo, cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		mixRes, err := cache.RunUnified(mix, cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		fcfg := cfg
+		fcfg.PIDTags = false
+		fcfg.FlushOnSwitch = true
+		flushRes, err := cache.RunUnified(mix, fcfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(kb(sz),
+			analysis.Pct(soloRes.Stats.MissRate()),
+			analysis.Pct(mixRes.Stats.MissRate()),
+			analysis.Pct(flushRes.Stats.MissRate()))
+	}
+
+	// Quantum sweep at 8 KB, flush-on-switch, on a lighter two-process
+	// mix. The quantum is wall-clock microcycles, and the traced machine
+	// runs ~20x dilated — the paper's own time-perturbation effect — so
+	// the sweep starts above the dilated cost of a context switch.
+	qt := &analysis.Table{
+		Title:   "Miss rate vs scheduling quantum (8KB cache, flush on switch)",
+		Headers: []string{"quantum (cycles)", "switches", "mean run", "miss rate"},
+	}
+	for _, q := range []uint32{100_000, 400_000, 1_600_000, 6_400_000} {
+		cfg := sysConfig()
+		cfg.ICRCycles = q
+		cfg.QuantumTicks = 1
+		recs, err := captureMix(cfg, "sieve", "hash")
+		if err != nil {
+			return nil, err
+		}
+		ccfg := baseCacheCfg()
+		ccfg.PIDTags = false
+		ccfg.FlushOnSwitch = true
+		res, err := cache.RunUnified(recs, ccfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		runs := analysis.RunLengths(recs)
+		tb2sum := trace.Summarize(recs)
+		qt.AddRow(analysis.N(q), analysis.N(tb2sum.CtxSwitches),
+			analysis.F(analysis.MeanU64(runs), 0), analysis.Pct(res.Stats.MissRate()))
+	}
+	return &Report{
+		ID:     "F2",
+		Title:  "Multiprogramming raises miss rates; short quanta make it worse",
+		Tables: []*analysis.Table{tb, qt},
+	}, nil
+}
+
+// ---- F3: block size ----
+
+// F3BlockSize sweeps the line size at fixed 64 KB capacity.
+func F3BlockSize() (*Report, error) {
+	mix, err := standardMixTrace()
+	if err != nil {
+		return nil, err
+	}
+	blocks := []uint32{4, 8, 16, 32, 64, 128}
+	res, err := cache.SweepBlocks(mix, baseCacheCfg(), blocks, cache.RunOptions{IncludePTE: true})
+	if err != nil {
+		return nil, err
+	}
+	tb := &analysis.Table{
+		Title:   "Miss rate vs block size (8KB direct-mapped, full trace)",
+		Headers: []string{"block", "miss rate", "traffic (blocks moved)"},
+	}
+	ch := &analysis.Chart{Title: "figure: miss rate (%) vs block size", YLabel: "miss %"}
+	var curve []float64
+	for i, b := range blocks {
+		tb.AddRow(fmt.Sprintf("%dB", b), analysis.Pct(res[i].Stats.MissRate()),
+			analysis.N(res[i].Stats.Misses+res[i].Stats.Writebacks))
+		ch.XLabels = append(ch.XLabels, fmt.Sprintf("%dB", b))
+		curve = append(curve, 100*res[i].Stats.MissRate())
+	}
+	ch.Add("miss rate", 'o', curve)
+	return &Report{
+		ID:     "F3",
+		Title:  "Block-size sensitivity",
+		Tables: []*analysis.Table{tb},
+		Charts: []*analysis.Chart{ch},
+		Notes:  []string{"expected shape: miss rate falls with block size, flattening at large blocks."},
+	}, nil
+}
+
+// ---- F4: associativity ----
+
+// F4Associativity sweeps set associativity at two capacities.
+func F4Associativity() (*Report, error) {
+	mix, err := standardMixTrace()
+	if err != nil {
+		return nil, err
+	}
+	ways := []uint32{1, 2, 4, 8}
+	tb := &analysis.Table{
+		Title:   "Miss rate vs associativity (full trace, 16B blocks)",
+		Headers: []string{"ways", "2KB", "8KB"},
+	}
+	var rows [][]string
+	for range ways {
+		rows = append(rows, make([]string, 3))
+	}
+	for i, w := range ways {
+		rows[i][0] = analysis.N(w)
+	}
+	for col, size := range []uint32{2 << 10, 8 << 10} {
+		cfg := baseCacheCfg()
+		cfg.SizeBytes = size
+		res, err := cache.SweepAssoc(mix, cfg, ways, cache.RunOptions{IncludePTE: true})
+		if err != nil {
+			return nil, err
+		}
+		for i := range ways {
+			rows[i][col+1] = analysis.Pct(res[i].Stats.MissRate())
+		}
+	}
+	for _, r := range rows {
+		tb.AddRow(r...)
+	}
+	return &Report{
+		ID:     "F4",
+		Title:  "Associativity sensitivity",
+		Tables: []*analysis.Table{tb},
+		Notes:  []string{"expected shape: direct-mapped to 2-way helps most; diminishing returns beyond."},
+	}, nil
+}
+
+// ---- F5: translation buffer ----
+
+// F5TLB sweeps TB capacity with and without system references, PID tags
+// versus flush-on-switch.
+func F5TLB() (*Report, error) {
+	mix, err := standardMixTrace()
+	if err != nil {
+		return nil, err
+	}
+	sizes := []uint32{32, 64, 128, 256, 512, 1024}
+	tb := &analysis.Table{
+		Title:   "TB miss rate vs entries (2-way, split system half)",
+		Headers: []string{"entries", "user-only", "full (PID tags)", "full (flush on switch)"},
+	}
+	for _, n := range sizes {
+		user := tlbsim.Config{Entries: n, Assoc: 2, SplitSystem: true, PIDTags: true, IncludeSystem: false}
+		fullTags := tlbsim.Config{Entries: n, Assoc: 2, SplitSystem: true, PIDTags: true, IncludeSystem: true}
+		fullFlush := tlbsim.Config{Entries: n, Assoc: 2, SplitSystem: true, FlushOnSwitch: true, IncludeSystem: true}
+		su, err := tlbsim.Run(mix, user)
+		if err != nil {
+			return nil, err
+		}
+		st, err := tlbsim.Run(mix, fullTags)
+		if err != nil {
+			return nil, err
+		}
+		sf, err := tlbsim.Run(mix, fullFlush)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(analysis.N(n), analysis.Pct(su.MissRate()),
+			analysis.Pct(st.MissRate()), analysis.Pct(sf.MissRate()))
+	}
+	return &Report{
+		ID:     "F5",
+		Title:  "Translation-buffer behaviour with system references",
+		Tables: []*analysis.Table{tb},
+		Notes: []string{
+			"with the era's flush-on-switch TBs (the 8200's own design, modelled in the",
+			"last column) system and switching activity raises TB misses ~6-10x over the",
+			"user-only estimate at every size; ASN/PID-tagged designs close most of the gap.",
+		},
+	}, nil
+}
+
+// ---- F6: working sets ----
+
+// F6WorkingSet computes W(tau) for user-only and full traces.
+func F6WorkingSet() (*Report, error) {
+	mix, err := standardMixTrace()
+	if err != nil {
+		return nil, err
+	}
+	user := trace.FilterUser(mix)
+	taus := []uint32{100, 1_000, 10_000, 100_000, 1_000_000}
+	wFull := analysis.WorkingSet(mix, taus)
+	wUser := analysis.WorkingSet(user, taus)
+	tb := &analysis.Table{
+		Title:   "Working-set size W(tau) in pages",
+		Headers: []string{"tau (refs)", "user-only", "user+system"},
+	}
+	ch := &analysis.Chart{Title: "figure: working-set size (pages) vs window tau", YLabel: "pages"}
+	for i, tau := range taus {
+		tb.AddRow(analysis.N(tau), analysis.F(wUser[i], 1), analysis.F(wFull[i], 1))
+		ch.XLabels = append(ch.XLabels, analysis.N(tau))
+	}
+	ch.Add("user-only", 'u', wUser)
+	ch.Add("user+system", 'S', wFull)
+	return &Report{
+		ID:     "F6",
+		Title:  "Working sets with and without the operating system",
+		Tables: []*analysis.Table{tb},
+		Charts: []*analysis.Chart{ch},
+		Notes:  []string{"expected shape: the full-system working set is strictly larger at every window."},
+	}, nil
+}
+
+// ---- F7: two-level hierarchy (extension) ----
+
+// F7Hierarchy is an extension beyond the paper's single-level studies:
+// a split 1KB L1 pair in front of a unified L2, swept over L2 sizes,
+// comparing user-only and full-system traffic to memory. Second-level
+// caches arrived commercially shortly after the paper; ATUM-style traces
+// were what made evaluating them possible.
+func F7Hierarchy() (*Report, error) {
+	mix, err := standardMixTrace()
+	if err != nil {
+		return nil, err
+	}
+	user := trace.FilterUser(mix)
+	tb := &analysis.Table{
+		Title:   "Two-level hierarchy: 2x1KB split L1 + unified L2 (16B blocks)",
+		Headers: []string{"L2 size", "L1I miss", "L1D miss", "global L2 miss (full)", "global L2 miss (user-only)", "memory accesses"},
+	}
+	for _, l2 := range []uint32{4 << 10, 16 << 10, 64 << 10} {
+		cfg := cache.HierarchyConfig{
+			L1: cache.Config{Name: "f7", SizeBytes: 1 << 10, BlockBytes: 16, Assoc: 1,
+				Replacement: cache.LRU, WriteAllocate: true, PIDTags: true},
+			L2: cache.Config{Name: "f7", SizeBytes: l2, BlockBytes: 16, Assoc: 4,
+				Replacement: cache.LRU, WriteAllocate: true, PIDTags: true},
+		}
+		full, err := cache.RunHierarchy(mix, cfg, cache.RunOptions{IncludePTE: true})
+		if err != nil {
+			return nil, err
+		}
+		ures, err := cache.RunHierarchy(user, cfg, cache.RunOptions{IncludePTE: true})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(kb(l2),
+			analysis.Pct(full.L1I.MissRate()),
+			analysis.Pct(full.L1D.MissRate()),
+			analysis.Pct(full.GlobalL2MissRate),
+			analysis.Pct(ures.GlobalL2MissRate),
+			analysis.N(full.MemoryAccesses))
+	}
+	return &Report{
+		ID:     "F7",
+		Title:  "Extension: OS impact on a two-level hierarchy",
+		Tables: []*analysis.Table{tb},
+		Notes: []string{
+			"labelled extension (not in the paper): the L2 absorbs most L1 conflict misses,",
+			"and the OS's contribution to memory traffic is visible in the global miss rate.",
+		},
+	}, nil
+}
+
+// ---- F8: effective access time (extension) ----
+
+// F8EffectiveAccess converts F1's miss rates into average memory-access
+// times (1-cycle hit, 12-cycle miss penalty — mid-80s main-memory
+// latency in processor cycles): the designer-facing consequence of
+// trusting user-only traces.
+func F8EffectiveAccess() (*Report, error) {
+	full, err := standardMixTrace()
+	if err != nil {
+		return nil, err
+	}
+	user := trace.FilterUser(full)
+	const hit, penalty = 1.0, 12.0
+	opts := cache.RunOptions{IncludePTE: true}
+	tb := &analysis.Table{
+		Title:   "Average access time in cycles (1-cycle hit, 12-cycle miss)",
+		Headers: []string{"size", "user-only estimate", "full-system actual", "underestimate"},
+	}
+	for _, sz := range []uint32{512, 1 << 10, 2 << 10, 4 << 10} {
+		cfg := baseCacheCfg()
+		cfg.SizeBytes = sz
+		fres, err := cache.RunUnified(full, cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		ures, err := cache.RunUnified(user, cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		uEAT := analysis.EffectiveAccess(ures.Stats.MissRate(), hit, penalty)
+		fEAT := analysis.EffectiveAccess(fres.Stats.MissRate(), hit, penalty)
+		label := fmt.Sprintf("%dB", sz)
+		if sz >= 1024 {
+			label = kb(sz)
+		}
+		tb.AddRow(label, analysis.F(uEAT, 3), analysis.F(fEAT, 3),
+			analysis.F(100*(fEAT-uEAT)/fEAT, 1)+"%")
+	}
+	return &Report{
+		ID:     "F8",
+		Title:  "Extension: what miss-rate understatement costs in access time",
+		Tables: []*analysis.Table{tb},
+		Notes: []string{
+			"a designer sizing for the user-only estimate underpredicts average access",
+			"time by the last column — the engineering cost of pre-ATUM traces.",
+		},
+	}, nil
+}
+
+// ---- A5: trace-driven fidelity ----
+
+// A5TraceDrivenFidelity asks the methodological question behind all
+// trace-driven studies (raised contemporaneously for multiprocessors by
+// Goldschmidt & Hennessy): does replaying a captured trace through a
+// simulator reproduce what the hardware actually did? We have both in
+// one process: the machine's own translation buffer keeps live counters
+// during the traced run, and the captured trace can be replayed through
+// internal/tlbsim configured with the hardware's geometry.
+func A5TraceDrivenFidelity() (*Report, error) {
+	tb := &analysis.Table{
+		Title: "Hardware TB vs trace-driven replay (same geometry)",
+		Headers: []string{"workload", "hw misses", "naive replay", "delta",
+			"walk-aware replay", "delta"},
+	}
+	for _, name := range []string{"sieve", "qsort", "tree"} {
+		cfg := sysConfig()
+		sys, err := workload.BootMix(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		cap, err := atum.Run(sys.M, atum.DefaultOptions(), func() error {
+			_, err := sys.Run(2_000_000_000)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		hw := sys.M.MMU.Stats
+
+		replayCfg := tlbsim.Config{
+			Entries:       uint32(sys.M.MMU.TB.Entries()),
+			Assoc:         1, // the hardware TB is direct-mapped per half
+			SplitSystem:   true,
+			FlushOnSwitch: true, // LDPCTX invalidates the process half
+			IncludeSystem: true,
+		}
+		naive, err := tlbsim.Run(cap.All(), replayCfg)
+		if err != nil {
+			return nil, err
+		}
+		replayCfg.WalkRefs = true
+		aware, err := tlbsim.Run(cap.All(), replayCfg)
+		if err != nil {
+			return nil, err
+		}
+		pct := func(misses uint64) string {
+			return analysis.F(100*(float64(misses)-float64(hw.TBMisses))/float64(hw.TBMisses), 1) + "%"
+		}
+		tb.AddRow(name, analysis.N(hw.TBMisses),
+			analysis.N(naive.Misses), pct(naive.Misses),
+			analysis.N(aware.Misses), pct(aware.Misses))
+	}
+	return &Report{
+		ID:     "A5",
+		Title:  "Ablation: does trace-driven replay match the hardware?",
+		Tables: []*analysis.Table{tb},
+		Notes: []string{
+			"a replay that drops the translation microcode's own PTE references (which",
+			"ATUM records precisely because the hardware's TB serves them) understates",
+			"misses by tens of percent; feeding them back closes most of the gap —",
+			"completeness matters for the *consumers* of traces, not just the producers.",
+		},
+	}, nil
+}
+
+// ---- F9: paging behaviour under memory pressure (extension) ----
+
+// F9Paging sweeps the kernel's free-frame cap while the pagestress
+// workload touches a 100-page working set: as memory shrinks, the
+// stealer and swap device carry more of the load and the system-
+// reference share of the trace climbs toward 100% — thrashing, as seen
+// from below the operating system.
+func F9Paging() (*Report, error) {
+	tb := &analysis.Table{
+		Title:   "Paging under memory pressure (pagestress: 100-page working set)",
+		Headers: []string{"frames offered", "swap out", "swap in", "page faults", "%system", "cycles"},
+	}
+	for _, cap := range []uint32{0, 120, 80, 50} {
+		cfg := sysConfig()
+		cfg.Machine.TBEntries = 64
+		cfg.FreeFrameCap = cap
+		sys, err := workload.BootMix(cfg, "pagestress")
+		if err != nil {
+			return nil, err
+		}
+		capTrace, err := atum.Run(sys.M, atum.DefaultOptions(), func() error {
+			reason, err := sys.Run(2_000_000_000)
+			if err != nil {
+				return err
+			}
+			if reason != micro.StopHalt {
+				return fmt.Errorf("pagestress did not finish: %v", reason)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if got := sys.Console(); got != "OK" {
+			return nil, fmt.Errorf("pagestress corrupted under cap %d: %q", cap, got)
+		}
+		reads, writes := sys.SwapActivity()
+		s := trace.Summarize(capTrace.All())
+		label := "unlimited"
+		if cap != 0 {
+			label = analysis.N(cap)
+		}
+		tb.AddRow(label, analysis.N(writes), analysis.N(reads),
+			analysis.N(sys.M.MMU.Stats.Faults), analysis.F(s.PercentSystem(), 1),
+			analysis.N(sys.M.Cycles))
+	}
+	return &Report{
+		ID:     "F9",
+		Title:  "Extension: paging and swap behaviour under memory pressure",
+		Tables: []*analysis.Table{tb},
+		Notes: []string{
+			"the workload's answer is identical in every row — only the kernel works harder;",
+			"trap-driven and instrumentation tracing would show none of this activity.",
+		},
+	}, nil
+}
+
+// ---- A4: write policy ablation ----
+
+// A4WritePolicy compares write-back and write-through bus traffic on the
+// full-system trace — the write-policy debate of the era, answerable
+// only with real write streams like ATUM's.
+func A4WritePolicy() (*Report, error) {
+	mix, err := standardMixTrace()
+	if err != nil {
+		return nil, err
+	}
+	tb := &analysis.Table{
+		Title:   "Write policy at 8KB direct-mapped, 16B blocks (full trace)",
+		Headers: []string{"policy", "miss rate", "writebacks", "bus transfers"},
+	}
+	opts := cache.RunOptions{IncludePTE: true}
+	var writes uint64
+	for _, r := range mix {
+		if r.Kind == trace.KindDWrite || r.Kind == trace.KindPTEWrite {
+			writes++
+		}
+	}
+	for _, wp := range []cache.WritePolicy{cache.WriteBack, cache.WriteThrough} {
+		cfg := baseCacheCfg()
+		cfg.WritePolicy = wp
+		cfg.WriteAllocate = wp == cache.WriteBack
+		res, err := cache.RunUnified(mix, cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		name := "write-back"
+		// Write-back bus traffic: block fills + dirty evictions.
+		bus := res.Stats.Misses + res.Stats.Writebacks
+		if wp == cache.WriteThrough {
+			name = "write-through"
+			// Write-through: fills plus every write goes to memory.
+			bus = res.Stats.Misses + writes
+		}
+		tb.AddRow(name, analysis.Pct(res.Stats.MissRate()),
+			analysis.N(res.Stats.Writebacks), analysis.N(bus))
+	}
+	return &Report{
+		ID:     "A4",
+		Title:  "Ablation: write-back vs write-through traffic",
+		Tables: []*analysis.Table{tb},
+		Notes: []string{
+			"write-through pays one bus transfer per store (~16% of system references);",
+			"write-back coalesces them into dirty evictions.",
+		},
+	}, nil
+}
+
+// ---- T3: sampling methodology ----
+
+// T3Sampling studies the reserved-buffer size: records per sample, and
+// the error introduced by analysing samples with cold caches (the
+// discontinuity concern of trace sampling) versus the continuous trace.
+func T3Sampling() (*Report, error) {
+	full, err := captureMix(sysConfig(), "sort", "sieve")
+	if err != nil {
+		return nil, err
+	}
+	ccfg := baseCacheCfg()
+	opts := cache.RunOptions{IncludePTE: true}
+	contRes, err := cache.RunUnified(full, ccfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	cont := contRes.Stats.MissRate()
+
+	tb := &analysis.Table{
+		Title:   "Sample-boundary cold-start error vs reserved-buffer size (8KB cache)",
+		Headers: []string{"buffer", "refs/sample", "samples", "sampled miss rate", "continuous", "error"},
+	}
+	for _, buf := range []uint32{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20} {
+		per := int(buf / trace.RecordBytes)
+		var misses, accesses uint64
+		nsamples := 0
+		for off := 0; off < len(full); off += per {
+			end := off + per
+			if end > len(full) {
+				end = len(full)
+			}
+			res, err := cache.RunUnified(full[off:end], ccfg, opts)
+			if err != nil {
+				return nil, err
+			}
+			misses += res.Stats.Misses
+			accesses += res.Stats.Accesses
+			nsamples++
+		}
+		sampled := float64(misses) / float64(accesses)
+		tb.AddRow(kb(buf), analysis.N(per), analysis.N(nsamples),
+			analysis.Pct(sampled), analysis.Pct(cont),
+			analysis.F(100*(sampled-cont)/cont, 1)+"%")
+	}
+	return &Report{
+		ID:     "T3",
+		Title:  "Trace-sampling fidelity vs reserved-buffer size",
+		Tables: []*analysis.Table{tb},
+		Notes: []string{
+			"each sample is analysed with a cold cache; larger reserved buffers mean fewer,",
+			"longer samples and smaller cold-start error — the paper's ~0.5MB buffer suffices.",
+		},
+	}, nil
+}
+
+// ---- A1: patch-cost ablation ----
+
+// A1PatchCost sweeps the per-record microcode cost and reports the
+// measured dilation — the design-space curve behind the paper's ~20x.
+func A1PatchCost() (*Report, error) {
+	tb := &analysis.Table{
+		Title:   "Measured dilation vs trace-store microcode cost (sieve)",
+		Headers: []string{"cycles/record", "dilation", "records"},
+	}
+	for _, cost := range []uint32{8, 16, 32, 56, 96, 160} {
+		factory := func() (*micro.Machine, func() error, error) {
+			sys, err := workload.BootMix(sysConfig(), "sieve")
+			if err != nil {
+				return nil, nil, err
+			}
+			return sys.M, func() error {
+				_, err := sys.Run(2_000_000_000)
+				return err
+			}, nil
+		}
+		res, err := atum.MeasureDilation(factory, atum.Options{CostPerRecord: cost})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(analysis.N(cost), fmt.Sprintf("%.1fx", res.Factor()), analysis.N(res.Records))
+	}
+	return &Report{
+		ID:     "A1",
+		Title:  "Ablation: trace-store cost vs machine dilation",
+		Tables: []*analysis.Table{tb},
+	}, nil
+}
+
+// ---- A3: one-pass stack-distance analysis ----
+
+// A3StackDistance computes the fully-associative miss-rate curve of the
+// standard mix in a single Mattson pass, for both the full and the
+// user-only trace, and cross-checks two points against the explicit
+// cache simulator. This is the trace-processing methodology the captured
+// traces fed in the paper's era: every cache size from one pass.
+func A3StackDistance() (*Report, error) {
+	mix, err := standardMixTrace()
+	if err != nil {
+		return nil, err
+	}
+	const blockBytes = 16
+	full := stackdist.FromTrace(mix, stackdist.Options{BlockBytes: blockBytes, PIDTag: true, IncludePTE: true})
+	user := stackdist.FromTrace(mix, stackdist.Options{BlockBytes: blockBytes, PIDTag: true, IncludePTE: true, UserOnly: true})
+
+	tb := &analysis.Table{
+		Title:   "Fully-associative LRU miss rates from one stack-distance pass",
+		Headers: []string{"capacity", "user-only", "user+system", "simulator check"},
+	}
+	for _, blocks := range []int{64, 256, 1024, 4096} {
+		check := "-"
+		if blocks == 256 || blocks == 1024 {
+			cfg := cache.Config{
+				Name: "fa", SizeBytes: uint32(blocks) * blockBytes,
+				BlockBytes: blockBytes, Assoc: uint32(blocks),
+				Replacement: cache.LRU, WriteAllocate: true, PIDTags: true,
+			}
+			res, err := cache.RunUnified(mix, cfg, cache.RunOptions{IncludePTE: true})
+			if err != nil {
+				return nil, err
+			}
+			if res.Stats.Misses == full.Misses(blocks) {
+				check = "exact match"
+			} else {
+				check = fmt.Sprintf("MISMATCH (%d vs %d)", full.Misses(blocks), res.Stats.Misses)
+			}
+		}
+		tb.AddRow(kb(uint32(blocks)*blockBytes),
+			analysis.Pct(user.MissRate(blocks)),
+			analysis.Pct(full.MissRate(blocks)), check)
+	}
+	return &Report{
+		ID:     "A3",
+		Title:  "Ablation: one-pass multi-size trace analysis (Mattson)",
+		Tables: []*analysis.Table{tb},
+		Notes: []string{
+			"the single pass yields every capacity at once and agrees exactly with per-size",
+			"simulation. Contrast with F1: fully-associative caches remove the user/kernel",
+			"conflict misses that punish the direct-mapped configurations of the era.",
+		},
+	}, nil
+}
+
+// ---- A2: record codec ablation ----
+
+// A2Codec measures on-disk encodings of a captured trace.
+func A2Codec() (*Report, error) {
+	mix, err := standardMixTrace()
+	if err != nil {
+		return nil, err
+	}
+	var raw, delta bytes.Buffer
+	if err := trace.WriteFile(&raw, mix, trace.CodecRaw); err != nil {
+		return nil, err
+	}
+	if err := trace.WriteFile(&delta, mix, trace.CodecDelta); err != nil {
+		return nil, err
+	}
+	tb := &analysis.Table{
+		Title:   "Trace encodings (standard mix)",
+		Headers: []string{"codec", "bytes", "bytes/record", "ratio"},
+	}
+	n := float64(len(mix))
+	tb.AddRow("raw", analysis.N(raw.Len()), analysis.F(float64(raw.Len())/n, 2), "1.00")
+	tb.AddRow("delta", analysis.N(delta.Len()), analysis.F(float64(delta.Len())/n, 2),
+		analysis.F(float64(raw.Len())/float64(delta.Len()), 2))
+	return &Report{
+		ID:     "A2",
+		Title:  "Ablation: trace record encodings",
+		Tables: []*analysis.Table{tb},
+	}, nil
+}

@@ -1,0 +1,502 @@
+package kernel
+
+// Source is the kernel, written in the simulated machine's own assembly
+// language. It must execute on the simulated CPU — that is the point of
+// ATUM: operating-system references (scheduler, pager, system calls,
+// interrupt handlers) appear in the captured trace because the kernel is
+// real code running above the patched microcode, not Go code reaching in
+// from outside.
+//
+// Layout contract with the Go-side builder (see kernel.go): the builder
+// reads the symbol table of this program to wire SCB vectors and to poke
+// the configuration and process-table cells before starting the machine.
+//
+// Conventions:
+//   - system calls: CHMK #n with args in r1.., result in r0; r1-r5 are
+//     caller-saved. Codes: 0 exit(status), 1 write(buf,len),
+//     2 sbrk(npages), 3 yield, 4 getpid, 5 nap(ticks),
+//     6 pipewrite(buf,len), 7 piperead(buf,maxlen),
+//     8 rusage(buf) -> {syscalls, faults, switches} longwords,
+//     9 uptime() -> clock ticks since boot.
+//     Blocking calls (pipe full/empty) suspend the process and rewind
+//     the saved PC so the two-byte "chmk #n" re-executes on wakeup.
+//   - process states: 0 free, 1 runnable, 2 dead, 3 napping,
+//     4 pipe-write wait, 5 pipe-read wait.
+//   - the system page table identity-maps all usable RAM, so the kernel
+//     reaches any physical frame f at virtual 0x80000000 + 512*f.
+//   - memory: frames come from a free stack; when it runs dry the pager
+//     steals a dynamically mapped frame (fowner/fvpn bookkeeping), swaps
+//     it to disk, and marks the victim PTE with the swap flag (bit 30)
+//     and block number. Exit reclaims a process's frames via its page
+//     tables. Builder-mapped frames (kernel, page tables, images,
+//     initial stacks) have no owner entry and are never stolen.
+const Source = `
+; ---------------------------------------------------------------------
+; atum-sim kernel
+; ---------------------------------------------------------------------
+	.org	0x80000000
+
+; ---- boot ----------------------------------------------------------
+kstart:	movl	icrval, r0
+	mtpr	r0, #26		; ICR: microcycles per clock tick
+	mtpr	#0x40, #24	; ICCS: run
+	brw	pick		; select the first process
+
+; ---- scheduler ------------------------------------------------------
+; resched: save the current context, then pick the next runnable
+; process. Entered with the interrupted PC/PSL on the kernel stack.
+resched: svpctx
+pick:	mtpr	#31, #18	; block the clock: the scan must not race
+				; a tick waking processes mid-decision
+	movl	nproc, r2	; attempts remaining
+	movl	curproc, r1
+pickl:	incl	r1
+	cmpl	r1, nproc
+	blss	pick1
+	clrl	r1
+pick1:	cmpl	procstate[r1], #1
+	beql	found
+	decl	r2
+	bgtr	pickl
+	; nothing runnable: is anyone waiting (napping or on the pipe)?
+	clrl	r1
+pick2:	cmpl	r1, nproc
+	bgequ	pick3
+	cmpl	procstate[r1], #2
+	bgtr	idle		; state 3/4/5
+	incl	r1
+	brb	pick2
+pick3:	halt			; every process is dead: workload finished
+idle:	mtpr	#0, #18		; open a one-instruction interrupt window
+	nop			; (a pending tick is taken here)
+	brw	pick		; rescan at IPL 31
+found:	movl	r1, curproc
+	incl	procswtch[r1]
+	movl	quantum, qleft
+	mtpr	procpcb[r1], #16 ; PCBB
+	ldpctx
+	rei
+
+; ---- interval timer -------------------------------------------------
+; Wakes nappers each tick; preempts only user-mode execution (the
+; kernel, including the idle loop, is never preempted).
+h_clock: pushr	#0x0e		; r1-r3
+	incl	ticks		; system uptime, in clock ticks
+	clrl	r1
+ck_l:	cmpl	r1, nproc
+	bgequ	ck_d
+	cmpl	procstate[r1], #3
+	bneq	ck_n
+	decl	procnap[r1]
+	bgtr	ck_n
+	movl	#1, procstate[r1]
+ck_n:	incl	r1
+	brb	ck_l
+ck_d:	movl	16(sp), r2	; interrupted PSL (12 saved bytes + PC)
+	ashl	#-24, r2, r2
+	bicl2	#0xfffffffc, r2
+	beql	ck_rei		; kernel interrupted: no preemption
+	decl	qleft
+	bgtr	ck_rei
+	popr	#0x0e
+	brw	resched
+ck_rei:	popr	#0x0e
+	rei
+
+; ---- software interrupt / ignored traps -----------------------------
+h_soft:	rei
+
+; ---- system calls ----------------------------------------------------
+; entry: (sp)=code, then PC, PSL
+h_chmk:	movl	curproc, r0	; account the call
+	incl	proccalls[r0]
+	movl	(sp)+, r0
+	casel	r0, #0, #9
+chtab:	.word	sys_exit-chtab
+	.word	sys_write-chtab
+	.word	sys_sbrk-chtab
+	.word	sys_yield-chtab
+	.word	sys_getpid-chtab
+	.word	sys_nap-chtab
+	.word	sys_pipewrite-chtab
+	.word	sys_piperead-chtab
+	.word	sys_rusage-chtab
+	.word	sys_uptime-chtab
+	brw	kill		; bad syscall code
+
+; exit(r1=status)
+sys_exit:
+	movl	curproc, r2
+	movl	r1, procexit[r2]
+	brw	kill_common
+
+; write(r1=buf, r2=len): copy user bytes to the console
+sys_write:
+	pushl	r3
+wloop:	tstl	r2
+	bleq	wdone
+	movzbl	(r1)+, r3
+	mtpr	r3, #35		; TXDB
+	decl	r2
+	brb	wloop
+wdone:	movl	(sp)+, r3
+	clrl	r0
+	rei
+
+; sbrk(r1=npages): extend the heap; returns old break VA in r0
+sys_sbrk:
+	pushr	#0x7c		; save r2-r6
+	movl	curproc, r2
+	movl	procbrk[r2], r3	; current break vpn
+	ashl	#9, r3, r0	; old break VA
+	tstl	r1
+	bleq	sbdone
+	addl3	r1, r3, r4	; requested end vpn
+	mfpr	#9, r5		; P0LR
+	cmpl	r4, r5
+	bgtru	sb_fail		; beyond the program region: kill
+sbloop:	bsbw	getframe	; r4 = frame
+	bsbw	zeroframe	; zero it (clobbers r5, r6)
+	bisl3	#0xa0000000, r4, r5 ; PTE: valid | user-rw | pfn
+	mfpr	#8, r6		; P0BR (system va of the page table)
+	movl	r5, (r6)[r3]
+	movl	curproc, r6	; frame bookkeeping for the stealer
+	incl	r6
+	movl	r6, fowner[r4]
+	ashl	#9, r3, r6
+	movl	r6, fvpn[r4]
+	incl	r3
+	sobgtr	r1, sbloop
+sbdone:	movl	curproc, r2
+	movl	r3, procbrk[r2]
+	popr	#0x7c
+	rei
+sb_fail: popr	#0x7c
+	brw	kill
+
+sys_yield:
+	clrl	r0
+	brw	resched
+
+sys_getpid:
+	movl	curproc, r0
+	movl	procpid[r0], r0
+	rei
+
+; rusage(r1=buf): copy {syscalls, faults, switches-in} longwords to the
+; user buffer — the kernel reporting on itself, with a copyout loop that
+; itself lands in the trace.
+sys_rusage:
+	movl	curproc, r2
+	movl	proccalls[r2], r3
+	movl	r3, (r1)+
+	movl	procfaults[r2], r3
+	movl	r3, (r1)+
+	movl	procswtch[r2], r3
+	movl	r3, (r1)+
+	clrl	r0
+	rei
+
+; uptime() -> r0 = clock ticks since boot (wall time on the real
+; machine; on a traced machine the same work spans ~20x more of them —
+; time dilation as seen from inside).
+sys_uptime:
+	movl	ticks, r0
+	rei
+
+; nap(r1=ticks): sleep for that many clock ticks
+sys_nap:
+	tstl	r1
+	bleq	napz
+	movl	curproc, r3
+	movl	r1, procnap[r3]
+	movl	#3, procstate[r3]
+	clrl	r0
+	brw	resched
+napz:	clrl	r0
+	rei
+
+; pipewrite(r1=buf, r2=len) -> r0 = bytes written; blocks while full
+sys_pipewrite:
+	tstl	r2
+	bleq	pwz
+	cmpl	pipecnt, #256
+	blss	pw_go
+	subl2	#2, (sp)	; rewind saved PC: re-execute "chmk #6"
+	movl	curproc, r3
+	movl	#4, procstate[r3]
+	brw	resched
+pw_go:	clrl	r0
+pw_l:	tstl	r2
+	bleq	pw_d
+	cmpl	pipecnt, #256
+	bgequ	pw_d
+	movzbl	(r1)+, r3
+	movl	pipetail, r4
+	moval	pipebuf, r5
+	movb	r3, (r5)[r4]
+	incl	r4
+	bicl2	#0xffffff00, r4
+	movl	r4, pipetail
+	incl	pipecnt
+	incl	r0
+	decl	r2
+	brb	pw_l
+pw_d:	bsbw	wake5		; data available: wake blocked readers
+	rei
+pwz:	clrl	r0
+	rei
+
+; piperead(r1=buf, r2=maxlen) -> r0 = bytes read; blocks while empty
+sys_piperead:
+	tstl	r2
+	bleq	prz
+	tstl	pipecnt
+	bgtr	pr_go
+	subl2	#2, (sp)	; rewind saved PC: re-execute "chmk #7"
+	movl	curproc, r3
+	movl	#5, procstate[r3]
+	brw	resched
+pr_go:	clrl	r0
+pr_l:	tstl	r2
+	bleq	pr_d
+	tstl	pipecnt
+	bleq	pr_d
+	movl	pipehead, r4
+	moval	pipebuf, r5
+	movzbl	(r5)[r4], r3
+	movb	r3, (r1)+
+	incl	r4
+	bicl2	#0xffffff00, r4
+	movl	r4, pipehead
+	decl	pipecnt
+	incl	r0
+	decl	r2
+	brb	pr_l
+pr_d:	bsbw	wake4		; space available: wake blocked writers
+	rei
+prz:	clrl	r0
+	rei
+
+; wake4/wake5: make every process in pipe-wait state runnable
+wake4:	clrl	r1
+w4l:	cmpl	r1, nproc
+	bgequ	w4d
+	cmpl	procstate[r1], #4
+	bneq	w4n
+	movl	#1, procstate[r1]
+w4n:	incl	r1
+	brb	w4l
+w4d:	rsb
+
+wake5:	clrl	r1
+w5l:	cmpl	r1, nproc
+	bgequ	w5d
+	cmpl	procstate[r1], #5
+	bneq	w5n
+	movl	#1, procstate[r1]
+w5n:	incl	r1
+	brb	w5l
+w5d:	rsb
+
+; ---- kill current process and reschedule ----------------------------
+kill:	movl	curproc, r1
+	movl	#0xffffffff, procexit[r1]
+kill_common:
+	bsbw	reclaim		; free the address space
+	movl	curproc, r1
+	movl	#2, procstate[r1] ; dead
+	brw	pick
+
+; reclaim: free every resident frame of the current process by walking
+; its page tables. Swapped pages just lose their PTEs (their disk blocks
+; leak; the swap device is unbounded). Clobbers r1-r3, r5-r7.
+reclaim: mfpr	#8, r5		; P0BR
+	mfpr	#9, r6		; P0LR
+	movl	#1, r3		; vpn 0 is the guard page (kernel frame 0)
+rc_p0:	cmpl	r3, r6
+	bgequ	rc_p1
+	movl	(r5)[r3], r7
+	bgeq	rc_n0		; PTE valid bit is bit 31
+	bicl3	#0xffe00000, r7, r7
+	bsbw	freeframe
+rc_n0:	clrl	(r5)[r3]
+	incl	r3
+	brb	rc_p0
+rc_p1:	mfpr	#10, r5		; P1BR
+	mfpr	#11, r6		; P1LR (first mapped vpn)
+	movl	r6, r3
+rc_l1:	cmpl	r3, #0x200000
+	bgequ	rc_done
+	movl	(r5)[r3], r7
+	bgeq	rc_n1
+	bicl3	#0xffe00000, r7, r7
+	bsbw	freeframe
+rc_n1:	clrl	(r5)[r3]
+	incl	r3
+	brb	rc_l1
+rc_done: mtpr	#0, #57		; TBIA
+	rsb
+
+; freeframe: return frame r7 to the free stack. Clobbers r2.
+freeframe: movl	freecnt, r2
+	movl	r7, freestk[r2]
+	incl	freecnt
+	clrl	fowner[r7]
+	rsb
+
+; ---- page fault (translation not valid) ------------------------------
+; entry: (sp)=info, 4(sp)=va, then PC, PSL
+h_tnv:	pushr	#0x7f		; save r0-r6
+	movl	curproc, r1	; account the fault
+	incl	procfaults[r1]
+	movl	32(sp), r1	; faulting va (28 saved bytes + info)
+	ashl	#-30, r1, r2
+	bicl2	#0xfffffffc, r2	; region (0=P0 1=P1 2=S0)
+	ashl	#-9, r1, r3
+	bicl2	#0xffe00000, r3	; vpn within region
+	tstl	r2
+	beql	tnv_p0
+	cmpl	r2, #1
+	beql	tnv_p1
+	halt			; fault in system space: kernel bug
+tnv_p0:	mfpr	#9, r4		; P0LR
+	cmpl	r3, r4
+	bgequ	tnv_kill	; beyond the program region
+	movl	#8, r2		; P0BR processor-register number
+	brb	tnv_map
+tnv_p1:	mfpr	#11, r4		; P1LR
+	cmpl	r3, r4
+	blssu	tnv_kill	; below the stack window
+	movl	#10, r2		; P1BR processor-register number
+tnv_map:
+	bsbw	getframe	; r4 = new frame (may steal + swap out)
+	mfpr	r2, r5		; page-table base
+	movl	(r5)[r3], r6	; prior PTE
+	bbs	#30, r6, tnv_in	; swapped-out page: read it back
+	bsbw	zeroframe	; demand-zero (clobbers r5, r6)
+	brb	tnv_fin
+tnv_in:	bicl2	#0xffe00000, r6	; swap block number
+	mtpr	r6, #40		; DISKBLK
+	ashl	#9, r4, r5
+	mtpr	r5, #41		; DISKADDR
+	mtpr	#2, #42		; disk read
+tnv_fin:
+	mfpr	r2, r5		; reload page-table base
+	bisl3	#0xa0000000, r4, r6 ; PTE: valid | user-rw | pfn
+	movl	r6, (r5)[r3]
+	movl	curproc, r6	; frame bookkeeping
+	incl	r6
+	movl	r6, fowner[r4]
+	bicl3	#0x1ff, r1, r6
+	movl	r6, fvpn[r4]
+	popr	#0x7f
+	addl2	#8, sp		; discard info+va
+	rei			; restart the faulting instruction
+tnv_kill:
+	popr	#0x7f
+	addl2	#8, sp
+	brw	kill
+
+; ---- access violation: kill the offender -----------------------------
+h_acv:	addl2	#8, sp		; info, va
+	brw	kill
+
+; ---- arithmetic trap (divide by zero etc.): kill ---------------------
+h_arith: addl2	#4, sp		; type code
+	brw	kill
+
+; ---- reserved/privileged instruction: kill ---------------------------
+h_resv:	brw	kill
+
+; ---- frame allocation -------------------------------------------------
+; getframe: produce a free frame number in r4. Takes from the free stack
+; when possible; otherwise steals a dynamically mapped frame: writes the
+; victim page to a fresh swap block, marks the victim PTE swapped, and
+; flushes the TB. Halts only if nothing is stealable (true OOM).
+; Clobbers only r4 (steal path saves r5-r9).
+getframe: decl	freecnt
+	blss	gf_steal
+	movl	freecnt, r4
+	movl	freestk[r4], r4
+	rsb
+gf_steal:
+	clrl	freecnt		; undo the decrement
+	pushr	#0x03e0		; r5-r9
+	movl	stealhand, r4
+	movl	nframes, r5	; attempts
+gs_l:	incl	r4
+	cmpl	r4, nframes
+	blss	gs_1
+	clrl	r4
+gs_1:	tstl	fowner[r4]
+	bneq	gs_f
+	sobgtr	r5, gs_l
+	halt			; nothing stealable: out of memory
+gs_f:	movl	r4, stealhand
+	movl	disknext, r6	; allocate a swap block
+	incl	disknext
+	mtpr	r6, #40		; DISKBLK
+	ashl	#9, r4, r7
+	mtpr	r7, #41		; DISKADDR
+	mtpr	#1, #42		; disk write (swap out)
+	movl	fowner[r4], r8
+	decl	r8		; victim process index
+	clrl	fowner[r4]
+	movl	fvpn[r4], r9	; victim VA
+	movl	procpcb[r8], r5
+	addl2	#0x80000000, r5	; victim PCB via S0
+	ashl	#-30, r9, r7
+	bicl2	#0xfffffffc, r7
+	tstl	r7
+	beql	gs_p0
+	movl	80(r5), r5	; PCB.P1BR
+	brb	gs_pte
+gs_p0:	movl	72(r5), r5	; PCB.P0BR
+gs_pte:	ashl	#-9, r9, r7
+	bicl2	#0xffe00000, r7	; victim vpn
+	bisl3	#0x40000000, r6, r9 ; swapped PTE: flag | block
+	movl	r9, (r5)[r7]
+	mtpr	#0, #57		; TBIA: drop any cached translation
+	popr	#0x03e0
+	rsb
+
+; zeroframe: clear the 512-byte frame r4 via its system mapping.
+; clobbers r5, r6.
+zeroframe: ashl	#9, r4, r5
+	addl2	#0x80000000, r5
+	movl	#128, r6
+zfl:	clrl	(r5)+
+	sobgtr	r6, zfl
+	rsb
+
+; ---- kernel data ------------------------------------------------------
+	.align	4
+icrval:	.long	0		; microcycles per clock tick (builder)
+quantum: .long	0		; ticks per scheduling quantum (builder)
+qleft:	.long	0
+nproc:	.long	0
+curproc: .long	0
+ticks:	.long	0
+nframes: .long	0		; usable frames (builder)
+stealhand: .long 0
+disknext: .long	0		; next free swap block
+procstate: .space 4*16		; see state table above
+procpcb:   .space 4*16		; physical PCB addresses
+procpid:   .space 4*16
+procbrk:   .space 4*16		; next heap vpn per process
+procnap:   .space 4*16		; remaining nap ticks
+procexit:  .space 4*16		; exit status (-1 = killed)
+proccalls: .space 4*16		; system calls made
+procfaults: .space 4*16		; page faults taken
+procswtch: .space 4*16		; times scheduled in
+pipehead: .long	0
+pipetail: .long	0
+pipecnt: .long	0
+pipebuf: .space	256
+freecnt: .long	0
+freestk: .space 4*16384		; free frame stack (frame numbers)
+fowner:	.space	4*16384		; frame -> owning process index + 1
+fvpn:	.space	4*16384		; frame -> mapped VA (page aligned)
+kend:
+`

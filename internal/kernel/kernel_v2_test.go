@@ -1,0 +1,479 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"atum/internal/micro"
+)
+
+func TestExitStatus(t *testing.T) {
+	s := boot(t, DefaultConfig(), asm(t, `
+	.org	0x200
+start:	movl	#42, r1
+	chmk	#0
+`))
+	st, err := s.ExitStatus(s.Procs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 42 {
+		t.Errorf("exit status = %d, want 42", st)
+	}
+}
+
+func TestKilledStatus(t *testing.T) {
+	s := boot(t, DefaultConfig(), asm(t, `
+	.org	0x200
+start:	clrl	r1
+	movl	(r1), r2	; null deref
+	chmk	#0
+`))
+	st, _ := s.ExitStatus(s.Procs[0])
+	if st != KilledStatus {
+		t.Errorf("killed status = %#x, want %#x", st, KilledStatus)
+	}
+}
+
+func TestNapSleepsAndWakes(t *testing.T) {
+	// A napper and a spinner: the napper sleeps 3 ticks, the spinner
+	// burns CPU; both must finish, and the napper's nap must span
+	// several of the spinner's quanta (its output comes last).
+	napper := `
+	.org	0x200
+start:	movl	#8, r1
+	chmk	#5		; nap(8 ticks)
+	moval	m, r1
+	movl	#1, r2
+	chmk	#1
+	chmk	#0
+m:	.ascii	"N"
+`
+	spinner := `
+	.org	0x200
+start:	movl	#8, r6
+loop:	movl	#400, r7
+spin:	sobgtr	r7, spin
+	moval	m, r1
+	movl	#1, r2
+	chmk	#1
+	sobgtr	r6, loop
+	chmk	#0
+m:	.ascii	"S"
+`
+	cfg := DefaultConfig()
+	cfg.ICRCycles = 3000
+	cfg.QuantumTicks = 1
+	s := boot(t, cfg, asm(t, napper), asm(t, spinner))
+	got := s.Console()
+	if len(got) != 9 {
+		t.Fatalf("console = %q", got)
+	}
+	if strings.IndexByte(got, 'N') < 2 {
+		t.Errorf("napper did not sleep: %q", got)
+	}
+}
+
+func TestNapAllProcessesIdle(t *testing.T) {
+	// Every process naps simultaneously: the kernel must idle through
+	// the quiet period rather than halting, then finish.
+	src := `
+	.org	0x200
+start:	movl	#2, r1
+	chmk	#5
+	moval	m, r1
+	movl	#1, r2
+	chmk	#1
+	chmk	#0
+m:	.ascii	"z"
+`
+	s := boot(t, DefaultConfig(), asm(t, src), asm(t, src))
+	if got := s.Console(); got != "zz" {
+		t.Errorf("console = %q", got)
+	}
+}
+
+func TestPipeTransfersData(t *testing.T) {
+	writer := `
+	.org	0x200
+start:	moval	msg, r1
+	movl	#16, r2
+wr:	chmk	#6		; pipewrite
+	tstl	r0
+	beql	wr		; full: retry (kernel blocks us anyway)
+	addl2	r0, r1
+	subl2	r0, r2
+	tstl	r2
+	bgtr	wr
+	chmk	#0
+msg:	.ascii	"pipes-carry-data"
+`
+	reader := `
+	.org	0x200
+start:	movl	#16, r6		; bytes expected
+	moval	buf, r7
+rd:	movl	r7, r1
+	movl	r6, r2
+	chmk	#7		; piperead (blocks until data)
+	addl2	r0, r7
+	subl2	r0, r6
+	tstl	r6
+	bgtr	rd
+	moval	buf, r1
+	movl	#16, r2
+	chmk	#1		; echo to console
+	chmk	#0
+buf:	.space	16
+`
+	s := boot(t, DefaultConfig(), asm(t, writer), asm(t, reader))
+	if got := s.Console(); got != "pipes-carry-data" {
+		t.Errorf("console = %q", got)
+	}
+}
+
+func TestPipeBlockingBackpressure(t *testing.T) {
+	// Writer pushes 600 bytes through the 256-byte pipe; reader drains
+	// slowly. Blocking (state 4/5) must engage, and every byte arrives
+	// in order.
+	writer := `
+	.org	0x200
+start:	movl	#600, r6	; total bytes
+	clrl	r7		; rolling value
+wloop:	movb	r7, ch
+	moval	ch, r1
+	movl	#1, r2
+wr:	chmk	#6
+	tstl	r0
+	beql	wr
+	incl	r7
+	bicl2	#0xffffff80, r7	; keep 0..127
+	sobgtr	r6, wloop
+	chmk	#0
+ch:	.byte	0
+`
+	reader := `
+	.org	0x200
+start:	movl	#600, r6
+	clrl	r7		; expected value
+	clrl	r8		; error count
+rloop:	moval	ch, r1
+	movl	#1, r2
+	chmk	#7
+	movzbl	ch, r3
+	cmpl	r3, r7
+	beql	ok
+	incl	r8
+ok:	incl	r7
+	bicl2	#0xffffff80, r7
+	sobgtr	r6, rloop
+	tstl	r8
+	bneq	bad
+	moval	okm, r1
+	movl	#2, r2
+	chmk	#1
+bad:	chmk	#0
+ch:	.byte	0
+okm:	.ascii	"OK"
+`
+	s := boot(t, DefaultConfig(), asm(t, writer), asm(t, reader))
+	if got := s.Console(); got != "OK" {
+		t.Errorf("console = %q (data corrupted or lost)", got)
+	}
+}
+
+func TestPageStealingUnderPressure(t *testing.T) {
+	// Machine with very little memory; one process touches far more
+	// pages than fit. The kernel must steal+swap rather than halt, the
+	// workload must still compute correctly, and swap traffic must be
+	// visible.
+	src := `
+	.org	0x200
+start:	movl	#120, r1
+	chmk	#2		; sbrk(120 pages) ~ 60KB
+	movl	r0, r7
+	; write a value into each page
+	movl	#120, r6
+	movl	r7, r8
+	clrl	r9
+w1:	movl	r9, (r8)
+	addl2	#512, r8
+	incl	r9
+	sobgtr	r6, w1
+	; read them all back and check (forces swap-ins)
+	movl	#120, r6
+	movl	r7, r8
+	clrl	r9
+	clrl	r10		; errors
+r1l:	cmpl	(r8), r9
+	beql	r1ok
+	incl	r10
+r1ok:	addl2	#512, r8
+	incl	r9
+	sobgtr	r6, r1l
+	tstl	r10
+	bneq	fail
+	moval	okm, r1
+	movl	#2, r2
+	chmk	#1
+fail:	chmk	#0
+okm:	.ascii	"OK"
+`
+	cfg := DefaultConfig()
+	cfg.Machine.MemSize = 1 << 20
+	cfg.Machine.ReservedSize = 64 << 10
+	cfg.Machine.TBEntries = 64
+	cfg.FreeFrameCap = 60 // the workload needs 120+: stealing is forced
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Spawn("pagestress", asm(t, src), 128); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	free, _ := sys.FreeFrames()
+	if free >= 120 {
+		t.Fatalf("pressure knob broken: %d free frames", free)
+	}
+	reason, err := sys.Run(200_000_000)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sys.M.State())
+	}
+	if reason != micro.StopHalt {
+		t.Fatalf("stopped: %v", reason)
+	}
+	if got := sys.Console(); got != "OK" {
+		t.Errorf("console = %q (swapped data corrupted)", got)
+	}
+	reads, writes := sys.SwapActivity()
+	if reads == 0 || writes == 0 {
+		t.Errorf("no swap traffic: reads=%d writes=%d", reads, writes)
+	}
+}
+
+func TestRusageSyscallAndAccounting(t *testing.T) {
+	// The program forces one page fault (stack touch), makes a known
+	// number of syscalls, then asks the kernel for its own accounting
+	// and prints the fault count.
+	src := `
+	.org	0x200
+start:	movl	sp, r1
+	subl2	#0x1000, r1
+	movl	#1, (r1)	; one demand-zero stack fault
+	chmk	#3		; yield (syscall 2 incl. this? count below)
+	moval	buf, r1
+	chmk	#8		; rusage -> buf
+	movl	buf+4, r0	; faults
+	addl2	#0x30, r0
+	movb	r0, ch
+	moval	ch, r1
+	movl	#1, r2
+	chmk	#1
+	chmk	#0
+	.align	4
+buf:	.space	12
+ch:	.byte	0
+`
+	s := boot(t, DefaultConfig(), asm(t, src))
+	if got := s.Console(); got != "1" {
+		t.Errorf("fault count via rusage = %q, want \"1\"", got)
+	}
+	// Go-side accessor agrees.
+	calls, faults, switches, err := s.Rusage(s.Procs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// yield + rusage + write + exit = 4 syscalls.
+	if calls != 4 {
+		t.Errorf("syscalls = %d, want 4", calls)
+	}
+	if faults != 1 {
+		t.Errorf("faults = %d, want 1", faults)
+	}
+	if switches < 2 { // initial dispatch + after the yield
+		t.Errorf("switches = %d, want >= 2", switches)
+	}
+}
+
+func TestMOVC3RestartAcrossPageFault(t *testing.T) {
+	// MOVC3 copies a 1.5-page block into untouched heap: the destination
+	// pages fault mid-copy, the pager demand-zeroes them, and the FPD
+	// machinery resumes the copy instead of restarting it. The copied
+	// data must be intact.
+	src := `
+	.org	0x200
+start:	movl	#4, r1
+	chmk	#2		; sbrk(4 pages) -> r0 (pages stay... mapped eagerly)
+	movl	r0, r7
+	; build a 768-byte source pattern on page boundary in static data
+	moval	pat, r2
+	movl	#768, r3
+	clrl	r4
+pf:	movb	r4, (r2)+
+	incl	r4
+	sobgtr	r3, pf
+	; copy into the stack region far below SP: pages are unmapped and
+	; demand-zero on first touch, so the copy faults midway.
+	movl	sp, r8
+	subl2	#0x1800, r8	; 12 pages down
+	movc3	#768, pat, (r8)
+	; verify
+	movl	#768, r3
+	movl	r8, r2
+	clrl	r4
+	clrl	r9
+pv:	movzbl	(r2)+, r5
+	cmpl	r5, r4
+	beql	pv1
+	incl	r9
+pv1:	incl	r4
+	bicl2	#0xffffff00, r4
+	sobgtr	r3, pv
+	tstl	r9
+	bneq	bad
+	moval	okm, r1
+	movl	#2, r2
+	chmk	#1
+bad:	chmk	#0
+okm:	.ascii	"OK"
+	.align	4
+pat:	.space	768
+`
+	cfg := DefaultConfig()
+	cfg.MaxStackPages = 64
+	cfg.InitialStackPages = 1
+	s := boot(t, cfg, asm(t, src))
+	if got := s.Console(); got != "OK" {
+		t.Errorf("console = %q (MOVC3 restart corrupted the copy)", got)
+	}
+	if s.M.MMU.Stats.Faults == 0 {
+		t.Error("no faults occurred; test exercised nothing")
+	}
+}
+
+func TestCMPC3RestartAcrossPageFault(t *testing.T) {
+	// Same idea for the compare: faulting mid-compare must not change
+	// the verdict.
+	src := `
+	.org	0x200
+start:	movl	sp, r8
+	subl2	#0x1800, r8	; unmapped stack page
+	movc3	#600, pat, (r8)	; populate via copy (faults, fills)
+	cmpc3	#600, pat, (r8)	; then compare; should be equal
+	bneq	bad
+	moval	okm, r1
+	movl	#2, r2
+	chmk	#1
+bad:	chmk	#0
+okm:	.ascii	"OK"
+	.align	4
+pat:	.space	600
+`
+	s := boot(t, DefaultConfig(), asm(t, src))
+	if got := s.Console(); got != "OK" {
+		t.Errorf("console = %q", got)
+	}
+}
+
+func TestMemoryPressureWithMultiprogramming(t *testing.T) {
+	// Two pagestress-like processes on a small machine: page stealing
+	// crosses process boundaries, and both must still compute correctly.
+	mk := func(pages int) string {
+		return fmt.Sprintf(`
+	.org	0x200
+start:	movl	#%d, r1
+	chmk	#2
+	movl	r0, r7
+	movl	#%d, r6
+	movl	r7, r8
+	clrl	r9
+w:	movl	r9, (r8)
+	addl2	#512, r8
+	incl	r9
+	sobgtr	r6, w
+	movl	#%d, r6
+	movl	r7, r8
+	clrl	r9
+v:	cmpl	(r8), r9
+	bneq	bad
+	addl2	#512, r8
+	incl	r9
+	sobgtr	r6, v
+	moval	ok, r1
+	movl	#1, r2
+	chmk	#1
+bad:	chmk	#0
+ok:	.ascii	"Y"
+`, pages, pages, pages)
+	}
+	cfg := DefaultConfig()
+	cfg.Machine.MemSize = 1 << 20
+	cfg.Machine.ReservedSize = 64 << 10
+	cfg.Machine.TBEntries = 64
+	cfg.FreeFrameCap = 70 // both processes need 120 pages total
+	// Short quantum so the processes genuinely overlap: kernel time does
+	// not consume quantum, and with the default 50k-cycle quantum the
+	// first process would run to exit (and reclaim) before the second
+	// ever allocated.
+	cfg.ICRCycles = 2000
+	cfg.QuantumTicks = 1
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := sys.Spawn("ps", asm(t, mk(60)), 80); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	reason, err := sys.Run(500_000_000)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, sys.M.State())
+	}
+	if reason != micro.StopHalt {
+		t.Fatalf("stopped: %v", reason)
+	}
+	if got := sys.Console(); got != "YY" {
+		t.Errorf("console = %q, want YY (cross-process steal corrupted data)", got)
+	}
+	reads, writes := sys.SwapActivity()
+	if reads == 0 || writes == 0 {
+		t.Errorf("no swap under pressure: r=%d w=%d", reads, writes)
+	}
+}
+
+func TestKernelClockNotPreemptedDuringIdle(t *testing.T) {
+	// Regression: with everyone napping, clock interrupts land in the
+	// kernel's idle loop; they must not corrupt any process context.
+	src := `
+	.org	0x200
+start:	movl	#5, r1
+	chmk	#5
+	chmk	#4		; getpid -> r0
+	addl2	#0x30, r0
+	movb	r0, m
+	moval	m, r1
+	movl	#1, r2
+	chmk	#1
+	chmk	#0
+m:	.byte	0
+`
+	cfg := DefaultConfig()
+	cfg.ICRCycles = 2000
+	s := boot(t, cfg, asm(t, src), asm(t, src), asm(t, src))
+	got := s.Console()
+	if len(got) != 3 {
+		t.Fatalf("console = %q", got)
+	}
+	for _, want := range []string{"1", "2", "3"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing pid %s in %q (context corrupted?)", want, got)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package micro
+
+import (
+	"atum/internal/mmu"
+	"atum/internal/vax"
+)
+
+// ---- instruction stream ----
+
+// refillIBuf loads the aligned longword containing va into the prefetch
+// buffer, firing an EvIFetch micro-event. Aligned longwords never cross a
+// 512-byte page, so one translation suffices.
+func (m *Machine) refillIBuf(va uint32) {
+	aligned := va &^ 3
+	pa, fault := m.MMU.Translate(aligned, m.userMode(), false)
+	if fault != nil {
+		raiseFault(fault)
+	}
+	m.Cycles += uint64(m.Costs.IFetchRefill)
+	m.fire(Access{Ev: EvIFetch, VA: aligned, Width: 4, Mode: m.mode(), PID: m.CurPID})
+	for i := uint32(0); i < 4; i++ {
+		b, err := m.Mem.Load8(pa + i)
+		if err != nil {
+			raise(vax.VecMachineCheck, true)
+		}
+		m.ibufData[i] = b
+	}
+	m.ibufAddr = aligned
+	m.ibufValid = true
+}
+
+// fetchByte consumes the next instruction-stream byte at PC.
+func (m *Machine) fetchByte() byte {
+	pc := m.CPU.R[vax.PC]
+	if !m.ibufValid || pc&^3 != m.ibufAddr {
+		m.refillIBuf(pc)
+	}
+	b := m.ibufData[pc&3]
+	m.CPU.R[vax.PC] = pc + 1
+	return b
+}
+
+func (m *Machine) fetchWord() uint16 {
+	lo := uint16(m.fetchByte())
+	hi := uint16(m.fetchByte())
+	return hi<<8 | lo
+}
+
+func (m *Machine) fetchLong() uint32 {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v |= uint32(m.fetchByte()) << (8 * i)
+	}
+	return v
+}
+
+// flushIBuf invalidates the prefetch buffer (taken branches, REI, ...).
+func (m *Machine) flushIBuf() { m.ibufValid = false }
+
+// cpuFetcher adapts the machine to vax.Fetcher for operand decoding.
+type cpuFetcher Machine
+
+func (f *cpuFetcher) Byte() (byte, error)   { return (*Machine)(f).fetchByte(), nil }
+func (f *cpuFetcher) Word() (uint16, error) { return (*Machine)(f).fetchWord(), nil }
+func (f *cpuFetcher) Long() (uint32, error) { return (*Machine)(f).fetchLong(), nil }
+
+// ---- data references ----
+
+// raiseFault converts an MMU fault into the architectural exception. The
+// handler receives two parameters: an info longword (bit0 = write access,
+// bit1 = fault was on a page-table reference) and the faulting VA.
+func raiseFault(f *mmu.Fault) {
+	vec := uint16(vax.VecTranslationNotValid)
+	if f.Kind == mmu.FaultACV {
+		vec = vax.VecAccessViolation
+	}
+	var info uint32
+	if f.Write {
+		info |= 1
+	}
+	if f.PTERef {
+		info |= 2
+	}
+	raise(vec, true, info, f.VA)
+}
+
+// translate maps va for a data access, raising the architectural fault on
+// failure.
+func (m *Machine) translate(va uint32, write bool) uint32 {
+	pa, fault := m.MMU.Translate(va, m.userMode(), write)
+	if fault == nil {
+		return pa
+	}
+	raiseFault(fault)
+	return 0
+}
+
+// readVirt performs a data read of width bytes at va, firing EvDRead.
+// Unaligned accesses that cross a page boundary translate per byte.
+func (m *Machine) readVirt(va uint32, width uint8) uint32 {
+	m.Cycles += uint64(m.Costs.DataRead)
+	m.fire(Access{Ev: EvDRead, VA: va, Width: width, Mode: m.mode(), PID: m.CurPID})
+	return m.readNoEvent(va, width)
+}
+
+// readNoEvent is readVirt without the micro-event (second half of a
+// modify access, which the 8200 recorded once).
+func (m *Machine) readNoEvent(va uint32, width uint8) uint32 {
+	if crossesPage(va, width) {
+		var v uint32
+		for i := uint32(0); i < uint32(width); i++ {
+			pa := m.translate(va+i, false)
+			b, err := m.Mem.Load8(pa)
+			if err != nil {
+				raise(vax.VecMachineCheck, true)
+			}
+			v |= uint32(b) << (8 * i)
+		}
+		return v
+	}
+	pa := m.translate(va, false)
+	switch width {
+	case 1:
+		b, err := m.Mem.Load8(pa)
+		if err != nil {
+			raise(vax.VecMachineCheck, true)
+		}
+		return uint32(b)
+	case 2:
+		v, err := m.Mem.Load16(pa)
+		if err != nil {
+			raise(vax.VecMachineCheck, true)
+		}
+		return uint32(v)
+	default:
+		v, err := m.Mem.Load32(pa)
+		if err != nil {
+			raise(vax.VecMachineCheck, true)
+		}
+		return v
+	}
+}
+
+// writeVirt performs a data write, firing EvDWrite.
+func (m *Machine) writeVirt(va uint32, width uint8, v uint32) {
+	m.Cycles += uint64(m.Costs.DataWrite)
+	m.fire(Access{Ev: EvDWrite, VA: va, Width: width, Mode: m.mode(), PID: m.CurPID})
+	if crossesPage(va, width) {
+		for i := uint32(0); i < uint32(width); i++ {
+			pa := m.translate(va+i, true)
+			if err := m.Mem.Store8(pa, byte(v>>(8*i))); err != nil {
+				raise(vax.VecMachineCheck, true)
+			}
+		}
+		return
+	}
+	pa := m.translate(va, true)
+	var err error
+	switch width {
+	case 1:
+		err = m.Mem.Store8(pa, byte(v))
+	case 2:
+		err = m.Mem.Store16(pa, uint16(v))
+	default:
+		err = m.Mem.Store32(pa, v)
+	}
+	if err != nil {
+		raise(vax.VecMachineCheck, true)
+	}
+}
+
+func crossesPage(va uint32, width uint8) bool {
+	return va>>9 != (va+uint32(width)-1)>>9
+}
+
+// push/pop operate on the current stack (R[SP]).
+func (m *Machine) push(v uint32) {
+	m.CPU.R[vax.SP] -= 4
+	m.writeVirt(m.CPU.R[vax.SP], 4, v)
+}
+
+func (m *Machine) pop() uint32 {
+	v := m.readVirt(m.CPU.R[vax.SP], 4)
+	m.CPU.R[vax.SP] += 4
+	return v
+}
+
+// ---- operand evaluation ----
+
+// opRef is an evaluated operand location.
+type opRef struct {
+	kind opKind
+	reg  byte   // register operand
+	addr uint32 // memory operand effective address
+	val  uint32 // literal / immediate value
+}
+
+type opKind uint8
+
+const (
+	refReg opKind = iota
+	refMem
+	refImm
+)
+
+// setReg mutates a register recording the old value for fault restart.
+func (m *Machine) setReg(r byte, v uint32) {
+	m.undoLog = append(m.undoLog, regDelta{reg: r, old: m.CPU.R[r]})
+	m.CPU.R[r] = v
+}
+
+// skimOperand parses the next operand specifier only to advance PC past
+// it, without performing side effects or memory references. Restartable
+// string instructions use it when resuming with FPD set: their operands
+// were already evaluated (progress lives in R0-R5), but the instruction
+// must still end with PC at its successor.
+func (m *Machine) skimOperand(spec vax.OperandSpec) {
+	if _, err := vax.DecodeOperand((*cpuFetcher)(m), spec); err != nil {
+		raise(vax.VecReserved, true)
+	}
+}
+
+// evalOperand decodes the next operand specifier from the instruction
+// stream and computes its location, performing the architectural side
+// effects (autoincrement/autodecrement, deferred pointer reads).
+func (m *Machine) evalOperand(spec vax.OperandSpec) opRef {
+	op, err := vax.DecodeOperand((*cpuFetcher)(m), spec)
+	if err != nil {
+		raise(vax.VecReserved, true)
+	}
+	return m.resolve(op, spec)
+}
+
+func (m *Machine) resolve(op vax.Operand, spec vax.OperandSpec) opRef {
+	width := uint32(spec.Width)
+	var ea uint32
+	switch op.Mode {
+	case vax.ModeLiteral:
+		return opRef{kind: refImm, val: uint32(op.Lit)}
+	case vax.ModeImmediate:
+		return opRef{kind: refImm, val: op.Imm}
+	case vax.ModeRegister:
+		if op.Reg == vax.PC {
+			raise(vax.VecReserved, true)
+		}
+		return opRef{kind: refReg, reg: op.Reg}
+	case vax.ModeRegDeferred:
+		ea = m.CPU.R[op.Reg]
+	case vax.ModeAutoDec:
+		m.setReg(op.Reg, m.CPU.R[op.Reg]-width)
+		ea = m.CPU.R[op.Reg]
+	case vax.ModeAutoInc:
+		ea = m.CPU.R[op.Reg]
+		m.setReg(op.Reg, ea+width)
+	case vax.ModeAutoIncDeferred:
+		ptr := m.CPU.R[op.Reg]
+		m.setReg(op.Reg, ptr+4)
+		ea = m.readVirt(ptr, 4)
+	case vax.ModeAbsolute:
+		ea = op.Imm
+	case vax.ModeByteDisp, vax.ModeWordDisp, vax.ModeLongDisp:
+		ea = m.CPU.R[op.Reg] + uint32(op.Disp)
+	case vax.ModeByteDispDef, vax.ModeWordDispDef, vax.ModeLongDispDef:
+		ea = m.readVirt(m.CPU.R[op.Reg]+uint32(op.Disp), 4)
+	default:
+		raise(vax.VecReserved, true)
+	}
+	if op.Indexed {
+		ea += m.CPU.R[op.Xreg] * width
+	}
+	return opRef{kind: refMem, addr: ea}
+}
+
+// readRef reads the operand's value (width-sized, zero-extended raw bits).
+func (m *Machine) readRef(r opRef, w vax.Width) uint32 {
+	switch r.kind {
+	case refImm:
+		return truncate(r.val, w)
+	case refReg:
+		return truncate(m.CPU.R[r.reg], w)
+	default:
+		return m.readVirt(r.addr, uint8(w))
+	}
+}
+
+// readRefModify is the read half of a modify operand: the subsequent
+// writeRef to the same location is the traced reference (matching the
+// single read-modify-write bus transaction of the hardware for
+// registers; memory modifies trace both halves via readVirt/writeVirt).
+func (m *Machine) readRefModify(r opRef, w vax.Width) uint32 {
+	return m.readRef(r, w)
+}
+
+// writeRef stores a width-sized value into the operand location.
+// Register byte/word writes merge into the low bits (VAX semantics).
+func (m *Machine) writeRef(r opRef, w vax.Width, v uint32) {
+	switch r.kind {
+	case refImm:
+		raise(vax.VecReserved, true)
+	case refReg:
+		switch w {
+		case vax.B:
+			m.CPU.R[r.reg] = m.CPU.R[r.reg]&^0xFF | v&0xFF
+		case vax.W:
+			m.CPU.R[r.reg] = m.CPU.R[r.reg]&^0xFFFF | v&0xFFFF
+		default:
+			m.CPU.R[r.reg] = v
+		}
+	default:
+		m.writeVirt(r.addr, uint8(w), truncate(v, w))
+	}
+}
+
+// effectiveAddr returns the address of a memory operand (address-access
+// operands like MOVAL/JMP destinations).
+func (m *Machine) effectiveAddr(r opRef) uint32 {
+	if r.kind != refMem {
+		raise(vax.VecReserved, true)
+	}
+	return r.addr
+}
+
+func truncate(v uint32, w vax.Width) uint32 {
+	switch w {
+	case vax.B:
+		return v & 0xFF
+	case vax.W:
+		return v & 0xFFFF
+	default:
+		return v
+	}
+}
+
+func signExtend(v uint32, w vax.Width) int32 {
+	switch w {
+	case vax.B:
+		return int32(int8(v))
+	case vax.W:
+		return int32(int16(v))
+	default:
+		return int32(v)
+	}
+}

@@ -1,0 +1,97 @@
+package micro
+
+import (
+	"testing"
+
+	"atum/internal/vax"
+)
+
+// benchLoop is a register/memory workout: ~10 instructions per
+// iteration of the inner loop, mixing ALU, loads and stores.
+const benchLoop = `
+	.org 0x1000
+start:	movl	#1000, r6
+outer:	moval	buf, r1
+	movl	#16, r2
+inner:	movl	(r1), r3
+	addl2	r6, r3
+	movl	r3, (r1)+
+	sobgtr	r2, inner
+	sobgtr	r6, outer
+	halt
+	.align	4
+buf:	.space	64
+`
+
+func benchMachine(b *testing.B) *Machine {
+	b.Helper()
+	prog, err := vax.Assemble(benchLoop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Mem.LoadBytes(prog.Origin, prog.Bytes); err != nil {
+		b.Fatal(err)
+	}
+	m.CPU.R[vax.PC] = prog.MustSymbol("start")
+	m.CPU.R[vax.SP] = 0xF000
+	return m
+}
+
+// BenchmarkInterpreter measures raw simulation speed in simulated
+// instructions per second (reported as instrs/op for one full program).
+func BenchmarkInterpreter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := benchMachine(b)
+		b.StartTimer()
+		if _, err := m.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.Instrs), "instrs/op")
+	}
+}
+
+// BenchmarkInterpreterWithHooks measures the hook-dispatch overhead with
+// a counting hook on every event class.
+func BenchmarkInterpreterWithHooks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := benchMachine(b)
+		var n uint64
+		for ev := Event(0); ev < NumEvents; ev++ {
+			m.AddHook(ev, func(_ *Machine, _ Access) { n++ })
+		}
+		b.StartTimer()
+		if _, err := m.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "events/op")
+	}
+}
+
+// BenchmarkStepOverhead isolates the per-instruction dispatch cost.
+func BenchmarkStepOverhead(b *testing.B) {
+	prog, err := vax.Assemble("\t.org 0x1000\nstart:\tbrb start\n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Mem.LoadBytes(prog.Origin, prog.Bytes); err != nil {
+		b.Fatal(err)
+	}
+	m.CPU.R[vax.PC] = prog.Origin
+	m.CPU.R[vax.SP] = 0xF000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

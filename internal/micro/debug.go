@@ -1,0 +1,52 @@
+package micro
+
+import (
+	"fmt"
+
+	"atum/internal/vax"
+)
+
+// DebugRead reads width bytes at virtual address va without firing
+// events, charging cycles, or perturbing the TB — for tests, loaders and
+// tooling. The access is performed with kernel privileges.
+func (m *Machine) DebugRead(va uint32, width uint8) (uint32, error) {
+	var v uint32
+	for i := uint32(0); i < uint32(width); i++ {
+		pa, fault := m.MMU.Probe(va+i, false, false)
+		if fault != nil {
+			return 0, fault
+		}
+		b, err := m.Mem.Load8(pa)
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(b) << (8 * i)
+	}
+	return v, nil
+}
+
+// DebugWrite writes width bytes at virtual address va without firing
+// events (kernel privileges).
+func (m *Machine) DebugWrite(va uint32, width uint8, v uint32) error {
+	for i := uint32(0); i < uint32(width); i++ {
+		pa, fault := m.MMU.Probe(va+i, false, true)
+		if fault != nil {
+			return fault
+		}
+		if err := m.Mem.Store8(pa, byte(v>>(8*i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// State renders a one-line register dump for diagnostics.
+func (m *Machine) State() string {
+	c := &m.CPU
+	return fmt.Sprintf(
+		"pc=%08x sp=%08x fp=%08x ap=%08x psl=%08x mode=%d pid=%d cyc=%d instr=%d\n"+
+			"r0=%08x r1=%08x r2=%08x r3=%08x r4=%08x r5=%08x",
+		c.R[vax.PC], c.R[vax.SP], c.R[vax.FP], c.R[vax.AP], c.PSL,
+		vax.CurMode(c.PSL), m.CurPID, m.Cycles, m.Instrs,
+		c.R[0], c.R[1], c.R[2], c.R[3], c.R[4], c.R[5])
+}

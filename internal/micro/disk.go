@@ -1,0 +1,70 @@
+package micro
+
+import "atum/internal/vax"
+
+// The swap disk. The paper's machines paged to disk through an I/O
+// subsystem whose DMA transfers did not pass through processor microcode
+// (and so were not traced by ATUM); we model the same property with a
+// simple frame-at-a-time controller driven by three privileged
+// registers:
+//
+//	DISKBLK  (MTPR) select the 512-byte disk block
+//	DISKADDR (MTPR) select the physical frame address
+//	DISKOP   (MTPR) 1 = write frame to block, 2 = read block to frame
+//
+// Operations are synchronous (the kernel spins zero time) but charge
+// DiskOpCycles to model transfer latency. Blocks are allocated lazily;
+// reading a never-written block yields zeros.
+const (
+	PrDISKBLK  = 40
+	PrDISKADDR = 41
+	PrDISKOP   = 42
+
+	DiskWrite = 1
+	DiskRead  = 2
+
+	// DiskOpCycles is charged per 512-byte transfer.
+	DiskOpCycles = 2500
+)
+
+type disk struct {
+	blk    uint32
+	addr   uint32
+	blocks map[uint32][]byte
+	// Ops counts transfers (paging-activity statistics).
+	reads, writes uint64
+}
+
+// DiskStats reports swap traffic.
+func (m *Machine) DiskStats() (reads, writes uint64) {
+	return m.disk.reads, m.disk.writes
+}
+
+// diskOp executes a transfer; invalid parameters are machine checks
+// (only the kernel drives this device).
+func (m *Machine) diskOp(op uint32) {
+	if m.disk.blocks == nil {
+		m.disk.blocks = make(map[uint32][]byte)
+	}
+	m.Cycles += DiskOpCycles
+	switch op {
+	case DiskWrite:
+		buf, err := m.Mem.Bytes(m.disk.addr, 512)
+		if err != nil {
+			raise(vax.VecMachineCheck, true)
+		}
+		m.disk.blocks[m.disk.blk] = append([]byte(nil), buf...)
+		m.disk.writes++
+	case DiskRead:
+		data := m.disk.blocks[m.disk.blk]
+		if data == nil {
+			data = make([]byte, 512)
+		}
+		if err := m.Mem.LoadBytes(m.disk.addr, data); err != nil {
+			raise(vax.VecMachineCheck, true)
+		}
+		m.disk.reads++
+	default:
+		raise(vax.VecReserved, true)
+	}
+}

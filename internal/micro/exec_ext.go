@@ -1,0 +1,204 @@
+package micro
+
+import "atum/internal/vax"
+
+// Queue instructions operate on the VAX's doubly linked absolute queues:
+// each element starts with a forward link (flink) at offset 0 and a
+// backward link (blink) at offset 4, both absolute addresses. A queue
+// header is an element whose links point at itself when empty. These are
+// the primitives VMS built its scheduler and I/O queues on, and they are
+// microcoded multi-reference instructions — rich trace material.
+
+// execINSQUE implements INSQUE entry, pred: insert entry after pred.
+func execINSQUE(op []vax.OperandSpec) func(*Machine) {
+	return func(m *Machine) {
+		entry := m.effectiveAddr(m.evalOperand(op[0]))
+		pred := m.effectiveAddr(m.evalOperand(op[1]))
+
+		succ := m.readVirt(pred, 4) // pred.flink
+		m.writeVirt(entry, 4, succ) // entry.flink = succ
+		m.writeVirt(entry+4, 4, pred)
+		m.writeVirt(succ+4, 4, entry) // succ.blink = entry
+		m.writeVirt(pred, 4, entry)   // pred.flink = entry
+
+		psl := m.CPU.PSL &^ (vax.PSLN | vax.PSLZ | vax.PSLV | vax.PSLC)
+		if succ == pred {
+			// The entry is now the sole element (queue was empty).
+			psl |= vax.PSLZ
+		}
+		m.CPU.PSL = psl
+	}
+}
+
+// execREMQUE implements REMQUE entry, addr: remove entry from its queue
+// and store its address. V is set when the queue was empty (the "entry"
+// was a self-linked header, nothing to remove); Z when the queue became
+// empty.
+func execREMQUE(op []vax.OperandSpec) func(*Machine) {
+	return func(m *Machine) {
+		entry := m.effectiveAddr(m.evalOperand(op[0]))
+		dst := m.evalOperand(op[1])
+
+		flink := m.readVirt(entry, 4)
+		blink := m.readVirt(entry+4, 4)
+
+		psl := m.CPU.PSL &^ (vax.PSLN | vax.PSLZ | vax.PSLV | vax.PSLC)
+		if flink == entry {
+			psl |= vax.PSLV // empty queue
+		} else {
+			m.writeVirt(blink, 4, flink)   // pred.flink = succ
+			m.writeVirt(flink+4, 4, blink) // succ.blink = pred
+			if flink == blink {
+				psl |= vax.PSLZ // queue now empty
+			}
+		}
+		m.CPU.PSL = psl
+		m.writeRef(dst, vax.L, entry)
+	}
+}
+
+// execCMPC3 implements the microcoded string compare, restartable via
+// FPD like MOVC3. Progress registers follow the VAX convention:
+// R0 = bytes remaining in string 1 (including the unequal byte when the
+// strings differ), R1 = address in string 1, R3 = address in string 2.
+// Condition codes compare the first unequal bytes (unsigned), Z set when
+// the strings are equal.
+func execCMPC3(op []vax.OperandSpec) func(*Machine) {
+	return func(m *Machine) {
+		if m.CPU.PSL&vax.PSLFPD == 0 {
+			length := m.readRef(m.evalOperand(op[0]), vax.W)
+			s1 := m.effectiveAddr(m.evalOperand(op[1]))
+			s2 := m.effectiveAddr(m.evalOperand(op[2]))
+			m.CPU.R[0] = length
+			m.CPU.R[1] = s1
+			m.CPU.R[2] = 0
+			m.CPU.R[3] = s2
+			m.CPU.PSL |= vax.PSLFPD
+		} else {
+			for _, s := range op {
+				m.skimOperand(s)
+			}
+		}
+		for m.CPU.R[0] != 0 {
+			b1 := m.readVirt(m.CPU.R[1], 1)
+			b2 := m.readVirt(m.CPU.R[3], 1)
+			if b1 != b2 {
+				m.CPU.PSL &^= vax.PSLFPD
+				m.cmpCC(b1, b2, vax.B)
+				return
+			}
+			m.CPU.R[1]++
+			m.CPU.R[3]++
+			m.CPU.R[0]--
+		}
+		m.CPU.PSL &^= vax.PSLFPD
+		m.cmpCC(0, 0, vax.B) // equal: Z set
+	}
+}
+
+// execMOVC5 implements the microcoded copy-with-fill: move
+// min(srclen,dstlen) bytes, pad the remaining destination with the fill
+// character. The workhorse of period kernels (zeroing pages, padding
+// buffers). Restartable via FPD; progress registers follow the VAX
+// convention (R0 residual source count, R1 source position, R3
+// destination position) with the remaining destination count in R2, the
+// fill byte in R4 and the length-comparison outcome in R5 across
+// restarts (all are in the instruction's destroyed-register set; the
+// real machine kept the latter three in non-architectural state).
+func execMOVC5(op []vax.OperandSpec) func(*Machine) {
+	return func(m *Machine) {
+		if m.CPU.PSL&vax.PSLFPD == 0 {
+			srclen := m.readRef(m.evalOperand(op[0]), vax.W)
+			src := m.effectiveAddr(m.evalOperand(op[1]))
+			fill := m.readRef(m.evalOperand(op[2]), vax.B)
+			dstlen := m.readRef(m.evalOperand(op[3]), vax.W)
+			dst := m.effectiveAddr(m.evalOperand(op[4]))
+			m.CPU.R[0] = srclen
+			m.CPU.R[1] = src
+			m.CPU.R[2] = dstlen
+			m.CPU.R[3] = dst
+			m.CPU.R[4] = fill
+			switch {
+			case srclen == dstlen:
+				m.CPU.R[5] = 0
+			case int16(srclen) < int16(dstlen):
+				m.CPU.R[5] = 1
+			default:
+				m.CPU.R[5] = 2
+			}
+			m.CPU.PSL |= vax.PSLFPD
+		} else {
+			for _, s := range op {
+				m.skimOperand(s)
+			}
+		}
+		for m.CPU.R[2] != 0 {
+			var b uint32
+			if m.CPU.R[0] != 0 {
+				b = m.readVirt(m.CPU.R[1], 1)
+				m.CPU.R[1]++
+				m.CPU.R[0]--
+			} else {
+				b = m.CPU.R[4] & 0xFF
+			}
+			m.writeVirt(m.CPU.R[3], 1, b)
+			m.CPU.R[3]++
+			m.CPU.R[2]--
+		}
+		m.CPU.PSL &^= vax.PSLFPD
+		// Condition codes reflect the original srclen:dstlen comparison.
+		psl := m.CPU.PSL &^ (vax.PSLN | vax.PSLZ | vax.PSLV | vax.PSLC)
+		switch m.CPU.R[5] {
+		case 0:
+			psl |= vax.PSLZ
+		case 1:
+			psl |= vax.PSLN | vax.PSLC
+		}
+		m.CPU.PSL = psl
+		m.CPU.R[4] = 0
+		m.CPU.R[5] = 0
+	}
+}
+
+// execLOCC implements LOCC (and SKPC when skip is true): scan a byte
+// string for the first byte equal (LOCC) or unequal (SKPC) to the given
+// character. R0 = bytes remaining (0 if exhausted), R1 = address of the
+// located byte (or one past the end). Z is set when the scan exhausts
+// the string. The character is held in R2 across FPD restarts (the real
+// machine kept it in a non-architectural register; exposing it in R2 is
+// this implementation's documented deviation — R2 is in the
+// instruction's official destroyed-register set anyway).
+func execLOCC(op []vax.OperandSpec, skip bool) func(*Machine) {
+	return func(m *Machine) {
+		if m.CPU.PSL&vax.PSLFPD == 0 {
+			ch := m.readRef(m.evalOperand(op[0]), vax.B)
+			length := m.readRef(m.evalOperand(op[1]), vax.W)
+			addr := m.effectiveAddr(m.evalOperand(op[2]))
+			m.CPU.R[0] = length
+			m.CPU.R[1] = addr
+			m.CPU.R[2] = ch
+			m.CPU.PSL |= vax.PSLFPD
+		} else {
+			for _, s := range op {
+				m.skimOperand(s)
+			}
+		}
+		ch := m.CPU.R[2] & 0xFF
+		for m.CPU.R[0] != 0 {
+			b := m.readVirt(m.CPU.R[1], 1)
+			if (b == ch) != skip {
+				break
+			}
+			m.CPU.R[1]++
+			m.CPU.R[0]--
+		}
+		m.CPU.PSL &^= vax.PSLFPD
+		m.ccNZ(m.CPU.R[0], vax.L)
+		m.CPU.PSL &^= vax.PSLN | vax.PSLV | vax.PSLC
+		if m.CPU.R[0] == 0 {
+			m.CPU.PSL |= vax.PSLZ
+		} else {
+			m.CPU.PSL &^= vax.PSLZ
+		}
+	}
+}

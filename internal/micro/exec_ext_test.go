@@ -1,0 +1,328 @@
+package micro
+
+import (
+	"testing"
+
+	"atum/internal/vax"
+)
+
+func TestQueueInstructions(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	; build header + insert two elements, then remove one
+	moval	hdr, r1
+	movl	r1, (r1)	; header points at itself (empty)
+	movl	r1, 4(r1)
+	insque	e1, hdr		; first insertion into empty queue: Z set
+	movpsl	r2
+	insque	e2, hdr		; insert at head, before e1
+	remque	e1, r3		; remove tail element (queue keeps e2)
+	movpsl	r4
+	remque	e2, r5		; remove last element: queue empty, Z set
+	movpsl	r6
+	halt
+	.align	4
+hdr:	.long	0, 0
+e1:	.long	0, 0
+e2:	.long	0, 0
+`)
+	prog, _ := vax.Assemble(`
+	.org 0x1000
+start:	moval	hdr, r1
+	movl	r1, (r1)
+	movl	r1, 4(r1)
+	insque	e1, hdr
+	movpsl	r2
+	insque	e2, hdr
+	remque	e1, r3
+	movpsl	r4
+	remque	e2, r5
+	movpsl	r6
+	halt
+	.align	4
+hdr:	.long	0, 0
+e1:	.long	0, 0
+e2:	.long	0, 0
+`)
+	hdr := prog.MustSymbol("hdr")
+	e1 := prog.MustSymbol("e1")
+	e2 := prog.MustSymbol("e2")
+
+	if m.CPU.R[2]&vax.PSLZ == 0 {
+		t.Error("Z not set inserting into empty queue")
+	}
+	if m.CPU.R[3] != e1 {
+		t.Errorf("remque address = %#x, want e1 %#x", m.CPU.R[3], e1)
+	}
+	// Removing e1 left e2 in the queue: not empty, Z clear.
+	if m.CPU.R[4]&vax.PSLZ != 0 {
+		t.Error("Z set although the queue still held e2")
+	}
+	if m.CPU.R[5] != e2 {
+		t.Errorf("second remque address = %#x, want e2 %#x", m.CPU.R[5], e2)
+	}
+	// Removing e2 emptied the queue: Z set, header self-linked.
+	if m.CPU.R[6]&vax.PSLZ == 0 {
+		t.Error("Z not set when queue became empty")
+	}
+	flink, _ := m.DebugRead(hdr, 4)
+	blink, _ := m.DebugRead(hdr+4, 4)
+	if flink != hdr || blink != hdr {
+		t.Errorf("header links: flink=%#x blink=%#x, want self %#x", flink, blink, hdr)
+	}
+}
+
+func TestRemqueEmptySetsV(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	moval	hdr, r1
+	movl	r1, (r1)
+	movl	r1, 4(r1)
+	remque	hdr, r3		; removing from empty queue: V set
+	movpsl	r5
+	halt
+	.align	4
+hdr:	.long	0, 0
+`)
+	if m.CPU.R[5]&vax.PSLV == 0 {
+		t.Error("V not set removing from empty queue")
+	}
+}
+
+func TestAdwcSbwc(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	; 64-bit add: 0xFFFFFFFF_00000001 + 0x00000001_00000003
+	movl	#1, r0		; low a
+	movl	#0xffffffff, r1	; high a
+	addl2	#3, r0		; low sum, sets C=0 (1+3)
+	adwc	#1, r1		; high sum with carry
+	; now force a carry: low parts 0xFFFFFFFF + 2
+	movl	#0xffffffff, r2
+	clrl	r3
+	addl2	#2, r2		; carry out
+	adwc	#0, r3		; r3 = 1
+	; borrow chain: 0x00000000_00000000 - 1
+	clrl	r4
+	clrl	r5
+	subl2	#1, r4		; borrow
+	sbwc	#0, r5		; r5 = 0xFFFFFFFF
+	halt
+`)
+	if m.CPU.R[1] != 0 { // 0xffffffff + 1 + carry(0) = 0 with carry out
+		t.Errorf("adwc high = %#x, want 0", m.CPU.R[1])
+	}
+	if m.CPU.R[3] != 1 {
+		t.Errorf("carry not propagated: r3=%d", m.CPU.R[3])
+	}
+	if m.CPU.R[5] != 0xFFFFFFFF {
+		t.Errorf("borrow not propagated: r5=%#x", m.CPU.R[5])
+	}
+}
+
+func TestRotl(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	rotl	#8, #0x12345678, r0	; 0x34567812
+	rotl	#-8, #0x12345678, r1	; 0x78123456
+	rotl	#0, #0xdead, r2
+	halt
+`)
+	if m.CPU.R[0] != 0x34567812 {
+		t.Errorf("rotl 8 = %#x", m.CPU.R[0])
+	}
+	if m.CPU.R[1] != 0x78123456 {
+		t.Errorf("rotl -8 = %#x", m.CPU.R[1])
+	}
+	if m.CPU.R[2] != 0xDEAD {
+		t.Errorf("rotl 0 = %#x", m.CPU.R[2])
+	}
+}
+
+func TestByteWordLogicals(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	movl	#0xffffffff, r0
+	bicb2	#0x0f, r0	; clears low nibble only (byte op)
+	movl	#0x00ff, r1
+	bisw2	#0xff00, r1	; word or
+	movw	#0x0f0f, r2
+	xorw2	#0xffff, r2	; word xor -> 0xf0f0 in low word
+	mnegb	#5, r3		; low byte = 0xfb
+	mcomw	#0, r4		; low word = 0xffff
+	movzbw	#0xff, r5
+	cvtbw	#0xff, r6	; sign-extends into word
+	halt
+`)
+	if m.CPU.R[0] != 0xFFFFFFF0 {
+		t.Errorf("bicb2 = %#x", m.CPU.R[0])
+	}
+	if m.CPU.R[1]&0xFFFF != 0xFFFF {
+		t.Errorf("bisw2 = %#x", m.CPU.R[1])
+	}
+	if m.CPU.R[2]&0xFFFF != 0xF0F0 {
+		t.Errorf("xorw2 = %#x", m.CPU.R[2])
+	}
+	if m.CPU.R[3]&0xFF != 0xFB {
+		t.Errorf("mnegb = %#x", m.CPU.R[3])
+	}
+	if m.CPU.R[4]&0xFFFF != 0xFFFF {
+		t.Errorf("mcomw = %#x", m.CPU.R[4])
+	}
+	if m.CPU.R[5]&0xFFFF != 0x00FF {
+		t.Errorf("movzbw = %#x", m.CPU.R[5])
+	}
+	if m.CPU.R[6]&0xFFFF != 0xFFFF {
+		t.Errorf("cvtbw = %#x", m.CPU.R[6])
+	}
+}
+
+func TestBispswBicpsw(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	bispsw	#0x0f		; set all cc
+	movpsl	r0
+	bicpsw	#0x0c		; clear N,Z
+	movpsl	r1
+	halt
+`)
+	if m.CPU.R[0]&0xF != 0xF {
+		t.Errorf("bispsw psl=%#x", m.CPU.R[0])
+	}
+	if m.CPU.R[1]&0xF != 0x3 {
+		t.Errorf("bicpsw psl=%#x", m.CPU.R[1])
+	}
+}
+
+func TestCMPC3(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	cmpc3	#5, sa, sb	; equal
+	movpsl	r6
+	cmpc3	#5, sa, sc	; differ at byte 3 ('l' vs 'x')
+	movpsl	r7
+	halt
+sa:	.ascii	"hello"
+sb:	.ascii	"hello"
+sc:	.ascii	"helxo"
+`)
+	if m.CPU.R[6]&vax.PSLZ == 0 {
+		t.Error("equal strings: Z not set")
+	}
+	if m.CPU.R[7]&vax.PSLZ != 0 {
+		t.Error("unequal strings: Z set")
+	}
+	// 'l' (0x6C) < 'x' (0x78): N and C set.
+	if m.CPU.R[7]&vax.PSLN == 0 || m.CPU.R[7]&vax.PSLC == 0 {
+		t.Errorf("compare cc = %#x", m.CPU.R[7])
+	}
+	// R0 = remaining bytes including the unequal one (5-3=2).
+	if m.CPU.R[0] != 2 {
+		t.Errorf("r0 = %d, want 2", m.CPU.R[0])
+	}
+}
+
+func TestMOVC5(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	movc5	#5, srcs, #'x', #9, dsts	; copy 5, fill 4 with 'x'
+	movpsl	r6
+	movc5	#0, srcs, #0, #8, zbuf		; pure fill: zero 8 bytes
+	movpsl	r7
+	movc5	#6, longs, #'-', #3, shorts	; truncating copy
+	movpsl	r8
+	halt
+srcs:	.ascii	"hello"
+longs:	.ascii	"abcdef"
+dsts:	.ascii	"........."
+zbuf:	.ascii	"????????"
+shorts:	.ascii	"..."
+`)
+	prog, _ := vax.Assemble(`
+	.org 0x1000
+start:	movc5	#5, srcs, #'x', #9, dsts
+	movpsl	r6
+	movc5	#0, srcs, #0, #8, zbuf
+	movpsl	r7
+	movc5	#6, longs, #'-', #3, shorts
+	movpsl	r8
+	halt
+srcs:	.ascii	"hello"
+longs:	.ascii	"abcdef"
+dsts:	.ascii	"........."
+zbuf:	.ascii	"????????"
+shorts:	.ascii	"..."
+`)
+	readStr := func(sym string, n int) string {
+		addr := prog.MustSymbol(sym)
+		b := make([]byte, n)
+		for i := range b {
+			v, err := m.DebugRead(addr+uint32(i), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[i] = byte(v)
+		}
+		return string(b)
+	}
+	if got := readStr("dsts", 9); got != "helloxxxx" {
+		t.Errorf("copy+fill = %q", got)
+	}
+	if got := readStr("zbuf", 8); got != "\x00\x00\x00\x00\x00\x00\x00\x00" {
+		t.Errorf("zero fill = %q", got)
+	}
+	if got := readStr("shorts", 3); got != "abc" {
+		t.Errorf("truncating copy = %q", got)
+	}
+	// cc: srclen<dstlen -> N,C; srclen<dstlen again; srclen>dstlen -> none; and
+	// the truncating copy leaves residual source count in r0.
+	if m.CPU.R[6]&(vax.PSLN|vax.PSLC) != vax.PSLN|vax.PSLC {
+		t.Errorf("first movc5 cc = %#x", m.CPU.R[6])
+	}
+	if m.CPU.R[8]&(vax.PSLN|vax.PSLZ|vax.PSLC) != 0 {
+		t.Errorf("truncating movc5 cc = %#x", m.CPU.R[8])
+	}
+	if m.CPU.R[0] != 3 {
+		t.Errorf("residual source count = %d, want 3", m.CPU.R[0])
+	}
+}
+
+func TestLOCCAndSKPC(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	locc	#'l', #5, str	; find first 'l'
+	movl	r0, r6		; remaining = 3 (llo)
+	movl	r1, r7		; address of the 'l'
+	locc	#'z', #5, str	; absent: r0=0, Z set
+	movpsl	r8
+	skpc	#'h', #5, str	; skip leading 'h': lands on 'e'
+	movl	r1, r9
+	halt
+str:	.ascii	"hello"
+`)
+	prog, _ := vax.Assemble(`
+	.org 0x1000
+start:	locc	#'l', #5, str
+	movl	r0, r6
+	movl	r1, r7
+	locc	#'z', #5, str
+	movpsl	r8
+	skpc	#'h', #5, str
+	movl	r1, r9
+	halt
+str:	.ascii	"hello"
+`)
+	str := prog.MustSymbol("str")
+	if m.CPU.R[6] != 3 {
+		t.Errorf("locc remaining = %d, want 3", m.CPU.R[6])
+	}
+	if m.CPU.R[7] != str+2 {
+		t.Errorf("locc addr = %#x, want %#x", m.CPU.R[7], str+2)
+	}
+	if m.CPU.R[8]&vax.PSLZ == 0 {
+		t.Error("locc miss: Z not set")
+	}
+	if m.CPU.R[9] != str+1 {
+		t.Errorf("skpc addr = %#x, want %#x", m.CPU.R[9], str+1)
+	}
+}

@@ -1,0 +1,233 @@
+package micro
+
+import (
+	"testing"
+
+	"atum/internal/vax"
+)
+
+func TestACBL(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	clrl	r0
+	movl	#2, r1		; index
+aloop:	incl	r0
+	acbl	#10, #3, r1, aloop	; index += 3 while <= 10
+	halt
+`)
+	// index: 2 -> 5 -> 8 -> 11(stop): body runs 1 + 3 times? acbl adds
+	// then tests: iterations where branch taken: 5,8,11<=10? 11>10 no.
+	// body executes: initial pass + taken branches = 1+2 = ... count:
+	// r0 increments before each acbl: passes with index 2,5,8 -> 3.
+	if m.CPU.R[0] != 3 {
+		t.Errorf("acbl iterations = %d, want 3", m.CPU.R[0])
+	}
+	if m.CPU.R[1] != 11 {
+		t.Errorf("acbl final index = %d, want 11", m.CPU.R[1])
+	}
+}
+
+func TestACBLNegativeStep(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	clrl	r0
+	movl	#9, r1
+bloop:	incl	r0
+	acbl	#1, #-4, r1, bloop	; index -= 4 while >= 1
+	halt
+`)
+	// index: 9 -> 5 -> 1 -> -3(stop): 3 passes.
+	if m.CPU.R[0] != 3 {
+		t.Errorf("iterations = %d, want 3", m.CPU.R[0])
+	}
+}
+
+func TestCaselOutOfRange(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	movl	#9, r0
+	casel	r0, #0, #1
+ctab:	.word	c0-ctab
+	.word	c1-ctab
+	movl	#77, r1		; out-of-range falls through here
+	halt
+c0:	movl	#100, r1
+	halt
+c1:	movl	#101, r1
+	halt
+`)
+	if m.CPU.R[1] != 77 {
+		t.Errorf("fall-through r1 = %d, want 77", m.CPU.R[1])
+	}
+}
+
+func TestRegisterByteWordMerge(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	movl	#0x11223344, r0
+	movb	#0x55, r0	; only low byte
+	movl	#0x11223344, r1
+	movw	#0x6677, r1	; only low word
+	halt
+`)
+	if m.CPU.R[0] != 0x11223355 {
+		t.Errorf("byte merge: %#x", m.CPU.R[0])
+	}
+	if m.CPU.R[1] != 0x11226677 {
+		t.Errorf("word merge: %#x", m.CPU.R[1])
+	}
+}
+
+func TestAutoIncDeferredAdvancesByFour(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	moval	tab, r1
+	movb	@(r1)+, r2	; byte via pointer; r1 += 4 regardless
+	movb	@(r1)+, r3
+	halt
+tab:	.long	c1, c2
+c1:	.byte	0xAA
+c2:	.byte	0xBB
+`)
+	if m.CPU.R[2]&0xFF != 0xAA || m.CPU.R[3]&0xFF != 0xBB {
+		t.Errorf("deferred values: %#x %#x", m.CPU.R[2], m.CPU.R[3])
+	}
+}
+
+func TestMTPRStackPointerBanking(t *testing.T) {
+	// Setting USP from kernel mode must not disturb the active kernel
+	// SP; entering user mode activates it.
+	m := runSrc(t, `
+	.org 0x1000
+start:	movl	#0xd000, r6
+	mtpr	r6, #3		; USP = 0xd000
+	mfpr	#3, r7		; read it back (banked)
+	movl	sp, r8		; kernel SP unchanged
+	halt
+`)
+	if m.CPU.R[7] != 0xD000 {
+		t.Errorf("USP readback = %#x", m.CPU.R[7])
+	}
+	if m.CPU.R[8] != 0xF000 {
+		t.Errorf("kernel SP disturbed: %#x", m.CPU.R[8])
+	}
+}
+
+func TestUnalignedCrossPageAccess(t *testing.T) {
+	// A longword spanning a 512-byte page boundary, mapping off: plain
+	// memory, but exercises the byte-split path.
+	m := runSrc(t, `
+	.org 0x1000
+start:	movl	#0xdeadbeef, val
+	movl	val, r0
+	halt
+val	=	0x21fe	; 2 bytes below a page boundary
+`)
+	if m.CPU.R[0] != 0xDEADBEEF {
+		t.Errorf("cross-page longword = %#x", m.CPU.R[0])
+	}
+}
+
+func TestSPAutoIncrementUndoneOnFault(t *testing.T) {
+	// A faulting instruction with an autoincrement side effect must
+	// restore the register before the handler sees it; this validates
+	// the undo log with a reserved-operand fault (write to immediate
+	// is caught at decode... use PC-register operand instead).
+	m := load(t, `
+	.org 0x1000
+start:	moval	data, r1
+	movl	(r1)+, pc	; reserved: PC as register operand faults
+	halt
+handler: movl	r1, r9		; observe r1 in the handler
+	halt
+data:	.long	4
+`)
+	prog, _ := vax.Assemble(`
+	.org 0x1000
+start:	moval	data, r1
+	movl	(r1)+, pc
+	halt
+handler: movl	r1, r9
+	halt
+data:	.long	4
+`)
+	setupSCB(t, m, map[uint16]uint32{vax.VecReserved: prog.MustSymbol("handler")})
+	run(t, m)
+	want := prog.MustSymbol("data")
+	if m.CPU.R[9] != want {
+		t.Errorf("r1 in handler = %#x, want %#x (autoincrement not undone)", m.CPU.R[9], want)
+	}
+}
+
+func TestJmpIndexed(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	movl	#1, r2
+	jmp	@jtab[r2]	; jump through table entry 1
+	halt
+t0:	movl	#10, r0
+	halt
+t1:	movl	#11, r0
+	halt
+	.align	4
+jtab:	.long	t0, t1
+`)
+	if m.CPU.R[0] != 11 {
+		t.Errorf("indexed jump landed wrong: r0=%d", m.CPU.R[0])
+	}
+}
+
+func TestDiskDeviceRoundTrip(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	; write a pattern into frame 8 (pa 0x1000.. wait that's code;
+	; use frame 16 = pa 0x2000)
+	movl	#0x2000, r1
+	movl	#128, r2
+	movl	#0xcafe0000, r3
+w:	movl	r3, (r1)+
+	incl	r3
+	sobgtr	r2, w
+	; write frame 16 to disk block 5
+	mtpr	#5, #40
+	mtpr	#0x2000, #41
+	mtpr	#1, #42
+	; clobber the frame
+	movl	#0x2000, r1
+	movl	#128, r2
+c:	clrl	(r1)+
+	sobgtr	r2, c
+	; read it back
+	mtpr	#5, #40
+	mtpr	#0x2000, #41
+	mtpr	#2, #42
+	movl	@#0x2000, r4
+	movl	@#0x21fc, r5
+	halt
+`)
+	if m.CPU.R[4] != 0xCAFE0000 {
+		t.Errorf("disk readback first = %#x", m.CPU.R[4])
+	}
+	if m.CPU.R[5] != 0xCAFE0000+127 {
+		t.Errorf("disk readback last = %#x", m.CPU.R[5])
+	}
+	r, w := m.DiskStats()
+	if r != 1 || w != 1 {
+		t.Errorf("disk stats r=%d w=%d", r, w)
+	}
+}
+
+func TestReadingNeverWrittenDiskBlockYieldsZeros(t *testing.T) {
+	m := runSrc(t, `
+	.org 0x1000
+start:	movl	#0xffffffff, @#0x2000
+	mtpr	#99, #40
+	mtpr	#0x2000, #41
+	mtpr	#2, #42		; read untouched block
+	movl	@#0x2000, r0
+	halt
+`)
+	if m.CPU.R[0] != 0 {
+		t.Errorf("unwritten block = %#x, want 0", m.CPU.R[0])
+	}
+}

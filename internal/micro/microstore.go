@@ -1,0 +1,67 @@
+package micro
+
+import (
+	"fmt"
+
+	"atum/internal/vax"
+)
+
+// Microroutine is one control-store entry: the microcode that implements
+// a macro-instruction. The stock entries come from the opcode table; a
+// tool like ATUM replaces or wraps entries to change what an instruction
+// does below the architecture.
+type Microroutine struct {
+	Name string
+	Cost uint32 // base microcycles charged at dispatch
+	Priv bool   // faults in user mode
+	Exec func(m *Machine)
+}
+
+// Microstore is the writable control store: the opcode dispatch table.
+type Microstore struct {
+	slots [256]*Microroutine
+}
+
+// Lookup returns the microroutine for an opcode (nil = reserved).
+func (s *Microstore) Lookup(op byte) *Microroutine { return s.slots[op] }
+
+// Replace installs r for opcode op and returns the previous entry. This
+// is the microcode-patching primitive.
+func (s *Microstore) Replace(op byte, r *Microroutine) *Microroutine {
+	old := s.slots[op]
+	s.slots[op] = r
+	return old
+}
+
+// Wrap replaces the microroutine for op with one that calls around(old).
+// It returns a restore function. Wrapping a reserved opcode is an error.
+func (s *Microstore) Wrap(op byte, name string, extraCost uint32, around func(m *Machine, old *Microroutine)) (restore func(), err error) {
+	old := s.slots[op]
+	if old == nil {
+		return nil, fmt.Errorf("micro: cannot wrap reserved opcode %#02x", op)
+	}
+	s.slots[op] = &Microroutine{
+		Name: name,
+		Cost: old.Cost + extraCost,
+		Priv: old.Priv,
+		Exec: func(m *Machine) { around(m, old) },
+	}
+	return func() { s.slots[op] = old }, nil
+}
+
+// loadStock populates the control store from the opcode table.
+func (s *Microstore) loadStock() {
+	for op := 0; op < 256; op++ {
+		info := vax.Instructions[op]
+		if info == nil {
+			s.slots[op] = nil
+			continue
+		}
+		s.slots[op] = &Microroutine{
+			Name: info.Name,
+			Cost: info.Cost,
+			Priv: info.Priv,
+			Exec: stockExec(info),
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package mmu
+
+import (
+	"testing"
+
+	"atum/internal/mem"
+)
+
+// testObserver records PTE reference callbacks.
+type testObserver struct {
+	reads  []uint32
+	writes []uint32
+	virts  []bool
+}
+
+func (o *testObserver) PTERead(addr uint32, virt bool) {
+	o.reads = append(o.reads, addr)
+	o.virts = append(o.virts, virt)
+}
+func (o *testObserver) PTEWrite(addr uint32, virt bool) { o.writes = append(o.writes, addr) }
+
+// buildEnv wires up a 1 MB physical memory with:
+//   - a system page table at physical 0x10000 mapping S0 VAs 0x80000000..
+//     identity-style: S0 page n -> frame n (so S0 va maps to pa = va & offsetMask within first pages);
+//   - a process P0 page table located in S0 space at va 0x80010000
+//     (i.e. physical 0x10000 + ... placed inside a mapped S0 page).
+func buildEnv(t *testing.T) (*Unit, *mem.Physical, *testObserver) {
+	t.Helper()
+	phys, err := mem.NewPhysical(1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := New(phys, 64)
+	obs := &testObserver{}
+	u.Obs = obs
+
+	// System page table at physical 0x8000, 256 entries: S0 page n -> frame n.
+	const spt = 0x8000
+	for n := uint32(0); n < 256; n++ {
+		if err := phys.Store32(spt+4*n, MakePTE(n, ProtKW)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.SBR = spt
+	u.SLR = 256
+
+	// Process page table for P0, 16 entries, stored in physical page 64
+	// (pa 0x8000+... no — place it at pa 64*512 = 0x8000? that's the SPT).
+	// Use physical frame 100 (pa 0xC800), reachable as S0 va 0x80000000+0xC800.
+	const pptPA = 100 * mem.PageSize
+	for n := uint32(0); n < 16; n++ {
+		// P0 page n -> frame 200+n, user-writable.
+		if err := phys.Store32(pptPA+4*n, MakePTE(200+n, ProtUW)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mark P0 page 5 invalid (for TNV) and page 6 kernel-only (for ACV).
+	if err := phys.Store32(pptPA+4*5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := phys.Store32(pptPA+4*6, MakePTE(206, ProtKW)); err != nil {
+		t.Fatal(err)
+	}
+	u.P0BR = 0x80000000 + pptPA // S0 virtual address of the table
+	u.P0LR = 16
+	u.MapEn = true
+	return u, phys, obs
+}
+
+func TestTranslateS0(t *testing.T) {
+	u, _, obs := buildEnv(t)
+	pa, fault := u.Translate(0x80000000+3*mem.PageSize+12, false, false)
+	if fault != nil {
+		t.Fatalf("fault: %v", fault)
+	}
+	if want := uint32(3*mem.PageSize + 12); pa != want {
+		t.Fatalf("pa = %#x, want %#x", pa, want)
+	}
+	if len(obs.reads) != 1 || obs.virts[0] != false {
+		t.Fatalf("expected one physical PTE read, got %v", obs.reads)
+	}
+}
+
+func TestTranslateP0NestedWalk(t *testing.T) {
+	u, _, obs := buildEnv(t)
+	va := uint32(2*mem.PageSize + 40)
+	pa, fault := u.Translate(va, true, false)
+	if fault != nil {
+		t.Fatalf("fault: %v", fault)
+	}
+	if want := uint32(202*mem.PageSize + 40); pa != want {
+		t.Fatalf("pa = %#x, want %#x", pa, want)
+	}
+	// Cold TB: one system PTE read (for the process table page) + one
+	// process PTE read (virtual).
+	if len(obs.reads) != 2 {
+		t.Fatalf("PTE reads = %d, want 2 (%#v)", len(obs.reads), obs.reads)
+	}
+	if obs.virts[0] != false || obs.virts[1] != true {
+		t.Fatalf("walk order wrong: virts=%v", obs.virts)
+	}
+
+	// Second access to the same page hits the TB: no new PTE reads.
+	n := len(obs.reads)
+	if _, fault := u.Translate(va+4, true, false); fault != nil {
+		t.Fatal(fault)
+	}
+	if len(obs.reads) != n {
+		t.Fatalf("TB hit still walked: reads=%d", len(obs.reads))
+	}
+	if u.Stats.TBHits == 0 {
+		t.Error("no TB hits recorded")
+	}
+}
+
+func TestTranslateFaults(t *testing.T) {
+	u, _, _ := buildEnv(t)
+
+	// TNV on invalid page 5.
+	_, fault := u.Translate(5*mem.PageSize, true, false)
+	if fault == nil || fault.Kind != FaultTNV {
+		t.Fatalf("want TNV, got %v", fault)
+	}
+	// ACV: user access to kernel-only page 6.
+	_, fault = u.Translate(6*mem.PageSize, true, false)
+	if fault == nil || fault.Kind != FaultACV {
+		t.Fatalf("want ACV, got %v", fault)
+	}
+	// Kernel may access it.
+	if _, fault = u.Translate(6*mem.PageSize, false, true); fault != nil {
+		t.Fatalf("kernel access faulted: %v", fault)
+	}
+	// Length violation past P0LR.
+	_, fault = u.Translate(20*mem.PageSize, true, false)
+	if fault == nil || fault.Kind != FaultACV {
+		t.Fatalf("want length ACV, got %v", fault)
+	}
+	// S0 length violation.
+	_, fault = u.Translate(0x80000000+300*mem.PageSize, false, false)
+	if fault == nil || fault.Kind != FaultACV {
+		t.Fatalf("want S0 length ACV, got %v", fault)
+	}
+	// Region 3 is reserved.
+	_, fault = u.Translate(0xC0000000, false, false)
+	if fault == nil || fault.Kind != FaultACV {
+		t.Fatalf("want region ACV, got %v", fault)
+	}
+}
+
+func TestModifyBitMaintenance(t *testing.T) {
+	u, phys, obs := buildEnv(t)
+	const pptPA = 100 * mem.PageSize
+
+	va := uint32(1 * mem.PageSize)
+	if _, fault := u.Translate(va, true, true); fault != nil {
+		t.Fatal(fault)
+	}
+	pte, _ := phys.Load32(pptPA + 4*1)
+	if pte&PTEModify == 0 {
+		t.Fatal("modify bit not set after write")
+	}
+	if len(obs.writes) != 1 {
+		t.Fatalf("PTE writes = %d, want 1", len(obs.writes))
+	}
+	// A second write must not rewrite the PTE (TB now caches M=1).
+	if _, fault := u.Translate(va+8, true, true); fault != nil {
+		t.Fatal(fault)
+	}
+	if len(obs.writes) != 1 {
+		t.Fatalf("modify bit rewritten: writes=%d", len(obs.writes))
+	}
+}
+
+func TestMapDisabled(t *testing.T) {
+	u, _, _ := buildEnv(t)
+	u.MapEn = false
+	pa, fault := u.Translate(0x1234, false, true)
+	if fault != nil || pa != 0x1234 {
+		t.Fatalf("identity mapping broken: pa=%#x fault=%v", pa, fault)
+	}
+}
+
+func TestTBInvalidation(t *testing.T) {
+	u, _, obs := buildEnv(t)
+	va := uint32(2 * mem.PageSize)
+	sva := uint32(0x80000000 + 3*mem.PageSize)
+	if _, f := u.Translate(va, true, false); f != nil {
+		t.Fatal(f)
+	}
+	if _, f := u.Translate(sva, false, false); f != nil {
+		t.Fatal(f)
+	}
+
+	// Process flush drops P0 but keeps S0.
+	u.TB.InvalidateProcess()
+	n := len(obs.reads)
+	if _, f := u.Translate(sva, false, false); f != nil {
+		t.Fatal(f)
+	}
+	if len(obs.reads) != n {
+		t.Error("system entry lost on process flush")
+	}
+	if _, f := u.Translate(va, true, false); f != nil {
+		t.Fatal(f)
+	}
+	if len(obs.reads) == n {
+		t.Error("process entry survived process flush")
+	}
+
+	// Single invalidate.
+	u.TB.InvalidateSingle(sva)
+	n = len(obs.reads)
+	if _, f := u.Translate(sva, false, false); f != nil {
+		t.Fatal(f)
+	}
+	if len(obs.reads) == n {
+		t.Error("entry survived TBIS")
+	}
+
+	// Full flush.
+	u.TB.InvalidateAll()
+	n = len(obs.reads)
+	if _, f := u.Translate(va, true, false); f != nil {
+		t.Fatal(f)
+	}
+	if len(obs.reads) == n {
+		t.Error("entry survived TBIA")
+	}
+}
+
+func TestP1Region(t *testing.T) {
+	u, phys, _ := buildEnv(t)
+	// Map the top 4 pages of P1 (user stack) using a table in frame 101.
+	const p1ptPA = 101 * mem.PageSize
+	topVPN := uint32(RegionPages - 4) // first valid vpn
+	// P1BR + 4*vpn must land on the 4 PTEs we store at p1ptPA.
+	// Store PTEs for vpn topVPN..topVPN+3 at p1ptPA..p1ptPA+12.
+	for i := uint32(0); i < 4; i++ {
+		if err := phys.Store32(p1ptPA+4*i, MakePTE(300+i, ProtUW)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u.P1BR = 0x80000000 + p1ptPA - 4*topVPN
+	u.P1LR = topVPN
+
+	va := uint32(0x80000000 - 8) // top of P1, 8 bytes down
+	pa, fault := u.Translate(va, true, true)
+	if fault != nil {
+		t.Fatalf("P1 translate fault: %v", fault)
+	}
+	want := uint32(303*mem.PageSize) + (mem.PageSize - 8)
+	if pa != want {
+		t.Fatalf("pa = %#x, want %#x", pa, want)
+	}
+	// Below the mapped window: length violation.
+	_, fault = u.Translate(0x40000000, true, false)
+	if fault == nil || fault.Kind != FaultACV {
+		t.Fatalf("want P1 length ACV, got %v", fault)
+	}
+}
+
+func TestProbeHasNoSideEffects(t *testing.T) {
+	u, _, obs := buildEnv(t)
+	before := u.Stats
+	pa, fault := u.Probe(2*mem.PageSize, true, false)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if pa != 202*mem.PageSize {
+		t.Fatalf("pa = %#x", pa)
+	}
+	if u.Stats != before {
+		t.Errorf("probe changed stats: %+v -> %+v", before, u.Stats)
+	}
+	if len(obs.reads) != 0 {
+		t.Errorf("probe fired observer callbacks")
+	}
+}
+
+func TestProtectionLattice(t *testing.T) {
+	cases := []struct {
+		prot        uint32
+		user, write bool
+		want        bool
+	}{
+		{ProtKW, false, true, true},
+		{ProtKW, true, false, false},
+		{ProtKR, false, false, true},
+		{ProtKR, false, true, false},
+		{ProtUR, true, false, true},
+		{ProtUR, true, true, false},
+		{ProtUR, false, true, true},
+		{ProtUW, true, true, true},
+		{ProtURKR, true, false, true},
+		{ProtURKR, false, true, false},
+		{0, false, false, false},
+	}
+	for _, c := range cases {
+		if got := protAllows(c.prot, c.user, c.write); got != c.want {
+			t.Errorf("protAllows(%#x, user=%v, write=%v) = %v, want %v",
+				c.prot, c.user, c.write, got, c.want)
+		}
+	}
+}

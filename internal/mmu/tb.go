@@ -1,0 +1,95 @@
+package mmu
+
+import "atum/internal/mem"
+
+// TB is the hardware translation buffer: a direct-mapped cache of PTEs,
+// split into a process half (P0/P1 addresses) and a system half (S0
+// addresses), as on the VAX 8200. The split matters for the OS studies:
+// LDPCTX invalidates only the process half, so system translations
+// survive context switches.
+type TB struct {
+	half    uint32 // entries per half
+	entries []tbEntry
+
+	// Counters for the TB behaviour itself (distinct from Unit.Stats,
+	// which counts whole translations).
+	ProcessFlushes uint64
+	TotalFlushes   uint64
+}
+
+type tbEntry struct {
+	valid bool
+	vpn   uint32 // full VPN incl. region bits (va >> 9)
+	pte   uint32
+}
+
+func (t *TB) init(entries int) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("mmu: TB entries must be a positive power of two")
+	}
+	t.half = uint32(entries / 2)
+	if t.half == 0 {
+		t.half = 1
+	}
+	t.entries = make([]tbEntry, 2*t.half)
+}
+
+// slot maps a VA to its TB slot: system addresses use the upper half.
+func (t *TB) slot(va uint32) *tbEntry {
+	vpn := va >> mem.PageShift
+	idx := vpn & (t.half - 1)
+	if va>>30 == RegionS0 {
+		idx += t.half
+	}
+	return &t.entries[idx]
+}
+
+func (t *TB) probe(va uint32) (uint32, bool) {
+	e := t.slot(va)
+	if e.valid && e.vpn == va>>mem.PageShift {
+		return e.pte, true
+	}
+	return 0, false
+}
+
+func (t *TB) fill(va uint32, pte uint32) {
+	e := t.slot(va)
+	e.valid = true
+	e.vpn = va >> mem.PageShift
+	e.pte = pte
+}
+
+// update refreshes a cached PTE if present (modify-bit maintenance).
+func (t *TB) update(va uint32, pte uint32) {
+	e := t.slot(va)
+	if e.valid && e.vpn == va>>mem.PageShift {
+		e.pte = pte
+	}
+}
+
+// InvalidateAll clears the entire TB (MTPR TBIA).
+func (t *TB) InvalidateAll() {
+	t.TotalFlushes++
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}
+
+// InvalidateProcess clears only process-half entries (context switch).
+func (t *TB) InvalidateProcess() {
+	t.ProcessFlushes++
+	for i := uint32(0); i < t.half; i++ {
+		t.entries[i].valid = false
+	}
+}
+
+// InvalidateSingle removes the entry covering va (MTPR TBIS).
+func (t *TB) InvalidateSingle(va uint32) {
+	e := t.slot(va)
+	if e.valid && e.vpn == va>>mem.PageShift {
+		e.valid = false
+	}
+}
+
+// Entries returns the TB capacity.
+func (t *TB) Entries() int { return len(t.entries) }

@@ -1,0 +1,39 @@
+package stackdist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchStream(n int) []uint64 {
+	r := rand.New(rand.NewSource(3))
+	out := make([]uint64, n)
+	for i := range out {
+		if r.Intn(4) > 0 {
+			out[i] = uint64(r.Intn(256)) // hot
+		} else {
+			out[i] = uint64(r.Intn(1 << 16))
+		}
+	}
+	return out
+}
+
+// BenchmarkAnalyze measures the one-pass profile build (O(n log n)).
+func BenchmarkAnalyze(b *testing.B) {
+	stream := benchStream(200_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(stream)
+	}
+	b.ReportMetric(float64(len(stream))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+}
+
+// BenchmarkMissCurve measures curve evaluation from a built profile.
+func BenchmarkMissCurve(b *testing.B) {
+	p := Analyze(benchStream(200_000))
+	caps := []int{16, 64, 256, 1024, 4096}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MissCurve(caps)
+	}
+}

@@ -1,0 +1,160 @@
+// Package stackdist implements Mattson stack-distance analysis: a single
+// pass over a reference stream that yields the miss rate of *every*
+// fully-associative LRU cache size simultaneously. Trace processing was
+// the whole purpose of collecting ATUM traces, and one-pass multi-
+// configuration analysis was the era's standard technique for exactly
+// the kind of size sweeps the paper's figures show.
+//
+// The implementation uses the classic time-stamp reformulation: the
+// stack distance of a reference equals the number of distinct blocks
+// referenced since this block's previous reference, which a Fenwick tree
+// over reference time counts in O(log n) per reference.
+package stackdist
+
+import (
+	"atum/internal/trace"
+)
+
+// Profile is the stack-distance histogram of a reference stream.
+type Profile struct {
+	// Depths[d] counts references with stack distance d+1 (d=0 is a
+	// re-reference to the most recently used block).
+	Depths []uint64
+	// Cold counts first-ever references (infinite distance).
+	Cold uint64
+	// Total is the number of references analysed.
+	Total uint64
+}
+
+// fenwick is a binary indexed tree of counts over 1..n.
+type fenwick struct {
+	tree []uint64
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]uint64, n+1)} }
+
+func (f *fenwick) add(i int, d uint64) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += d
+	}
+}
+
+func (f *fenwick) sum(i int) uint64 {
+	var s uint64
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// Analyze computes the profile of a block-address stream.
+func Analyze(blocks []uint64) *Profile {
+	p := &Profile{}
+	last := make(map[uint64]int, 1024)
+	fw := newFenwick(len(blocks))
+	marked := 0 // live marks in the tree == current distinct-block count
+
+	for t, b := range blocks {
+		p.Total++
+		t1 := t + 1 // Fenwick is 1-based
+		if t0, seen := last[b]; seen {
+			// Distance = distinct blocks referenced in (t0, t) plus one
+			// (this block itself sits below them on the stack).
+			depth := int(fw.sum(t1-1) - fw.sum(t0))
+			p.observe(depth + 1)
+			fw.add(t0, ^uint64(0)) // remove the old mark (add -1)
+			marked--
+		} else {
+			p.Cold++
+		}
+		last[b] = t1
+		fw.add(t1, 1)
+		marked++
+	}
+	_ = marked
+	return p
+}
+
+func (p *Profile) observe(depth int) {
+	for len(p.Depths) < depth {
+		p.Depths = append(p.Depths, 0)
+	}
+	p.Depths[depth-1]++
+}
+
+// Misses returns the miss count of a fully-associative LRU cache holding
+// capacity blocks: cold misses plus every reference whose stack distance
+// exceeds the capacity.
+func (p *Profile) Misses(capacity int) uint64 {
+	m := p.Cold
+	for d := capacity; d < len(p.Depths); d++ {
+		m += p.Depths[d]
+	}
+	return m
+}
+
+// MissRate returns Misses(capacity)/Total.
+func (p *Profile) MissRate(capacity int) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Misses(capacity)) / float64(p.Total)
+}
+
+// MissCurve evaluates the full miss-rate curve at the given capacities
+// (in blocks).
+func (p *Profile) MissCurve(capacities []int) []float64 {
+	out := make([]float64, len(capacities))
+	for i, c := range capacities {
+		out[i] = p.MissRate(c)
+	}
+	return out
+}
+
+// MaxDepth returns the largest observed stack distance.
+func (p *Profile) MaxDepth() int { return len(p.Depths) }
+
+// Options control trace-to-block-stream conversion.
+type Options struct {
+	BlockBytes uint32 // line size (power of two)
+	PIDTag     bool   // separate per-process address spaces
+	IncludePTE bool   // include translation-microcode references
+	UserOnly   bool   // drop kernel references
+}
+
+// Blocks converts a trace into the block-address stream Analyze expects.
+func Blocks(recs []trace.Record, opts Options) []uint64 {
+	if opts.BlockBytes == 0 {
+		opts.BlockBytes = 16
+	}
+	shift := uint(0)
+	for opts.BlockBytes>>shift != 1 {
+		shift++
+	}
+	out := make([]uint64, 0, len(recs))
+	for _, r := range recs {
+		switch r.Kind {
+		case trace.KindIFetch, trace.KindDRead, trace.KindDWrite:
+		case trace.KindPTERead, trace.KindPTEWrite:
+			if !opts.IncludePTE {
+				continue
+			}
+		default:
+			continue
+		}
+		if opts.UserOnly && !r.User {
+			continue
+		}
+		b := uint64(r.Addr) >> shift
+		if opts.PIDTag && !r.Phys && r.Addr>>30 != 2 {
+			b |= uint64(r.PID) << 40
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// FromTrace is the convenience composition of Blocks and Analyze.
+func FromTrace(recs []trace.Record, opts Options) *Profile {
+	return Analyze(Blocks(recs, opts))
+}

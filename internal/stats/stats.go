@@ -1,0 +1,104 @@
+// Package stats provides the small counting and histogram helpers shared
+// by the trace-analysis and experiment-harness packages.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a named monotonically increasing count.
+type Counter struct {
+	Name string
+	N    uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.N += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.N++ }
+
+// Ratio returns a/b as float64, 0 when b is 0.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Percent returns 100*a/b, 0 when b is 0.
+func Percent(a, b uint64) float64 { return 100 * Ratio(a, b) }
+
+// Histogram is a fixed-bucket histogram over uint64 samples. Bucket
+// boundaries are the caller's; sample x lands in the first bucket whose
+// upper bound is >= x, with an implicit overflow bucket at the end.
+type Histogram struct {
+	Bounds []uint64 // ascending upper bounds
+	Counts []uint64 // len(Bounds)+1, last is overflow
+	Total  uint64
+	Sum    uint64
+	Max    uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds ...uint64) *Histogram {
+	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
+		panic("stats: histogram bounds must be ascending")
+	}
+	return &Histogram{Bounds: bounds, Counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x uint64) {
+	i := sort.Search(len(h.Bounds), func(i int) bool { return h.Bounds[i] >= x })
+	h.Counts[i]++
+	h.Total++
+	h.Sum += x
+	if x > h.Max {
+		h.Max = x
+	}
+}
+
+// Mean returns the sample mean, 0 with no samples.
+func (h *Histogram) Mean() float64 { return Ratio(h.Sum, h.Total) }
+
+// String renders the histogram one bucket per line.
+func (h *Histogram) String() string {
+	s := ""
+	for i, c := range h.Counts {
+		label := "+inf"
+		if i < len(h.Bounds) {
+			label = fmt.Sprintf("%d", h.Bounds[i])
+		}
+		s += fmt.Sprintf("<=%-10s %10d (%5.1f%%)\n", label, c, Percent(c, h.Total))
+	}
+	return s
+}
+
+// Welford accumulates mean and variance online.
+type Welford struct {
+	N    uint64
+	mean float64
+	m2   float64
+}
+
+// Observe adds one sample.
+func (w *Welford) Observe(x float64) {
+	w.N++
+	d := x - w.mean
+	w.mean += d / float64(w.N)
+	w.m2 += d * (x - w.mean)
+}
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// StdDev returns the running sample standard deviation.
+func (w *Welford) StdDev() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.N-1))
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterAndRatios(t *testing.T) {
+	c := Counter{Name: "x"}
+	c.Inc()
+	c.Add(4)
+	if c.N != 5 {
+		t.Errorf("N = %d", c.N)
+	}
+	if Ratio(1, 0) != 0 || Percent(1, 0) != 0 {
+		t.Error("division by zero not guarded")
+	}
+	if Ratio(1, 4) != 0.25 || Percent(1, 4) != 25 {
+		t.Error("ratio math")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, x := range []uint64{5, 10, 11, 100, 5000} {
+		h.Observe(x)
+	}
+	want := []uint64{2, 2, 0, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Total != 5 || h.Max != 5000 {
+		t.Errorf("total=%d max=%d", h.Total, h.Max)
+	}
+	if got := h.Mean(); math.Abs(got-1025.2) > 0.01 {
+		t.Errorf("mean = %f", got)
+	}
+	if !strings.Contains(h.String(), "+inf") {
+		t.Error("overflow bucket missing from render")
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("descending bounds accepted")
+		}
+	}()
+	NewHistogram(10, 5)
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Observe(x)
+	}
+	if math.Abs(w.Mean()-5) > 1e-9 {
+		t.Errorf("mean = %f", w.Mean())
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(w.StdDev()-2.13809) > 1e-4 {
+		t.Errorf("stddev = %f", w.StdDev())
+	}
+	var w0 Welford
+	w0.Observe(1)
+	if w0.StdDev() != 0 {
+		t.Error("single-sample stddev should be 0")
+	}
+}
+
+// Property: histogram total always equals the number of observations and
+// bucket counts sum to total.
+func TestHistogramInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := NewHistogram(8, 64, 512, 4096)
+		n := 100 + r.Intn(400)
+		for i := 0; i < n; i++ {
+			h.Observe(uint64(r.Intn(10000)))
+		}
+		sum := uint64(0)
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum == h.Total && h.Total == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func BenchmarkEncodeRaw(b *testing.B) {
+	recs := makeTrace(100_000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteFile(io.Discard, recs, CodecRaw); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(recs) * RecordBytes))
+}
+
+func BenchmarkEncodeDelta(b *testing.B) {
+	recs := makeTrace(100_000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteFile(io.Discard, recs, CodecDelta); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(recs) * RecordBytes))
+}
+
+func BenchmarkDecodeDelta(b *testing.B) {
+	recs := makeTrace(100_000, 5)
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, recs, CodecDelta); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadFile(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(recs) * RecordBytes))
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	recs := makeTrace(100_000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Summarize(recs)
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import "fmt"
+
+// Lint checks a trace for well-formedness — the sanity pass the original
+// project would have run while debugging microcode patches, since a bad
+// patch produces subtly malformed records long before it produces wrong
+// miss rates. It returns one message per violation class (not per
+// record), capped so a corrupt trace cannot flood the caller.
+//
+// Checks:
+//   - record kinds and widths are valid;
+//   - instruction fetches are longword-aligned longwords;
+//   - the PID field follows the last context-switch marker;
+//   - kernel-mode instruction fetches come from system space (the
+//     kernel executes from S0) and user-mode fetches never do;
+//   - virtual PTE references lie in system space;
+//   - context-switch markers carry the PID they announce.
+func Lint(recs []Record) []string {
+	type violation struct {
+		count int
+		first int
+		msg   string
+	}
+	seen := map[string]*violation{}
+	report := func(i int, key, format string, args ...any) {
+		v := seen[key]
+		if v == nil {
+			v = &violation{first: i, msg: fmt.Sprintf(format, args...)}
+			seen[key] = v
+		}
+		v.count++
+	}
+
+	curPID := -1 // unknown until the first switch
+	for i, r := range recs {
+		if r.Kind >= NumKinds {
+			report(i, "kind", "invalid record kind %d", r.Kind)
+			continue
+		}
+		switch r.Width {
+		case 1, 2, 4:
+		default:
+			report(i, "width", "invalid width %d", r.Width)
+		}
+
+		switch r.Kind {
+		case KindCtxSwitch:
+			if r.PID != uint8(r.Extra) {
+				report(i, "switch-pid", "context switch announces pid %d but carries %d", r.Extra, r.PID)
+			}
+			curPID = int(r.PID)
+			continue
+		case KindException:
+			continue
+		}
+
+		if curPID >= 0 && int(r.PID) != curPID {
+			report(i, "pid-drift", "record pid %d but last switch installed %d", r.PID, curPID)
+		}
+
+		switch r.Kind {
+		case KindIFetch:
+			if r.Addr%4 != 0 || r.Width != 4 {
+				report(i, "ifetch-align", "ifetch not an aligned longword: %08x w%d", r.Addr, r.Width)
+			}
+			if r.Phys {
+				report(i, "ifetch-phys", "physical ifetch")
+			}
+			system := r.Addr>>30 == 2
+			if r.User && system {
+				report(i, "ifetch-user-s0", "user-mode ifetch from system space %08x", r.Addr)
+			}
+			if !r.User && !system {
+				report(i, "ifetch-kern-p0", "kernel-mode ifetch from process space %08x", r.Addr)
+			}
+		case KindPTERead, KindPTEWrite:
+			if !r.Phys && r.Addr>>30 != 2 {
+				report(i, "pte-space", "virtual PTE reference outside system space: %08x", r.Addr)
+			}
+		}
+	}
+
+	out := make([]string, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, fmt.Sprintf("record %d: %s (%d occurrence(s))", v.first, v.msg, v.count))
+	}
+	// Deterministic order for tests and tooling.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

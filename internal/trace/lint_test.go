@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintCleanTrace(t *testing.T) {
+	recs := []Record{
+		{Kind: KindIFetch, Addr: 0x80000000, Width: 4, User: false, PID: 0},
+		{Kind: KindCtxSwitch, Extra: 1, PID: 1, Width: 1},
+		{Kind: KindException, Extra: 0x40, PID: 1, Width: 1},
+		{Kind: KindIFetch, Addr: 0x200, Width: 4, User: true, PID: 1},
+		{Kind: KindDRead, Addr: 0x1000, Width: 4, User: true, PID: 1},
+		{Kind: KindPTERead, Addr: 0x80010000, Width: 4, PID: 1},
+		{Kind: KindPTERead, Addr: 0x8000, Width: 4, PID: 1, Phys: true},
+		{Kind: KindIFetch, Addr: 0x80000040, Width: 4, User: false, PID: 1},
+	}
+	if v := Lint(recs); len(v) != 0 {
+		t.Errorf("clean trace flagged: %v", v)
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  Record
+		want string
+	}{
+		{"misaligned ifetch", Record{Kind: KindIFetch, Addr: 0x201, Width: 4, User: true, PID: 1}, "aligned"},
+		{"short ifetch", Record{Kind: KindIFetch, Addr: 0x200, Width: 1, User: true, PID: 1}, "aligned"},
+		{"user ifetch from S0", Record{Kind: KindIFetch, Addr: 0x80000200, Width: 4, User: true, PID: 1}, "system space"},
+		{"kernel ifetch from P0", Record{Kind: KindIFetch, Addr: 0x200, Width: 4, User: false, PID: 1}, "process space"},
+		{"virtual PTE outside S0", Record{Kind: KindPTERead, Addr: 0x1000, Width: 4, PID: 1}, "outside system space"},
+		{"pid drift", Record{Kind: KindDRead, Addr: 0x1000, Width: 4, User: true, PID: 9}, "last switch installed"},
+		{"bad width", Record{Kind: KindDRead, Addr: 0x1000, Width: 3, User: true, PID: 1}, "invalid width"},
+	}
+	for _, c := range cases {
+		recs := []Record{
+			{Kind: KindCtxSwitch, Extra: 1, PID: 1, Width: 1},
+			c.rec,
+		}
+		v := Lint(recs)
+		if len(v) == 0 {
+			t.Errorf("%s: not flagged", c.name)
+			continue
+		}
+		if !strings.Contains(strings.Join(v, "\n"), c.want) {
+			t.Errorf("%s: violations %v missing %q", c.name, v, c.want)
+		}
+	}
+}
+
+func TestLintBadSwitchMarker(t *testing.T) {
+	recs := []Record{{Kind: KindCtxSwitch, Extra: 2, PID: 3, Width: 1}}
+	v := Lint(recs)
+	if len(v) == 0 || !strings.Contains(v[0], "announces pid 2 but carries 3") {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+func TestLintAggregatesCounts(t *testing.T) {
+	var recs []Record
+	for i := 0; i < 50; i++ {
+		recs = append(recs, Record{Kind: KindIFetch, Addr: 0x201, Width: 4, User: true, PID: 0})
+	}
+	v := Lint(recs)
+	if len(v) != 1 {
+		t.Fatalf("want one aggregated violation, got %d", len(v))
+	}
+	if !strings.Contains(v[0], "50 occurrence(s)") {
+		t.Errorf("count missing: %v", v)
+	}
+}

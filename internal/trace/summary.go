@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"atum/internal/mem"
+)
+
+// Summary aggregates the headline statistics of a trace — the columns of
+// the paper's trace-characteristics table.
+type Summary struct {
+	Total   uint64 // all records
+	MemRefs uint64 // actual memory references
+	ByKind  [NumKinds]uint64
+
+	UserRefs   uint64 // memory references made in user mode
+	SystemRefs uint64 // memory references made in kernel mode
+
+	IFetches uint64
+	Reads    uint64 // data reads (incl. PTE reads)
+	Writes   uint64 // data writes (incl. PTE writes)
+
+	CtxSwitches   uint64
+	Exceptions    uint64
+	DistinctPIDs  int
+	DistinctPages int // distinct virtual pages referenced
+}
+
+// Summarize scans a trace once and computes its Summary.
+func Summarize(recs []Record) Summary {
+	var s Summary
+	pids := map[uint8]bool{}
+	pages := map[uint64]bool{}
+	for _, r := range recs {
+		s.Total++
+		s.ByKind[r.Kind]++
+		switch r.Kind {
+		case KindCtxSwitch:
+			s.CtxSwitches++
+			continue
+		case KindException:
+			s.Exceptions++
+			continue
+		}
+		s.MemRefs++
+		if r.User {
+			s.UserRefs++
+		} else {
+			s.SystemRefs++
+		}
+		switch r.Kind {
+		case KindIFetch:
+			s.IFetches++
+		case KindDRead, KindPTERead:
+			s.Reads++
+		case KindDWrite, KindPTEWrite:
+			s.Writes++
+		}
+		pids[r.PID] = true
+		// Distinct pages are counted per PID per address space: tag the
+		// page with the PID for process-space addresses, not for system
+		// or physical ones.
+		key := uint64(r.Addr >> mem.PageShift)
+		if !r.Phys && r.Addr>>30 != 2 {
+			key |= uint64(r.PID) << 32
+		}
+		pages[key] = true
+	}
+	s.DistinctPIDs = len(pids)
+	s.DistinctPages = len(pages)
+	return s
+}
+
+// PercentUser returns user references as a percentage of memory refs.
+func (s Summary) PercentUser() float64 {
+	if s.MemRefs == 0 {
+		return 0
+	}
+	return 100 * float64(s.UserRefs) / float64(s.MemRefs)
+}
+
+// PercentSystem returns system references as a percentage of memory refs.
+func (s Summary) PercentSystem() float64 {
+	if s.MemRefs == 0 {
+		return 0
+	}
+	return 100 * float64(s.SystemRefs) / float64(s.MemRefs)
+}
+
+// String renders a multi-line report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "records:      %d (memrefs %d)\n", s.Total, s.MemRefs)
+	fmt.Fprintf(&b, "ifetch/read/write: %d / %d / %d\n", s.IFetches, s.Reads, s.Writes)
+	fmt.Fprintf(&b, "user/system:  %d (%.1f%%) / %d (%.1f%%)\n",
+		s.UserRefs, s.PercentUser(), s.SystemRefs, s.PercentSystem())
+	fmt.Fprintf(&b, "ctx switches: %d, exceptions: %d, pids: %d, pages: %d\n",
+		s.CtxSwitches, s.Exceptions, s.DistinctPIDs, s.DistinctPages)
+	kinds := make([]string, 0, int(NumKinds))
+	for k := Kind(0); k < NumKinds; k++ {
+		if s.ByKind[k] > 0 {
+			kinds = append(kinds, fmt.Sprintf("%s=%d", k, s.ByKind[k]))
+		}
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(&b, "by kind:      %s\n", strings.Join(kinds, " "))
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package vax
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Decoded is a fully decoded instruction.
+type Decoded struct {
+	Addr     uint32 // virtual address of the opcode byte
+	Info     *InstrInfo
+	Operands []Operand
+	Len      int // total instruction length in bytes
+}
+
+// String renders the instruction in assembler syntax. Branch and
+// PC-relative operands resolve to absolute targets because the
+// instruction knows its own address.
+func (d Decoded) String() string {
+	var b strings.Builder
+	b.WriteString(d.Info.Name)
+	end := d.Addr + uint32(d.Len)
+	for i, op := range d.Operands {
+		if i == 0 {
+			b.WriteString("\t")
+		} else {
+			b.WriteString(", ")
+		}
+		switch {
+		case op.Mode == ModeBranch:
+			fmt.Fprintf(&b, "%#x", opTarget(d, i, end))
+		case (op.Mode == ModeLongDisp || op.Mode == ModeLongDispDef) && op.Reg == PC:
+			pfx := ""
+			if op.Mode == ModeLongDispDef {
+				pfx = "@"
+			}
+			fmt.Fprintf(&b, "%s%#x", pfx, opTarget(d, i, end))
+			if op.Indexed {
+				fmt.Fprintf(&b, "[%s]", RegName(int(op.Xreg)))
+			}
+		default:
+			b.WriteString(op.String())
+		}
+	}
+	return b.String()
+}
+
+// opTarget computes the absolute target of a PC-based operand. VAX
+// PC-relative displacements are relative to the PC value after the
+// operand specifier; branch displacements likewise. Both coincide with
+// "address after this operand's bytes", which we reconstruct by summing
+// operand lengths.
+func opTarget(d Decoded, idx int, end uint32) uint32 {
+	// PC after this operand = addr + 1 (opcode) + lengths of operands 0..idx.
+	pc := d.Addr + 1
+	for i := 0; i <= idx; i++ {
+		pc += uint32(d.Operands[i].Len)
+	}
+	_ = end
+	return pc + uint32(d.Operands[idx].Disp)
+}
+
+// sliceFetcher implements Fetcher over a byte slice.
+type sliceFetcher struct {
+	b []byte
+	i int
+}
+
+func (f *sliceFetcher) Byte() (byte, error) {
+	if f.i >= len(f.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := f.b[f.i]
+	f.i++
+	return v, nil
+}
+
+func (f *sliceFetcher) Word() (uint16, error) {
+	if f.i+2 > len(f.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint16(f.b[f.i:])
+	f.i += 2
+	return v, nil
+}
+
+func (f *sliceFetcher) Long() (uint32, error) {
+	if f.i+4 > len(f.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.LittleEndian.Uint32(f.b[f.i:])
+	f.i += 4
+	return v, nil
+}
+
+// DecodeBytes decodes the instruction at the start of b, which is located
+// at virtual address addr.
+func DecodeBytes(b []byte, addr uint32) (Decoded, error) {
+	f := &sliceFetcher{b: b}
+	opc, err := f.Byte()
+	if err != nil {
+		return Decoded{}, err
+	}
+	info := Instructions[opc]
+	if info == nil {
+		return Decoded{}, fmt.Errorf("vax: reserved opcode %#02x at %#x", opc, addr)
+	}
+	d := Decoded{Addr: addr, Info: info}
+	for _, spec := range info.Operands {
+		op, err := DecodeOperand(f, spec)
+		if err != nil {
+			return Decoded{}, fmt.Errorf("vax: decoding %s at %#x: %w", info.Name, addr, err)
+		}
+		d.Operands = append(d.Operands, op)
+	}
+	d.Len = f.i
+	return d, nil
+}
+
+// Disassemble renders instructions from b (loaded at addr) until the
+// buffer is exhausted or an undecodable byte is reached, returning one
+// line per instruction.
+func Disassemble(b []byte, addr uint32) []string {
+	var lines []string
+	off := 0
+	for off < len(b) {
+		d, err := DecodeBytes(b[off:], addr+uint32(off))
+		if err != nil {
+			lines = append(lines, fmt.Sprintf("%08x:\t.byte %#02x", addr+uint32(off), b[off]))
+			off++
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%08x:\t%s", d.Addr, d.String()))
+		off += d.Len
+	}
+	return lines
+}

@@ -1,0 +1,141 @@
+package vax
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOperandStringAllModes(t *testing.T) {
+	cases := []struct {
+		op   Operand
+		want string
+	}{
+		{Operand{Mode: ModeLiteral, Lit: 33}, "#33"},
+		{Operand{Mode: ModeRegister, Reg: 3}, "r3"},
+		{Operand{Mode: ModeRegDeferred, Reg: 14}, "(sp)"},
+		{Operand{Mode: ModeAutoDec, Reg: 14}, "-(sp)"},
+		{Operand{Mode: ModeAutoInc, Reg: 1}, "(r1)+"},
+		{Operand{Mode: ModeAutoIncDeferred, Reg: 2}, "@(r2)+"},
+		{Operand{Mode: ModeByteDisp, Reg: 4, Disp: -8}, "-8(r4)"},
+		{Operand{Mode: ModeWordDispDef, Reg: 5, Disp: 300}, "@300(r5)"},
+		{Operand{Mode: ModeImmediate, Imm: 0x1234}, "#0x1234"},
+		{Operand{Mode: ModeAbsolute, Imm: 0x80000000}, "@#0x80000000"},
+		{Operand{Mode: ModeBranch, Disp: -4}, ".-4"},
+		{Operand{Mode: ModeLongDisp, Reg: 6, Disp: 4, Indexed: true, Xreg: 7}, "4(r6)[r7]"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestHasEffectiveAddress(t *testing.T) {
+	if (Operand{Mode: ModeLiteral}).HasEffectiveAddress() {
+		t.Error("literal has no EA")
+	}
+	if (Operand{Mode: ModeRegister}).HasEffectiveAddress() {
+		t.Error("register has no EA")
+	}
+	if !(Operand{Mode: ModeRegDeferred}).HasEffectiveAddress() {
+		t.Error("(rn) has an EA")
+	}
+	if !(Operand{Mode: ModeAbsolute}).HasEffectiveAddress() {
+		t.Error("@# has an EA")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	// Truncated instruction stream.
+	if _, err := DecodeBytes([]byte{OpMOVL}, 0); err == nil {
+		t.Error("truncated movl accepted")
+	}
+	// Reserved opcode.
+	if _, err := DecodeBytes([]byte{0xFF, 0x00}, 0); err == nil {
+		t.Error("reserved opcode accepted")
+	}
+	// Nested index: 4x 4x.
+	if _, err := DecodeBytes([]byte{OpTSTL, 0x41, 0x42, 0x63}, 0); err == nil {
+		t.Error("nested index accepted")
+	}
+	// Index on literal base.
+	if _, err := DecodeBytes([]byte{OpTSTL, 0x41, 0x05}, 0); err == nil {
+		t.Error("indexed literal accepted")
+	}
+	// PC as index register.
+	if _, err := DecodeBytes([]byte{OpTSTL, 0x4F, 0x63}, 0); err == nil {
+		t.Error("PC index register accepted")
+	}
+}
+
+func TestDecodedStringTargets(t *testing.T) {
+	// brb .+4 from address 0x100: opcode at 0x100, disp byte at 0x101,
+	// PC after displacement = 0x102, target = 0x102+disp.
+	d, err := DecodeBytes([]byte{OpBRB, 0x10}, 0x100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.String(), "0x112") {
+		t.Errorf("branch target: %s", d.String())
+	}
+
+	// PC-relative longword displacement resolves to absolute.
+	p, err := Assemble("\t.org 0x400\nstart:\tmovl\tdata, r0\ndata:\t.long 7\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DecodeBytes(p.Bytes, 0x400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataAddr := p.MustSymbol("data")
+	if !strings.Contains(d2.String(), "0x407") || dataAddr != 0x407 {
+		t.Errorf("PC-relative target: %s (data=%#x)", d2.String(), dataAddr)
+	}
+}
+
+func TestDisassembleSkipsBadBytes(t *testing.T) {
+	lines := Disassemble([]byte{0xFF, OpNOP, OpHALT}, 0)
+	if len(lines) != 3 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if !strings.Contains(lines[0], ".byte") {
+		t.Errorf("bad byte not rendered: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "nop") || !strings.Contains(lines[2], "halt") {
+		t.Errorf("resync failed: %v", lines)
+	}
+}
+
+func TestWidthAndAccessStrings(t *testing.T) {
+	if B.String() != "byte" || W.String() != "word" || L.String() != "long" {
+		t.Error("width strings")
+	}
+	if AccRead.String() != "r" || AccWrite.String() != "w" || AccModify.String() != "m" ||
+		AccAddr.String() != "a" || AccBranch.String() != "b" || AccVField.String() != "v" {
+		t.Error("access strings")
+	}
+}
+
+func TestProgramHelpers(t *testing.T) {
+	p, err := Assemble("\t.org 0x100\na:\tnop\nb:\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.End() != 0x102 {
+		t.Errorf("End = %#x", p.End())
+	}
+	if _, ok := p.Symbol("nope"); ok {
+		t.Error("phantom symbol")
+	}
+	names := p.SymbolsSorted()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("sorted symbols: %v", names)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSymbol on missing symbol should panic")
+		}
+	}()
+	p.MustSymbol("missing")
+}

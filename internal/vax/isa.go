@@ -1,0 +1,531 @@
+// Package vax defines the instruction-set architecture of the simulated
+// machine: a faithful subset of the VAX — real opcode encodings, the full
+// operand-specifier (addressing-mode) scheme, condition codes and the PSL
+// layout — together with a two-pass assembler and a disassembler.
+//
+// The execution engine lives in internal/micro; this package is pure ISA
+// description plus tooling, so the assembler, disassembler, decoder and
+// CPU all share one opcode table.
+package vax
+
+import "fmt"
+
+// Register numbers. R12..R15 have architectural roles.
+const (
+	R0 = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	AP // R12, argument pointer
+	FP // R13, frame pointer
+	SP // R14, stack pointer
+	PC // R15, program counter
+)
+
+// RegName returns the conventional name of register n.
+func RegName(n int) string {
+	switch n {
+	case AP:
+		return "ap"
+	case FP:
+		return "fp"
+	case SP:
+		return "sp"
+	case PC:
+		return "pc"
+	default:
+		return fmt.Sprintf("r%d", n)
+	}
+}
+
+// PSL (processor status longword) bits. Only the fields the simulator
+// uses are defined; the layout matches the VAX architecture handbook.
+const (
+	PSLC uint32 = 1 << 0 // carry
+	PSLV uint32 = 1 << 1 // overflow
+	PSLZ uint32 = 1 << 2 // zero
+	PSLN uint32 = 1 << 3 // negative
+	PSLT uint32 = 1 << 4 // trace (T-bit): trace-trap pending after each instruction
+
+	PSLIPLShift        = 16
+	PSLIPLMask  uint32 = 0x1F << PSLIPLShift // interrupt priority level
+
+	PSLPrvModShift        = 22
+	PSLPrvModMask  uint32 = 3 << PSLPrvModShift
+	PSLCurModShift        = 24
+	PSLCurModMask  uint32 = 3 << PSLCurModShift
+
+	PSLIS  uint32 = 1 << 26 // executing on the interrupt stack
+	PSLFPD uint32 = 1 << 27 // first part done (restartable string instructions)
+)
+
+// Access modes (the two the simulator distinguishes; the VAX's E and S
+// modes are folded into kernel).
+const (
+	ModeKernel = 0
+	ModeUser   = 3
+)
+
+// CurMode extracts the current access mode from a PSL value.
+func CurMode(psl uint32) int { return int(psl&PSLCurModMask) >> PSLCurModShift }
+
+// IPL extracts the interrupt priority level from a PSL value.
+func IPL(psl uint32) int { return int(psl&PSLIPLMask) >> PSLIPLShift }
+
+// Width is an operand data width in bytes.
+type Width uint8
+
+const (
+	B Width = 1 // byte
+	W Width = 2 // word
+	L Width = 4 // longword
+)
+
+func (w Width) String() string {
+	switch w {
+	case B:
+		return "byte"
+	case W:
+		return "word"
+	case L:
+		return "long"
+	}
+	return fmt.Sprintf("Width(%d)", uint8(w))
+}
+
+// Access describes how an instruction uses an operand, following the VAX
+// architecture handbook's notation (r/w/m/a/b/v).
+type Access uint8
+
+const (
+	AccRead   Access = iota // r: operand value is read
+	AccWrite                // w: operand location is written
+	AccModify               // m: read then written
+	AccAddr                 // a: address of operand is used (no reference)
+	AccBranch               // b: branch displacement of Width bytes in the instruction stream
+	AccVField               // v: bit-field base (treated as address here)
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccRead:
+		return "r"
+	case AccWrite:
+		return "w"
+	case AccModify:
+		return "m"
+	case AccAddr:
+		return "a"
+	case AccBranch:
+		return "b"
+	case AccVField:
+		return "v"
+	}
+	return "?"
+}
+
+// OperandSpec is one operand's access type and width.
+type OperandSpec struct {
+	Access Access
+	Width  Width
+}
+
+// InstrInfo describes one opcode.
+type InstrInfo struct {
+	Name     string
+	Opcode   byte
+	Operands []OperandSpec
+	// Cost is the base microroutine cost in microcycles, excluding
+	// per-memory-reference costs charged by the micro engine.
+	Cost uint32
+	// Priv marks instructions that fault in user mode.
+	Priv bool
+}
+
+func ops(specs ...OperandSpec) []OperandSpec { return specs }
+
+func rb() OperandSpec { return OperandSpec{AccRead, B} }
+func rw() OperandSpec { return OperandSpec{AccRead, W} }
+func rl() OperandSpec { return OperandSpec{AccRead, L} }
+func wb() OperandSpec { return OperandSpec{AccWrite, B} }
+func ww() OperandSpec { return OperandSpec{AccWrite, W} }
+func wl() OperandSpec { return OperandSpec{AccWrite, L} }
+func mb() OperandSpec { return OperandSpec{AccModify, B} }
+func mw() OperandSpec { return OperandSpec{AccModify, W} }
+func ml() OperandSpec { return OperandSpec{AccModify, L} }
+func ab() OperandSpec { return OperandSpec{AccAddr, B} }
+func al() OperandSpec { return OperandSpec{AccAddr, L} }
+func bb() OperandSpec { return OperandSpec{AccBranch, B} }
+func bw() OperandSpec { return OperandSpec{AccBranch, W} }
+func vb() OperandSpec { return OperandSpec{AccVField, B} }
+
+// Real VAX opcode values. The subset implemented covers the integer,
+// address, control-flow, procedure, queue-free subset a systems kernel
+// and integer workloads need, plus MOVC3 (microcoded block copy), the
+// privileged MTPR/MFPR/LDPCTX/SVPCTX/REI group, and CHMK for syscalls.
+const (
+	OpHALT   byte = 0x00
+	OpNOP    byte = 0x01
+	OpREI    byte = 0x02
+	OpBPT    byte = 0x03
+	OpRET    byte = 0x04
+	OpRSB    byte = 0x05
+	OpLDPCTX byte = 0x06
+	OpSVPCTX byte = 0x07
+
+	OpINSQUE byte = 0x0E
+	OpREMQUE byte = 0x0F
+
+	OpBSBB  byte = 0x10
+	OpBRB   byte = 0x11
+	OpBNEQ  byte = 0x12
+	OpBEQL  byte = 0x13
+	OpBGTR  byte = 0x14
+	OpBLEQ  byte = 0x15
+	OpJSB   byte = 0x16
+	OpJMP   byte = 0x17
+	OpBGEQ  byte = 0x18
+	OpBLSS  byte = 0x19
+	OpBGTRU byte = 0x1A
+	OpBLEQU byte = 0x1B
+	OpBVC   byte = 0x1C
+	OpBVS   byte = 0x1D
+	OpBCC   byte = 0x1E // a.k.a. BGEQU
+	OpBCS   byte = 0x1F // a.k.a. BLSSU
+
+	OpMOVC3 byte = 0x28
+	OpCMPC3 byte = 0x29
+	OpMOVC5 byte = 0x2C
+
+	OpBSBW   byte = 0x30
+	OpBRW    byte = 0x31
+	OpCVTWL  byte = 0x32
+	OpCVTWB  byte = 0x33
+	OpLOCC   byte = 0x3A
+	OpSKPC   byte = 0x3B
+	OpMOVZWL byte = 0x3C
+
+	OpASHL byte = 0x78
+	OpEMUL byte = 0x7A
+	OpEDIV byte = 0x7B
+
+	OpADDB2  byte = 0x80
+	OpADDB3  byte = 0x81
+	OpSUBB2  byte = 0x82
+	OpSUBB3  byte = 0x83
+	OpBISB2  byte = 0x88
+	OpBISB3  byte = 0x89
+	OpBICB2  byte = 0x8A
+	OpBICB3  byte = 0x8B
+	OpXORB2  byte = 0x8C
+	OpXORB3  byte = 0x8D
+	OpMNEGB  byte = 0x8E
+	OpMOVB   byte = 0x90
+	OpCMPB   byte = 0x91
+	OpMCOMB  byte = 0x92
+	OpBITB   byte = 0x93
+	OpCLRB   byte = 0x94
+	OpTSTB   byte = 0x95
+	OpINCB   byte = 0x96
+	OpDECB   byte = 0x97
+	OpCVTBL  byte = 0x98
+	OpCVTBW  byte = 0x99
+	OpMOVZBL byte = 0x9A
+	OpMOVZBW byte = 0x9B
+	OpROTL   byte = 0x9C
+	OpMOVAB  byte = 0x9E
+	OpPUSHAB byte = 0x9F
+
+	OpADDW2  byte = 0xA0
+	OpADDW3  byte = 0xA1
+	OpSUBW2  byte = 0xA2
+	OpSUBW3  byte = 0xA3
+	OpBISW2  byte = 0xA8
+	OpBISW3  byte = 0xA9
+	OpBICW2  byte = 0xAA
+	OpBICW3  byte = 0xAB
+	OpXORW2  byte = 0xAC
+	OpXORW3  byte = 0xAD
+	OpMNEGW  byte = 0xAE
+	OpMOVW   byte = 0xB0
+	OpCMPW   byte = 0xB1
+	OpMCOMW  byte = 0xB2
+	OpBITW   byte = 0xB3
+	OpCLRW   byte = 0xB4
+	OpTSTW   byte = 0xB5
+	OpINCW   byte = 0xB6
+	OpDECW   byte = 0xB7
+	OpBISPSW byte = 0xB8
+	OpBICPSW byte = 0xB9
+	OpPOPR   byte = 0xBA
+	OpPUSHR  byte = 0xBB
+	OpCHMK   byte = 0xBC
+
+	OpADDL2  byte = 0xC0
+	OpADDL3  byte = 0xC1
+	OpSUBL2  byte = 0xC2
+	OpSUBL3  byte = 0xC3
+	OpMULL2  byte = 0xC4
+	OpMULL3  byte = 0xC5
+	OpDIVL2  byte = 0xC6
+	OpDIVL3  byte = 0xC7
+	OpBISL2  byte = 0xC8
+	OpBISL3  byte = 0xC9
+	OpBICL2  byte = 0xCA
+	OpBICL3  byte = 0xCB
+	OpXORL2  byte = 0xCC
+	OpXORL3  byte = 0xCD
+	OpMNEGL  byte = 0xCE
+	OpCASEL  byte = 0xCF
+	OpMOVL   byte = 0xD0
+	OpCMPL   byte = 0xD1
+	OpMCOML  byte = 0xD2
+	OpBITL   byte = 0xD3
+	OpCLRL   byte = 0xD4
+	OpTSTL   byte = 0xD5
+	OpINCL   byte = 0xD6
+	OpDECL   byte = 0xD7
+	OpADWC   byte = 0xD8
+	OpSBWC   byte = 0xD9
+	OpMTPR   byte = 0xDA
+	OpMFPR   byte = 0xDB
+	OpMOVPSL byte = 0xDC
+	OpPUSHL  byte = 0xDD
+	OpMOVAL  byte = 0xDE
+	OpPUSHAL byte = 0xDF
+
+	OpBBS  byte = 0xE0
+	OpBBC  byte = 0xE1
+	OpBLBS byte = 0xE8
+	OpBLBC byte = 0xE9
+
+	OpACBL   byte = 0xF1
+	OpAOBLSS byte = 0xF2
+	OpAOBLEQ byte = 0xF3
+	OpSOBGEQ byte = 0xF4
+	OpSOBGTR byte = 0xF5
+	OpCVTLB  byte = 0xF6
+	OpCVTLW  byte = 0xF7
+
+	OpCALLS byte = 0xFB
+)
+
+// Instructions is the opcode table, indexed by opcode byte. Nil entries
+// are unimplemented opcodes (reserved-instruction fault at run time).
+var Instructions [256]*InstrInfo
+
+// ByName maps lower-case mnemonics to their InstrInfo.
+var ByName = map[string]*InstrInfo{}
+
+func def(op byte, name string, cost uint32, priv bool, specs ...OperandSpec) {
+	ii := &InstrInfo{Name: name, Opcode: op, Operands: specs, Cost: cost, Priv: priv}
+	if Instructions[op] != nil {
+		panic("vax: duplicate opcode " + name)
+	}
+	Instructions[op] = ii
+	ByName[name] = ii
+}
+
+func init() {
+	def(OpHALT, "halt", 4, true)
+	def(OpNOP, "nop", 2, false)
+	def(OpREI, "rei", 12, true)
+	def(OpBPT, "bpt", 8, false)
+	def(OpRET, "ret", 14, false)
+	def(OpRSB, "rsb", 4, false)
+	def(OpLDPCTX, "ldpctx", 40, true)
+	def(OpSVPCTX, "svpctx", 36, true)
+
+	def(OpINSQUE, "insque", 10, false, ops(ab(), ab())...)
+	def(OpREMQUE, "remque", 10, false, ops(ab(), wl())...)
+
+	def(OpBSBB, "bsbb", 5, false, ops(bb())...)
+	def(OpBRB, "brb", 3, false, ops(bb())...)
+	def(OpBNEQ, "bneq", 3, false, ops(bb())...)
+	def(OpBEQL, "beql", 3, false, ops(bb())...)
+	def(OpBGTR, "bgtr", 3, false, ops(bb())...)
+	def(OpBLEQ, "bleq", 3, false, ops(bb())...)
+	def(OpJSB, "jsb", 6, false, ops(al())...)
+	def(OpJMP, "jmp", 4, false, ops(al())...)
+	def(OpBGEQ, "bgeq", 3, false, ops(bb())...)
+	def(OpBLSS, "blss", 3, false, ops(bb())...)
+	def(OpBGTRU, "bgtru", 3, false, ops(bb())...)
+	def(OpBLEQU, "blequ", 3, false, ops(bb())...)
+	def(OpBVC, "bvc", 3, false, ops(bb())...)
+	def(OpBVS, "bvs", 3, false, ops(bb())...)
+	def(OpBCC, "bcc", 3, false, ops(bb())...)
+	def(OpBCS, "bcs", 3, false, ops(bb())...)
+
+	def(OpMOVC3, "movc3", 20, false, ops(rw(), ab(), ab())...)
+	def(OpCMPC3, "cmpc3", 20, false, ops(rw(), ab(), ab())...)
+	def(OpMOVC5, "movc5", 24, false, ops(rw(), ab(), rb(), rw(), ab())...)
+
+	def(OpBSBW, "bsbw", 5, false, ops(bw())...)
+	def(OpBRW, "brw", 3, false, ops(bw())...)
+	def(OpCVTWL, "cvtwl", 3, false, ops(rw(), wl())...)
+	def(OpCVTWB, "cvtwb", 3, false, ops(rw(), wb())...)
+	def(OpLOCC, "locc", 16, false, ops(rb(), rw(), ab())...)
+	def(OpSKPC, "skpc", 16, false, ops(rb(), rw(), ab())...)
+	def(OpMOVZWL, "movzwl", 3, false, ops(rw(), wl())...)
+
+	def(OpASHL, "ashl", 6, false, ops(rb(), rl(), wl())...)
+	def(OpEMUL, "emul", 14, false, ops(rl(), rl(), rl(), wl())...)
+	def(OpEDIV, "ediv", 20, false, ops(rl(), rl(), wl(), wl())...)
+
+	def(OpADDB2, "addb2", 3, false, ops(rb(), mb())...)
+	def(OpADDB3, "addb3", 3, false, ops(rb(), rb(), wb())...)
+	def(OpSUBB2, "subb2", 3, false, ops(rb(), mb())...)
+	def(OpSUBB3, "subb3", 3, false, ops(rb(), rb(), wb())...)
+	def(OpMOVB, "movb", 2, false, ops(rb(), wb())...)
+	def(OpCMPB, "cmpb", 3, false, ops(rb(), rb())...)
+	def(OpMCOMB, "mcomb", 3, false, ops(rb(), wb())...)
+	def(OpBITB, "bitb", 3, false, ops(rb(), rb())...)
+	def(OpCLRB, "clrb", 2, false, ops(wb())...)
+	def(OpTSTB, "tstb", 2, false, ops(rb())...)
+	def(OpINCB, "incb", 3, false, ops(mb())...)
+	def(OpDECB, "decb", 3, false, ops(mb())...)
+	def(OpBISB2, "bisb2", 3, false, ops(rb(), mb())...)
+	def(OpBISB3, "bisb3", 3, false, ops(rb(), rb(), wb())...)
+	def(OpBICB2, "bicb2", 3, false, ops(rb(), mb())...)
+	def(OpBICB3, "bicb3", 3, false, ops(rb(), rb(), wb())...)
+	def(OpXORB2, "xorb2", 3, false, ops(rb(), mb())...)
+	def(OpXORB3, "xorb3", 3, false, ops(rb(), rb(), wb())...)
+	def(OpMNEGB, "mnegb", 3, false, ops(rb(), wb())...)
+	def(OpCVTBL, "cvtbl", 3, false, ops(rb(), wl())...)
+	def(OpCVTBW, "cvtbw", 3, false, ops(rb(), ww())...)
+	def(OpMOVZBL, "movzbl", 3, false, ops(rb(), wl())...)
+	def(OpMOVZBW, "movzbw", 3, false, ops(rb(), ww())...)
+	def(OpROTL, "rotl", 6, false, ops(rb(), rl(), wl())...)
+	def(OpMOVAB, "movab", 3, false, ops(ab(), wl())...)
+	def(OpPUSHAB, "pushab", 4, false, ops(ab())...)
+
+	def(OpADDW2, "addw2", 3, false, ops(rw(), mw())...)
+	def(OpADDW3, "addw3", 3, false, ops(rw(), rw(), ww())...)
+	def(OpSUBW2, "subw2", 3, false, ops(rw(), mw())...)
+	def(OpSUBW3, "subw3", 3, false, ops(rw(), rw(), ww())...)
+	def(OpBISW2, "bisw2", 3, false, ops(rw(), mw())...)
+	def(OpBISW3, "bisw3", 3, false, ops(rw(), rw(), ww())...)
+	def(OpBICW2, "bicw2", 3, false, ops(rw(), mw())...)
+	def(OpBICW3, "bicw3", 3, false, ops(rw(), rw(), ww())...)
+	def(OpXORW2, "xorw2", 3, false, ops(rw(), mw())...)
+	def(OpXORW3, "xorw3", 3, false, ops(rw(), rw(), ww())...)
+	def(OpMNEGW, "mnegw", 3, false, ops(rw(), ww())...)
+	def(OpMOVW, "movw", 2, false, ops(rw(), ww())...)
+	def(OpCMPW, "cmpw", 3, false, ops(rw(), rw())...)
+	def(OpMCOMW, "mcomw", 3, false, ops(rw(), ww())...)
+	def(OpBITW, "bitw", 3, false, ops(rw(), rw())...)
+	def(OpCLRW, "clrw", 2, false, ops(ww())...)
+	def(OpTSTW, "tstw", 2, false, ops(rw())...)
+	def(OpINCW, "incw", 3, false, ops(mw())...)
+	def(OpDECW, "decw", 3, false, ops(mw())...)
+	def(OpBISPSW, "bispsw", 4, false, ops(rw())...)
+	def(OpBICPSW, "bicpsw", 4, false, ops(rw())...)
+	def(OpPOPR, "popr", 8, false, ops(rw())...)
+	def(OpPUSHR, "pushr", 8, false, ops(rw())...)
+	def(OpCHMK, "chmk", 16, false, ops(rw())...)
+
+	def(OpADDL2, "addl2", 3, false, ops(rl(), ml())...)
+	def(OpADDL3, "addl3", 3, false, ops(rl(), rl(), wl())...)
+	def(OpSUBL2, "subl2", 3, false, ops(rl(), ml())...)
+	def(OpSUBL3, "subl3", 3, false, ops(rl(), rl(), wl())...)
+	def(OpMULL2, "mull2", 12, false, ops(rl(), ml())...)
+	def(OpMULL3, "mull3", 12, false, ops(rl(), rl(), wl())...)
+	def(OpDIVL2, "divl2", 18, false, ops(rl(), ml())...)
+	def(OpDIVL3, "divl3", 18, false, ops(rl(), rl(), wl())...)
+	def(OpBISL2, "bisl2", 3, false, ops(rl(), ml())...)
+	def(OpBISL3, "bisl3", 3, false, ops(rl(), rl(), wl())...)
+	def(OpBICL2, "bicl2", 3, false, ops(rl(), ml())...)
+	def(OpBICL3, "bicl3", 3, false, ops(rl(), rl(), wl())...)
+	def(OpXORL2, "xorl2", 3, false, ops(rl(), ml())...)
+	def(OpXORL3, "xorl3", 3, false, ops(rl(), rl(), wl())...)
+	def(OpMNEGL, "mnegl", 3, false, ops(rl(), wl())...)
+	def(OpCASEL, "casel", 10, false, ops(rl(), rl(), rl())...)
+	def(OpMOVL, "movl", 2, false, ops(rl(), wl())...)
+	def(OpCMPL, "cmpl", 3, false, ops(rl(), rl())...)
+	def(OpMCOML, "mcoml", 3, false, ops(rl(), wl())...)
+	def(OpBITL, "bitl", 3, false, ops(rl(), rl())...)
+	def(OpCLRL, "clrl", 2, false, ops(wl())...)
+	def(OpTSTL, "tstl", 2, false, ops(rl())...)
+	def(OpINCL, "incl", 3, false, ops(ml())...)
+	def(OpDECL, "decl", 3, false, ops(ml())...)
+	def(OpADWC, "adwc", 3, false, ops(rl(), ml())...)
+	def(OpSBWC, "sbwc", 3, false, ops(rl(), ml())...)
+	def(OpMTPR, "mtpr", 10, true, ops(rl(), rl())...)
+	def(OpMFPR, "mfpr", 8, true, ops(rl(), wl())...)
+	def(OpMOVPSL, "movpsl", 4, false, ops(wl())...)
+	def(OpPUSHL, "pushl", 3, false, ops(rl())...)
+	def(OpMOVAL, "moval", 3, false, ops(al(), wl())...)
+	def(OpPUSHAL, "pushal", 4, false, ops(al())...)
+
+	def(OpBBS, "bbs", 6, false, ops(rl(), vb(), bb())...)
+	def(OpBBC, "bbc", 6, false, ops(rl(), vb(), bb())...)
+	def(OpBLBS, "blbs", 4, false, ops(rl(), bb())...)
+	def(OpBLBC, "blbc", 4, false, ops(rl(), bb())...)
+
+	def(OpACBL, "acbl", 8, false, ops(rl(), rl(), ml(), bw())...)
+	def(OpAOBLSS, "aoblss", 5, false, ops(rl(), ml(), bb())...)
+	def(OpAOBLEQ, "aobleq", 5, false, ops(rl(), ml(), bb())...)
+	def(OpSOBGEQ, "sobgeq", 5, false, ops(ml(), bb())...)
+	def(OpSOBGTR, "sobgtr", 5, false, ops(ml(), bb())...)
+	def(OpCVTLB, "cvtlb", 3, false, ops(rl(), wb())...)
+	def(OpCVTLW, "cvtlw", 3, false, ops(rl(), ww())...)
+
+	def(OpCALLS, "calls", 24, false, ops(rl(), al())...)
+
+	// Assembler aliases (the architecture's alternate mnemonics).
+	ByName["bgequ"] = ByName["bcc"]
+	ByName["blssu"] = ByName["bcs"]
+}
+
+// Privileged processor registers (MTPR/MFPR register numbers, the VAX
+// architecture's values where they exist).
+const (
+	PrKSP   = 0  // kernel stack pointer
+	PrUSP   = 3  // user stack pointer
+	PrP0BR  = 8  // P0 base register (system-space virtual address)
+	PrP0LR  = 9  // P0 length register (pages)
+	PrP1BR  = 10 // P1 base register
+	PrP1LR  = 11 // P1 length register
+	PrSBR   = 12 // system base register (physical address)
+	PrSLR   = 13 // system length register (pages)
+	PrPCBB  = 16 // process control block base (physical)
+	PrSCBB  = 17 // system control block base (physical)
+	PrIPL   = 18 // interrupt priority level
+	PrSIRR  = 20 // software interrupt request (write)
+	PrSISR  = 21 // software interrupt summary
+	PrICCS  = 24 // interval clock control/status (bit 6 = run/enable)
+	PrICR   = 26 // interval count register (microcycles per tick)
+	PrTXDB  = 35 // console transmit data buffer (write a character)
+	PrMAPEN = 56 // memory mapping enable
+	PrTBIA  = 57 // translation buffer invalidate all
+	PrTBIS  = 58 // translation buffer invalidate single (by VA)
+)
+
+// Exception and interrupt vectors (offsets into the system control block).
+const (
+	VecMachineCheck        = 0x04
+	VecKernelStackNotValid = 0x08
+	VecReserved            = 0x10 // reserved/privileged instruction fault
+	VecAccessViolation     = 0x20 // protection violation: pushes VA, then PC/PSL
+	VecTranslationNotValid = 0x24 // page fault: pushes VA, then PC/PSL
+	VecTraceTrap           = 0x28 // T-bit trace trap
+	VecBreakpoint          = 0x2C
+	VecArithmetic          = 0x34 // integer overflow / divide by zero
+	VecCHMK                = 0x40 // change-mode-to-kernel: pushes code, then PC/PSL
+	VecSoftware1           = 0x84 // software interrupt level 1 (rescheduling)
+	VecIntervalTimer       = 0xC0 // interval timer interrupt, IPL 22
+)
+
+// Interrupt priority levels used by the simulator.
+const (
+	IPLTimer    = 22
+	IPLSoftware = 1
+)

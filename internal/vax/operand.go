@@ -1,0 +1,268 @@
+package vax
+
+import "fmt"
+
+// AddrMode is a decoded VAX addressing mode. The raw specifier byte's high
+// nibble selects the mode; PC-based variants of autoincrement and
+// displacement modes get their own decoded values because their semantics
+// differ (immediate, absolute, relative).
+type AddrMode uint8
+
+const (
+	ModeLiteral         AddrMode = iota // S^#0..63, high nibble 0-3
+	ModeIndexed                         // [Rx] prefix, nibble 4 (wraps a base operand)
+	ModeRegister                        // Rn, nibble 5
+	ModeRegDeferred                     // (Rn), nibble 6
+	ModeAutoDec                         // -(Rn), nibble 7
+	ModeAutoInc                         // (Rn)+, nibble 8
+	ModeAutoIncDeferred                 // @(Rn)+, nibble 9
+	ModeByteDisp                        // B^d(Rn), nibble A
+	ModeByteDispDef                     // @B^d(Rn), nibble B
+	ModeWordDisp                        // W^d(Rn), nibble C
+	ModeWordDispDef                     // @W^d(Rn), nibble D
+	ModeLongDisp                        // L^d(Rn), nibble E
+	ModeLongDispDef                     // @L^d(Rn), nibble F
+	ModeImmediate                       // #imm       = (PC)+
+	ModeAbsolute                        // @#addr     = @(PC)+
+	ModeBranch                          // branch displacement (not specifier-coded)
+)
+
+// Operand is one decoded operand specifier.
+type Operand struct {
+	Mode AddrMode
+	Reg  byte // base register (not meaningful for literal/immediate/absolute/branch)
+
+	Indexed bool // an index prefix [Xreg] was present
+	Xreg    byte
+
+	Lit  byte   // ModeLiteral: the 6-bit value
+	Disp int32  // displacement or branch displacement (sign-extended)
+	Imm  uint32 // ModeImmediate: constant; ModeAbsolute: address
+
+	// Len is the number of instruction-stream bytes the specifier
+	// consumed (for disassembly and PC arithmetic checks).
+	Len int
+}
+
+// Fetcher supplies consecutive instruction-stream bytes. The CPU's
+// implementation charges microcycles and fires I-fetch events; the
+// disassembler's reads from a slice.
+type Fetcher interface {
+	Byte() (byte, error)
+	Word() (uint16, error)
+	Long() (uint32, error)
+}
+
+// DecodeOperand decodes one operand specifier for an operand of the given
+// spec. Branch operands (AccBranch) are displacement-coded, not
+// specifier-coded.
+func DecodeOperand(f Fetcher, spec OperandSpec) (Operand, error) {
+	if spec.Access == AccBranch {
+		return decodeBranch(f, spec.Width)
+	}
+	return decodeSpecifier(f, spec, false)
+}
+
+func decodeBranch(f Fetcher, w Width) (Operand, error) {
+	switch w {
+	case B:
+		b, err := f.Byte()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Mode: ModeBranch, Disp: int32(int8(b)), Len: 1}, nil
+	case W:
+		v, err := f.Word()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Mode: ModeBranch, Disp: int32(int16(v)), Len: 2}, nil
+	default:
+		return Operand{}, fmt.Errorf("vax: invalid branch displacement width %v", w)
+	}
+}
+
+func decodeSpecifier(f Fetcher, spec OperandSpec, inIndex bool) (Operand, error) {
+	sb, err := f.Byte()
+	if err != nil {
+		return Operand{}, err
+	}
+	mode := sb >> 4
+	reg := sb & 0x0F
+	op := Operand{Reg: reg, Len: 1}
+
+	switch mode {
+	case 0, 1, 2, 3: // short literal
+		op.Mode = ModeLiteral
+		op.Lit = sb & 0x3F
+		return op, nil
+
+	case 4: // index prefix
+		if inIndex {
+			return Operand{}, fmt.Errorf("vax: nested index mode")
+		}
+		if reg == PC {
+			return Operand{}, fmt.Errorf("vax: PC may not be an index register")
+		}
+		base, err := decodeSpecifier(f, spec, true)
+		if err != nil {
+			return Operand{}, err
+		}
+		switch base.Mode {
+		case ModeLiteral, ModeRegister, ModeImmediate, ModeIndexed:
+			return Operand{}, fmt.Errorf("vax: illegal base mode %v for index mode", base.Mode)
+		}
+		base.Indexed = true
+		base.Xreg = reg
+		base.Len++
+		return base, nil
+
+	case 5:
+		op.Mode = ModeRegister
+		return op, nil
+	case 6:
+		op.Mode = ModeRegDeferred
+		return op, nil
+	case 7:
+		op.Mode = ModeAutoDec
+		return op, nil
+
+	case 8:
+		if reg == PC { // immediate: constant of operand width follows
+			op.Mode = ModeImmediate
+			switch spec.Width {
+			case B:
+				b, err := f.Byte()
+				if err != nil {
+					return Operand{}, err
+				}
+				op.Imm = uint32(b)
+				op.Len += 1
+			case W:
+				v, err := f.Word()
+				if err != nil {
+					return Operand{}, err
+				}
+				op.Imm = uint32(v)
+				op.Len += 2
+			default:
+				v, err := f.Long()
+				if err != nil {
+					return Operand{}, err
+				}
+				op.Imm = v
+				op.Len += 4
+			}
+			return op, nil
+		}
+		op.Mode = ModeAutoInc
+		return op, nil
+
+	case 9:
+		if reg == PC { // absolute: 32-bit address follows
+			v, err := f.Long()
+			if err != nil {
+				return Operand{}, err
+			}
+			op.Mode = ModeAbsolute
+			op.Imm = v
+			op.Len += 4
+			return op, nil
+		}
+		op.Mode = ModeAutoIncDeferred
+		return op, nil
+
+	case 0xA, 0xB:
+		b, err := f.Byte()
+		if err != nil {
+			return Operand{}, err
+		}
+		op.Disp = int32(int8(b))
+		op.Len += 1
+		if mode == 0xA {
+			op.Mode = ModeByteDisp
+		} else {
+			op.Mode = ModeByteDispDef
+		}
+		return op, nil
+
+	case 0xC, 0xD:
+		v, err := f.Word()
+		if err != nil {
+			return Operand{}, err
+		}
+		op.Disp = int32(int16(v))
+		op.Len += 2
+		if mode == 0xC {
+			op.Mode = ModeWordDisp
+		} else {
+			op.Mode = ModeWordDispDef
+		}
+		return op, nil
+
+	default: // 0xE, 0xF
+		v, err := f.Long()
+		if err != nil {
+			return Operand{}, err
+		}
+		op.Disp = int32(v)
+		op.Len += 4
+		if mode == 0xE {
+			op.Mode = ModeLongDisp
+		} else {
+			op.Mode = ModeLongDispDef
+		}
+		return op, nil
+	}
+}
+
+// String renders the operand in assembler syntax. PC-relative
+// displacements render with the raw displacement since the operand does
+// not know its own address.
+func (o Operand) String() string {
+	s := o.base()
+	if o.Indexed {
+		s += "[" + RegName(int(o.Xreg)) + "]"
+	}
+	return s
+}
+
+func (o Operand) base() string {
+	r := RegName(int(o.Reg))
+	switch o.Mode {
+	case ModeLiteral:
+		return fmt.Sprintf("#%d", o.Lit)
+	case ModeRegister:
+		return r
+	case ModeRegDeferred:
+		return "(" + r + ")"
+	case ModeAutoDec:
+		return "-(" + r + ")"
+	case ModeAutoInc:
+		return "(" + r + ")+"
+	case ModeAutoIncDeferred:
+		return "@(" + r + ")+"
+	case ModeByteDisp, ModeWordDisp, ModeLongDisp:
+		return fmt.Sprintf("%d(%s)", o.Disp, r)
+	case ModeByteDispDef, ModeWordDispDef, ModeLongDispDef:
+		return fmt.Sprintf("@%d(%s)", o.Disp, r)
+	case ModeImmediate:
+		return fmt.Sprintf("#%#x", o.Imm)
+	case ModeAbsolute:
+		return fmt.Sprintf("@#%#x", o.Imm)
+	case ModeBranch:
+		return fmt.Sprintf(".%+d", o.Disp)
+	}
+	return "?"
+}
+
+// HasEffectiveAddress reports whether the operand names a memory location
+// (as opposed to a register, literal, immediate or branch displacement).
+func (o Operand) HasEffectiveAddress() bool {
+	switch o.Mode {
+	case ModeLiteral, ModeRegister, ModeImmediate, ModeBranch:
+		return o.Indexed && o.Mode != ModeBranch // indexed literals/registers are illegal anyway
+	default:
+		return true
+	}
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"atum/internal/kernel"
+	"atum/internal/micro"
+)
+
+func testCfg() kernel.Config {
+	cfg := kernel.DefaultConfig()
+	cfg.Machine.MemSize = 4 << 20
+	cfg.Machine.ReservedSize = 256 << 10
+	return cfg
+}
+
+func TestEveryWorkloadAssembles(t *testing.T) {
+	for _, w := range All {
+		if _, err := w.Program(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestEveryWorkloadRunsCorrectly(t *testing.T) {
+	for _, w := range All {
+		w := w
+		if w.Name == "producer" || w.Name == "consumer" {
+			continue // they meet at the pipe; see TestProdConsMix
+		}
+		t.Run(w.Name, func(t *testing.T) {
+			sys, err := BootMix(testCfg(), w.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reason, err := sys.Run(200_000_000)
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, sys.M.State())
+			}
+			if reason != micro.StopHalt {
+				t.Fatalf("stopped: %v\n%s", reason, sys.M.State())
+			}
+			if w.Expect != "" {
+				if got := sys.Console(); got != w.Expect {
+					t.Errorf("console = %q, want %q", got, w.Expect)
+				}
+			} else if sys.Console() == "" {
+				t.Error("no console output")
+			}
+			st, err := sys.State(sys.Procs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != kernel.ProcDead {
+				t.Errorf("state = %d, want dead", st)
+			}
+		})
+	}
+}
+
+func TestStandardMixRuns(t *testing.T) {
+	sys, err := BootMix(testCfg(), StandardMix...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reason, err := sys.Run(500_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != micro.StopHalt {
+		t.Fatalf("mix did not finish: %v\n%s", reason, sys.M.State())
+	}
+	got := sys.Console()
+	// Every workload's output must appear, interleaved or not.
+	total := 0
+	for _, n := range StandardMix {
+		w, _ := ByName(n)
+		total += len(w.Expect)
+	}
+	if len(got) != total {
+		t.Errorf("console length %d, want %d: %q", len(got), total, got)
+	}
+}
+
+// TestMandelDifferential checks the assembly Mandelbrot bit-for-bit
+// against a Go reference using identical 8.8 fixed-point arithmetic —
+// a differential test of MULL3/ASHL/compare semantics on signed values.
+func TestMandelDifferential(t *testing.T) {
+	var want strings.Builder
+	cy := int32(-288)
+	for row := 0; row < 12; row++ {
+		cx := int32(-576)
+		for col := 0; col < 32; col++ {
+			var zx, zy int32
+			iter := int32(16)
+			for ; iter > 0; iter-- {
+				zx2 := (zx * zx) >> 8
+				zy2 := (zy * zy) >> 8
+				if zx2+zy2 > 1024 {
+					break
+				}
+				zy = ((zx * zy) >> 7) + cy
+				zx = zx2 - zy2 + cx
+			}
+			// The asm's sobgtr leaves r6 = iter-1 on the final pass
+			// before falling through with r6 == 0.
+			switch {
+			case iter == 0:
+				want.WriteByte('*')
+			case iter < 12:
+				want.WriteByte('.')
+			default:
+				want.WriteByte(' ')
+			}
+			cx += 24
+		}
+		want.WriteByte('\n')
+		cy += 48
+	}
+
+	sys, err := BootMix(testCfg(), "mandel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	got := sys.Console()
+	if got != want.String() {
+		t.Errorf("mandel output differs from Go reference:\n--- machine ---\n%s--- reference ---\n%s", got, want.String())
+	}
+	if !strings.Contains(got, "*") {
+		t.Error("no interior points rendered")
+	}
+}
+
+func TestProdConsMix(t *testing.T) {
+	sys, err := BootMix(testCfg(), Mixes["prodcons"]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reason, err := sys.Run(200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != micro.StopHalt {
+		t.Fatalf("prodcons did not finish: %v\n%s", reason, sys.M.State())
+	}
+	if got := sys.Console(); got != "4950\n" {
+		t.Errorf("console = %q, want %q", got, "4950\n")
+	}
+}
+
+func TestEverythingMixRuns(t *testing.T) {
+	sys, err := BootMix(testCfg(), Mixes["everything"]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reason, err := sys.Run(1_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason != micro.StopHalt {
+		t.Fatalf("everything mix did not finish: %v\n%s", reason, sys.M.State())
+	}
+	got := sys.Console()
+	for _, n := range Mixes["everything"] {
+		w, _ := ByName(n)
+		if w.Expect != "" && !strings.Contains(got, strings.TrimSuffix(w.Expect, "\n")) {
+			t.Errorf("console missing %s output %q: %q", n, w.Expect, got)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) should fail")
+	}
+	if len(Names()) != len(All) {
+		t.Error("Names length mismatch")
+	}
+	for _, n := range Names() {
+		if _, ok := ByName(n); !ok {
+			t.Errorf("ByName(%s) failed", n)
+		}
+	}
+}
+
+func TestBootMixUnknownName(t *testing.T) {
+	if _, err := BootMix(testCfg(), "bogus"); err == nil {
+		t.Error("BootMix with unknown workload should fail")
+	}
+}
