@@ -46,6 +46,9 @@ func main() {
 	}
 
 	if *pid >= 0 {
+		if *pid > 255 {
+			fatal(fmt.Errorf("-pid %d out of range (trace PIDs are 8-bit)", *pid))
+		}
 		recs = trace.FilterPID(recs, uint8(*pid))
 	}
 	if *user {

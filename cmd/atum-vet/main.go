@@ -1,0 +1,136 @@
+// atum-vet statically verifies the two kinds of program this repository
+// contains: assembly programs for the simulated machine, and the Go
+// codebase itself.
+//
+//	atum-vet asm [-user] [-protect name:base:size] prog.s...
+//	    Assemble each file and run the asmcheck rule passes (CFG-based:
+//	    wild branches, mid-instruction jumps, unreachable code,
+//	    privileged opcodes on user paths, writes into protected ranges,
+//	    missing termination, unbalanced jsb/rsb stack discipline).
+//
+//	atum-vet go [dir]
+//	    Run the repo-specific analyzers (tracerecord, reservedaccessor,
+//	    pidtrunc) over every package under dir (default: current
+//	    directory, which should be the module root).
+//
+// Exit status is 1 when any error-severity diagnostic (asm) or any
+// finding (go) is produced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"atum/internal/analyzers"
+	"atum/internal/asmcheck"
+	"atum/internal/vax"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "asm":
+		vetAsm(os.Args[2:])
+	case "go":
+		vetGo(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: atum-vet asm [-user] [-protect name:base:size] prog.s...\n       atum-vet go [dir]")
+	os.Exit(2)
+}
+
+func vetAsm(args []string) {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	user := fs.Bool("user", false, "check under the user-mode profile (workload programs)")
+	var protects multiFlag
+	fs.Var(&protects, "protect", "protected range name:base:size (repeatable)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		usage()
+	}
+
+	opts := asmcheck.BareProgram()
+	if *user {
+		opts = asmcheck.UserProgram()
+	}
+	for _, spec := range protects {
+		r, err := parseRange(spec)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Protected = append(opts.Protected, r)
+	}
+
+	failed := false
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := vax.Assemble(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		diags := asmcheck.Check(prog, opts)
+		for _, d := range diags {
+			fmt.Printf("%s: %s\n", path, d)
+		}
+		if asmcheck.HasErrors(diags) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func vetGo(args []string) {
+	dir := "."
+	if len(args) > 0 {
+		dir = args[0]
+	}
+	findings, err := analyzers.RunDir(dir, analyzers.All())
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func parseRange(spec string) (asmcheck.Range, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return asmcheck.Range{}, fmt.Errorf("bad -protect %q (want name:base:size)", spec)
+	}
+	base, err1 := strconv.ParseUint(parts[1], 0, 32)
+	size, err2 := strconv.ParseUint(parts[2], 0, 32)
+	if err1 != nil || err2 != nil {
+		return asmcheck.Range{}, fmt.Errorf("bad -protect %q (want name:base:size)", spec)
+	}
+	return asmcheck.Range{Name: parts[0], Base: uint32(base), Size: uint32(size)}, nil
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atum-vet:", err)
+	os.Exit(1)
+}

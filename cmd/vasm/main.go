@@ -8,6 +8,7 @@
 //	vasm -o prog.bin prog.s          assemble to a flat binary
 //	vasm -d prog.bin -org 0x200      disassemble a binary
 //	vasm -run prog.s                 assemble and execute bare-machine
+//	vasm -lint prog.s                assemble and statically verify
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"strconv"
 
+	"atum/internal/asmcheck"
 	"atum/internal/micro"
 	"atum/internal/vax"
 )
@@ -29,6 +31,8 @@ func main() {
 		maxIn   = flag.Uint64("max", 10_000_000, "instruction budget for -run")
 		quiet   = flag.Bool("q", false, "suppress output")
 		listing = flag.Bool("l", false, "print a source listing instead of a disassembly")
+		lint    = flag.Bool("lint", false, "statically verify the program; exit nonzero on errors")
+		user    = flag.Bool("user", false, "with -lint: check under the user-mode profile")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -59,6 +63,23 @@ func main() {
 	prog, err := vax.Assemble(string(data))
 	if err != nil {
 		fatal(err)
+	}
+	if *lint {
+		opts := asmcheck.BareProgram()
+		if *user {
+			opts = asmcheck.UserProgram()
+		}
+		diags := asmcheck.Check(prog, opts)
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", flag.Arg(0), d)
+		}
+		if asmcheck.HasErrors(diags) {
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("%s: %d diagnostics, no errors\n", flag.Arg(0), len(diags))
+		}
+		return
 	}
 	if !*quiet && *listing {
 		fmt.Print(vax.Listing(prog, string(data)))

@@ -1,0 +1,18 @@
+; countdown.s — print the digits 9..0 using a balanced jsb routine.
+; Demonstrates the stack discipline asmcheck verifies: putdig saves r1
+; with pushr and restores it with a matching popr before rsb.
+; Assemble and vet:  vasm -lint examples/asm/countdown.s
+	.org	0x200
+start:	movl	#9, r6
+cloop:	movl	r6, r0
+	jsb	putdig
+	sobgeq	r6, cloop
+	movl	#10, r0
+	mtpr	r0, #35		; newline
+	halt
+
+putdig:	pushr	#0x02		; save r1
+	addl3	#0x30, r0, r1	; ASCII digit
+	mtpr	r1, #35		; TXDB: console transmit
+	popr	#0x02
+	rsb

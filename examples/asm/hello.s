@@ -1,0 +1,10 @@
+; hello.s — bare-machine console output via the TXDB processor register.
+; Assemble and vet:  vasm -lint examples/asm/hello.s
+	.org	0x200
+start:	moval	msg, r1
+	movl	#14, r2
+loop:	movzbl	(r1)+, r0
+	mtpr	r0, #35		; TXDB: console transmit
+	sobgtr	r2, loop
+	halt
+msg:	.ascii	"hello, world!\n"

@@ -1,0 +1,8 @@
+; sum.s — sum the integers 1..100 into r0, then halt.
+; Assemble and vet:  vasm -lint examples/asm/sum.s
+	.org	0x200
+start:	clrl	r0
+	movl	#100, r1
+sloop:	addl2	r1, r0
+	sobgtr	r1, sloop
+	halt

@@ -1,0 +1,140 @@
+// Package analyzers contains static vet passes for this codebase itself,
+// enforcing repo-specific invariants the Go compiler cannot: trace.Record
+// literals set the fields the packed encoding requires, only the tracing
+// layers touch the reserved-region accessor, and PIDs are never silently
+// truncated to uint8.
+//
+// The framework is a deliberately small, stdlib-only analogue of
+// golang.org/x/tools/go/analysis (which is not vendored here): analyzers
+// receive parsed files and report position-tagged findings. Passes are
+// purely syntactic — they see the AST, not types — which keeps them
+// dependency-free and fast; the invariants they check are naming-level
+// ones where syntax is sufficient.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one vet pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is the per-package unit of work handed to an analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	// Dir is the slash-separated package directory relative to the
+	// module root (e.g. "internal/cache"); analyzers use it for
+	// package-allowlist rules.
+	Dir   string
+	Files []*ast.File
+
+	findings *[]Finding
+	analyzer string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer,
+		Pos:      p.Fset.Position(pos),
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Msg      string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Msg, f.Analyzer)
+}
+
+// All returns every registered analyzer.
+func All() []*Analyzer {
+	return []*Analyzer{TraceRecord, ReservedAccessor, PIDTrunc}
+}
+
+// RunDir parses every non-test .go file under root (recursively, skipping
+// testdata and hidden directories) and applies the analyzers
+// package-by-package. root should be the module root so that package
+// allowlists, which are expressed as module-relative directories, line up.
+func RunDir(root string, analyzers []*Analyzer) ([]Finding, error) {
+	byDir := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		byDir[dir] = append(byDir[dir], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	dirs := make([]string, 0, len(byDir))
+	for d := range byDir {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	var findings []Finding
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			rel = dir
+		}
+		fset := token.NewFileSet()
+		var files []*ast.File
+		sort.Strings(byDir[dir])
+		for _, path := range byDir[dir] {
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		runPass(fset, filepath.ToSlash(rel), files, analyzers, &findings)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func runPass(fset *token.FileSet, dir string, files []*ast.File, analyzers []*Analyzer, out *[]Finding) {
+	for _, a := range analyzers {
+		a.Run(&Pass{Fset: fset, Dir: dir, Files: files, findings: out, analyzer: a.Name})
+	}
+}

@@ -1,0 +1,115 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// PIDTrunc flags uint8(x) conversions where x is PID-shaped and nothing
+// in the enclosing function bounds it first. Trace records carry an
+// 8-bit PID; converting a wider PID (a flag value, a loop index) without
+// a range check silently wraps at 256 and attributes references to the
+// wrong process. A conversion is considered guarded when the operand is
+// masked (x & 0xFF) or the function compares a PID-shaped value against
+// the 8-bit limit before converting.
+var PIDTrunc = &Analyzer{
+	Name: "pidtrunc",
+	Doc:  "uint8 conversions of PID values require a bounds check or explicit mask",
+	Run:  runPIDTrunc,
+}
+
+func runPIDTrunc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			guarded := hasPIDGuard(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "uint8" {
+					return true
+				}
+				arg := call.Args[0]
+				if !isPIDExpr(arg) || isMasked(arg) || guarded {
+					return true
+				}
+				p.Reportf(call.Pos(), "uint8 conversion of PID value truncates silently; bounds-check or mask it first")
+				return true
+			})
+		}
+	}
+}
+
+// isPIDExpr reports whether the expression names a PID: an identifier or
+// selector whose terminal name contains "pid" case-insensitively.
+// Masked expressions recurse into their operand.
+func isPIDExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(e.Name), "pid")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(e.Sel.Name), "pid")
+	case *ast.StarExpr:
+		return isPIDExpr(e.X)
+	case *ast.ParenExpr:
+		return isPIDExpr(e.X)
+	case *ast.BinaryExpr:
+		return isPIDExpr(e.X) || isPIDExpr(e.Y)
+	}
+	return false
+}
+
+// isMasked reports whether the operand is explicitly masked to 8 bits.
+func isMasked(e ast.Expr) bool {
+	if pe, ok := e.(*ast.ParenExpr); ok {
+		return isMasked(pe.X)
+	}
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || b.Op != token.AND {
+		return false
+	}
+	return is8BitLimit(b.X) || is8BitLimit(b.Y)
+}
+
+// hasPIDGuard reports whether the function body compares a PID-shaped
+// expression against the 8-bit limit anywhere (a bounds check like
+// `if pid > 255 { ... }` or `pid <= math.MaxUint8`).
+func hasPIDGuard(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || found {
+			return !found
+		}
+		switch b.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			if (isPIDExpr(b.X) && is8BitLimit(b.Y)) || (isPIDExpr(b.Y) && is8BitLimit(b.X)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// is8BitLimit matches the literals and names used as 8-bit bounds:
+// 255, 256, 0xFF, 0x100, math.MaxUint8.
+func is8BitLimit(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		switch strings.ToLower(e.Value) {
+		case "255", "256", "0xff", "0x100":
+			return true
+		}
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "MaxUint8"
+	}
+	return false
+}

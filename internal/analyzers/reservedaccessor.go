@@ -1,0 +1,52 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ReservedAccessor restricts who may call mem.Physical.ReservedBase: the
+// reserved region is the ATUM trace buffer, and the invariant that makes
+// captured traces trustworthy is that only the collector writes it and
+// only the kernel's frame accounting knows where it starts. A simulator
+// or analysis package reading ReservedBase is almost always about to
+// peek at (or scribble on) trace memory behind the collector's back.
+var ReservedAccessor = &Analyzer{
+	Name: "reservedaccessor",
+	Doc:  "only the tracing layers (internal/atum, internal/kernel, internal/mem) may call ReservedBase",
+	Run:  runReservedAccessor,
+}
+
+// reservedAllowed lists package directories permitted to call the
+// accessor: the collector, the kernel frame accounting, and the memory
+// package that defines it.
+var reservedAllowed = map[string]bool{
+	"internal/atum":   true,
+	"internal/kernel": true,
+	"internal/mem":    true,
+}
+
+func runReservedAccessor(p *Pass) {
+	if reservedAllowed[p.Dir] {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "ReservedBase" {
+				return true
+			}
+			p.Reportf(call.Pos(), "call to ReservedBase outside the tracing layers (%s); go through atum.Collector instead",
+				strings.Join(allowedList(), ", "))
+			return true
+		})
+	}
+}
+
+func allowedList() []string {
+	return []string{"internal/atum", "internal/kernel", "internal/mem"}
+}

@@ -1,0 +1,14 @@
+// Fixtures for the pidtrunc analyzer: unguarded PID truncations.
+package fixtures
+
+func bad(pid int) uint8 {
+	return uint8(pid) // want "truncates silently"
+}
+
+func badFlag(opts struct{ PID uint64 }) uint8 {
+	return uint8(opts.PID) // want "truncates silently"
+}
+
+func badDeref(pid *int) uint8 {
+	return uint8(*pid) // want "truncates silently"
+}

@@ -1,0 +1,24 @@
+// Clean fixtures for the pidtrunc analyzer.
+package fixtures
+
+func okMask(pid int) uint8 {
+	return uint8(pid & 0xFF)
+}
+
+func okGuard(pid int) uint8 {
+	if pid < 0 || pid > 255 {
+		panic("pid out of range")
+	}
+	return uint8(pid)
+}
+
+func okGuardMax(pid uint64) uint8 {
+	if pid > math.MaxUint8 {
+		return 0
+	}
+	return uint8(pid)
+}
+
+func okNotPID(n int) uint8 {
+	return uint8(n) // not PID-shaped: out of scope
+}

@@ -1,0 +1,7 @@
+// vet:dir internal/cache
+// A simulation package peeking at the reserved trace region.
+package fixtures
+
+func bad(m *micro.Machine) uint32 {
+	return m.Mem.ReservedBase() // want "outside the tracing layers"
+}

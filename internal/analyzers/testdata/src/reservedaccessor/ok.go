@@ -1,0 +1,7 @@
+// vet:dir internal/atum
+// The collector itself is allowed to locate the reserved region.
+package fixtures
+
+func ok(m *micro.Machine) uint32 {
+	return m.Mem.ReservedBase()
+}

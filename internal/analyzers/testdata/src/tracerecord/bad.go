@@ -1,0 +1,11 @@
+// Fixtures for the tracerecord analyzer: literals that violate the
+// Record field conventions. Parsed, never compiled.
+package fixtures
+
+func bad() {
+	_ = trace.Record{Addr: 4, Width: 4}                             // want "does not set Kind"
+	_ = trace.Record{Kind: trace.KindDRead, Addr: 4}                // want "does not set Width"
+	_ = trace.Record{Kind: trace.KindIFetch, Addr: 0x200, PID: 1}   // want "does not set Width"
+	_ = trace.Record{Kind: trace.KindCtxSwitch, Width: 1, Extra: 2} // want "markers carry Width 0"
+	_ = trace.Record{Kind: trace.KindException, Width: 4}           // want "markers carry Width 0"
+}

@@ -1,0 +1,11 @@
+// Clean fixtures for the tracerecord analyzer.
+package fixtures
+
+func ok(k trace.Kind, w uint8) {
+	_ = trace.Record{Kind: trace.KindDRead, Addr: 4, Width: 4}
+	_ = trace.Record{Kind: trace.KindCtxSwitch, PID: 1, Extra: 1}
+	_ = trace.Record{Kind: trace.KindException, Width: 0, Extra: 0x40}
+	_ = trace.Record{Kind: k, Addr: 4, Width: w}               // dynamic kind: not judged
+	_ = trace.Record{}                                         // empty zero value: explicit enough
+	_ = trace.Record{trace.KindDRead, 4, 4, 1, true, false, 0} // positional: all fields present
+}

@@ -1,0 +1,115 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// TraceRecord checks keyed trace.Record composite literals: every literal
+// must say what Kind it is, memory-reference kinds must carry a Width
+// (the packed encoding has no "unset" width — omitting it silently
+// encodes a 1-byte reference), and marker kinds must not carry one
+// (markers decode to Width 0; a literal claiming otherwise cannot
+// round-trip through the trace buffer).
+var TraceRecord = &Analyzer{
+	Name: "tracerecord",
+	Doc:  "trace.Record literals set Kind, and Width exactly when the kind is a memory reference",
+	Run:  runTraceRecord,
+}
+
+var markerKinds = map[string]bool{
+	"KindCtxSwitch": true,
+	"KindException": true,
+}
+
+var memrefKinds = map[string]bool{
+	"KindIFetch":   true,
+	"KindDRead":    true,
+	"KindDWrite":   true,
+	"KindPTERead":  true,
+	"KindPTEWrite": true,
+}
+
+func runTraceRecord(p *Pass) {
+	for _, f := range p.Files {
+		inTracePkg := f.Name.Name == "trace"
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isRecordType(lit.Type, inTracePkg) {
+				return true
+			}
+			if len(lit.Elts) == 0 {
+				return true
+			}
+			var kind ast.Expr
+			var width ast.Expr
+			keyed := false
+			for _, e := range lit.Elts {
+				kv, ok := e.(*ast.KeyValueExpr)
+				if !ok {
+					continue // positional literal: all fields present
+				}
+				keyed = true
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch key.Name {
+				case "Kind":
+					kind = kv.Value
+				case "Width":
+					width = kv.Value
+				}
+			}
+			if !keyed {
+				return true
+			}
+			if kind == nil {
+				p.Reportf(lit.Pos(), "trace.Record literal does not set Kind (zero value is KindIFetch; say so if meant)")
+				return true
+			}
+			name, constant := kindName(kind)
+			if !constant {
+				return true // dynamic kind: width requirements depend on runtime value
+			}
+			if memrefKinds[name] && width == nil {
+				p.Reportf(lit.Pos(), "trace.Record literal with Kind %s does not set Width (encodes as a phantom 1-byte reference)", name)
+			}
+			if markerKinds[name] && width != nil && !isZeroLit(width) {
+				p.Reportf(width.Pos(), "trace.Record marker %s sets Width (markers carry Width 0; this cannot round-trip the packed encoding)", name)
+			}
+			return true
+		})
+	}
+}
+
+func isRecordType(t ast.Expr, inTracePkg bool) bool {
+	switch t := t.(type) {
+	case *ast.SelectorExpr:
+		x, ok := t.X.(*ast.Ident)
+		return ok && x.Name == "trace" && t.Sel.Name == "Record"
+	case *ast.Ident:
+		return inTracePkg && t.Name == "Record"
+	}
+	return false
+}
+
+// kindName extracts the constant name from a Kind value expression
+// (trace.KindDRead or bare KindDRead). ok=false for anything dynamic.
+func kindName(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok && x.Name == "trace" {
+			return e.Sel.Name, true
+		}
+	case *ast.Ident:
+		if markerKinds[e.Name] || memrefKinds[e.Name] {
+			return e.Name, true
+		}
+	}
+	return "", false
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}

@@ -1,0 +1,346 @@
+// Package asmcheck statically verifies assembled programs for the
+// simulated machine before they run: it decodes the image back through
+// the shared opcode table, builds a basic-block control-flow graph by
+// recursive traversal from the entry points, and applies rule-based
+// passes over the graph. The rules target exactly the failure modes a
+// buggy workload (or a buggy microcode patch interacting with one)
+// produces long before miss rates look wrong: wild branches, execution
+// running into data, privileged opcodes on user paths, stores aliasing
+// the reserved ATUM trace region, and unbalanced stack discipline.
+//
+// Each diagnostic carries a stable rule ID, a severity, the offending
+// address and its enclosing basic block, so drivers (vasm -lint,
+// atum-vet asm) can sort, filter and gate on them.
+package asmcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"atum/internal/vax"
+)
+
+// Rule IDs, one per pass. Fixture corpora in testdata/ keep one
+// triggering and one clean program per rule.
+const (
+	RuleBranchRange    = "branch-range"    // control transfer outside the image
+	RuleBranchAlign    = "branch-align"    // control transfer into the middle of an instruction
+	RuleDecode         = "decode"          // reachable bytes do not decode
+	RuleDeadCode       = "dead-code"       // labeled, unreferenced, unreachable region
+	RulePrivUser       = "priv-user"       // privileged instruction on a user-mode path
+	RuleProtectedWrite = "protected-write" // write aliases a protected range (trace buffer, page tables)
+	RuleFallthrough    = "fallthrough-end" // execution can fall off the end of the image
+	RuleStackBalance   = "stack-balance"   // jsb/rsb routine with unbalanced stack discipline
+)
+
+// Severity classifies a diagnostic.
+type Severity uint8
+
+const (
+	SevWarn Severity = iota
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warn"
+}
+
+// Diag is one finding.
+type Diag struct {
+	Rule  string
+	Sev   Severity
+	Addr  uint32 // offending instruction or label address
+	Block uint32 // enclosing basic-block start (Addr itself for labels)
+	Msg   string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s[%s] %08x (block %08x): %s", d.Sev, d.Rule, d.Addr, d.Block, d.Msg)
+}
+
+// Range is a named address range writes may not touch.
+type Range struct {
+	Name string
+	Base uint32
+	Size uint32
+}
+
+func (r Range) contains(addr, width uint32) bool {
+	return addr < r.Base+r.Size && addr+width > r.Base
+}
+
+// Options configures a check run.
+type Options struct {
+	// Entries names the entry-point symbols; unresolvable names are
+	// ignored. If none resolve and EntryAddrs is empty, the "start"
+	// symbol (or failing that the origin) is used.
+	Entries []string
+	// EntryAddrs adds entry points by address.
+	EntryAddrs []uint32
+
+	// UserMode marks the program as entered in user mode: reachable
+	// privileged instructions become errors.
+	UserMode bool
+
+	// Protected lists ranges that no statically-computable write may
+	// alias — the reserved ATUM trace buffer and page-table pages.
+	Protected []Range
+
+	// TerminalSyscalls are chmk codes that never return (process exit).
+	// Nil means {0}, the kernel's exit call.
+	TerminalSyscalls []uint32
+}
+
+// UserProgram returns the default profile for workload programs: entered
+// at "start" in user mode, chmk #0 terminates.
+func UserProgram() Options { return Options{UserMode: true} }
+
+// BareProgram returns the profile for vasm -run style programs: kernel
+// mode (halt is the normal stop), no syscalls terminate.
+func BareProgram() Options {
+	return Options{TerminalSyscalls: []uint32{^uint32(0)}}
+}
+
+func (o Options) terminalSyscalls() []uint32 {
+	if o.TerminalSyscalls == nil {
+		return []uint32{0}
+	}
+	return o.TerminalSyscalls
+}
+
+func (o Options) entryAddrs(p *vax.Program) []uint32 {
+	var out []uint32
+	seen := map[uint32]bool{}
+	add := func(a uint32) {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, name := range o.Entries {
+		if v, ok := p.Symbol(name); ok {
+			add(v)
+		}
+	}
+	for _, a := range o.EntryAddrs {
+		add(a)
+	}
+	if len(out) == 0 {
+		if v, ok := p.Symbol("start"); ok {
+			add(v)
+		} else {
+			add(p.Origin)
+		}
+	}
+	return out
+}
+
+// Check runs every pass over the program and returns the findings,
+// sorted by address then rule.
+func Check(p *vax.Program, opts Options) []Diag {
+	if len(p.Bytes) == 0 {
+		return nil
+	}
+	c := buildCFG(p, opts)
+	var diags []Diag
+	diags = append(diags, c.checkEdges()...)
+	diags = append(diags, c.checkDecode()...)
+	diags = append(diags, c.checkFallthrough()...)
+	if opts.UserMode {
+		diags = append(diags, c.checkPrivileged()...)
+	}
+	diags = append(diags, c.checkProtectedWrites(opts.Protected)...)
+	diags = append(diags, c.checkDeadCode()...)
+	diags = append(diags, c.checkStackBalance()...)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Addr != diags[j].Addr {
+			return diags[i].Addr < diags[j].Addr
+		}
+		if diags[i].Rule != diags[j].Rule {
+			return diags[i].Rule < diags[j].Rule
+		}
+		return diags[i].Msg < diags[j].Msg
+	})
+	return diags
+}
+
+// HasErrors reports whether any diagnostic is error-severity.
+func HasErrors(diags []Diag) bool {
+	for _, d := range diags {
+		if d.Sev == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// checkEdges applies branch-range and branch-align to every definite
+// control-flow edge.
+func (c *cfg) checkEdges() []Diag {
+	var out []Diag
+	for _, e := range c.edges {
+		if e.kind == edgeFall {
+			continue
+		}
+		if e.to < c.org || e.to >= c.end {
+			out = append(out, Diag{
+				Rule: RuleBranchRange, Sev: SevError,
+				Addr: e.from, Block: c.blockOf[e.from],
+				Msg: fmt.Sprintf("%s target %#x outside the image [%#x,%#x)", e.kind, e.to, c.org, c.end),
+			})
+			continue
+		}
+		if c.interior[e.to-c.org] {
+			out = append(out, Diag{
+				Rule: RuleBranchAlign, Sev: SevError,
+				Addr: e.from, Block: c.blockOf[e.from],
+				Msg: fmt.Sprintf("%s target %#x lands inside another instruction", e.kind, e.to),
+			})
+		}
+	}
+	return out
+}
+
+func (c *cfg) checkDecode() []Diag {
+	var out []Diag
+	for _, f := range c.faults {
+		out = append(out, Diag{
+			Rule: RuleDecode, Sev: SevError,
+			Addr: f.addr, Block: f.block,
+			Msg: fmt.Sprintf("reachable bytes do not decode: %v", f.err),
+		})
+	}
+	return out
+}
+
+func (c *cfg) checkFallthrough() []Diag {
+	var out []Diag
+	for _, a := range c.fallOff {
+		out = append(out, Diag{
+			Rule: RuleFallthrough, Sev: SevError,
+			Addr: a, Block: c.blockOf[a],
+			Msg: "execution falls off the end of the image (missing halt/exit/loop)",
+		})
+	}
+	return out
+}
+
+func (c *cfg) checkPrivileged() []Diag {
+	var out []Diag
+	for addr, d := range c.instrs {
+		if d.Info.Priv {
+			out = append(out, Diag{
+				Rule: RulePrivUser, Sev: SevError,
+				Addr: addr, Block: c.blockOf[addr],
+				Msg: fmt.Sprintf("privileged instruction %s reachable from a user-mode entry (faults at run time)", d.Info.Name),
+			})
+		}
+	}
+	return out
+}
+
+func (c *cfg) checkProtectedWrites(ranges []Range) []Diag {
+	if len(ranges) == 0 {
+		return nil
+	}
+	var out []Diag
+	for _, r := range c.dataRefs {
+		if !r.write {
+			continue
+		}
+		w := r.width
+		if w == 0 {
+			w = 1
+		}
+		for _, pr := range ranges {
+			if pr.contains(r.addr, w) {
+				out = append(out, Diag{
+					Rule: RuleProtectedWrite, Sev: SevError,
+					Addr: r.from, Block: c.blockOf[r.from],
+					Msg: fmt.Sprintf("write to %#x aliases protected range %q [%#x,%#x)", r.addr, pr.Name, pr.Base, pr.Base+pr.Size),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// checkDeadCode flags labeled regions that are unreachable from the
+// entry points and unreferenced by any statically-computable data
+// operand. A region is flagged only when it decodes plausibly as code,
+// but unreferenced data is reported too (as such) since it is equally
+// dead weight.
+func (c *cfg) checkDeadCode() []Diag {
+	syms := c.prog.SymbolsSorted()
+	// Addresses of symbols inside the image, in order.
+	var addrs []uint32
+	var names []string
+	for _, n := range syms {
+		v := c.prog.Symbols[n]
+		if v >= c.org && v < c.end {
+			addrs = append(addrs, v)
+			names = append(names, n)
+		}
+	}
+	covered := func(a uint32) bool {
+		if _, ok := c.instrs[a]; ok {
+			return true
+		}
+		return c.interior[a-c.org] || c.dataBytes[a-c.org]
+	}
+	referenced := func(lo, hi uint32) bool {
+		for _, r := range c.dataRefs {
+			if r.addr >= lo && r.addr < hi {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Diag
+	for i, a := range addrs {
+		if covered(a) {
+			continue
+		}
+		next := c.end
+		if i+1 < len(addrs) {
+			next = addrs[i+1]
+		}
+		if referenced(a, next) {
+			continue
+		}
+		kind := "data"
+		if looksLikeCode(c.prog, a, next) {
+			kind = "code"
+		}
+		out = append(out, Diag{
+			Rule: RuleDeadCode, Sev: SevWarn,
+			Addr: a, Block: a,
+			Msg: fmt.Sprintf("label %q: unreachable, unreferenced %s", names[i], kind),
+		})
+	}
+	return out
+}
+
+// looksLikeCode reports whether [a, next) linearly decodes as a plausible
+// instruction run: no decode errors before a terminating control
+// transfer or the region boundary.
+func looksLikeCode(p *vax.Program, a, next uint32) bool {
+	addr := a
+	n := 0
+	for addr < next {
+		d, err := vax.DecodeBytes(p.Bytes[addr-p.Origin:], addr)
+		if err != nil {
+			return false
+		}
+		n++
+		switch d.Info.Opcode {
+		case vax.OpRET, vax.OpRSB, vax.OpREI, vax.OpHALT, vax.OpBRB, vax.OpBRW, vax.OpJMP:
+			return true
+		}
+		addr += uint32(d.Len)
+	}
+	return n > 0
+}

@@ -1,0 +1,202 @@
+package asmcheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"atum/internal/vax"
+)
+
+// parseProfile reads "; asmcheck:" directives from a fixture header:
+//
+//	; asmcheck: user | bare
+//	; asmcheck: protect name:base:size
+func parseProfile(t *testing.T, src string) Options {
+	t.Helper()
+	opts := BareProgram()
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		rest, ok := strings.CutPrefix(line, "; asmcheck:")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "user":
+			opts.UserMode = true
+			opts.TerminalSyscalls = nil
+		case "bare":
+		default:
+			if r, ok := strings.CutPrefix(fields[0], "protect"); ok && r == "" && len(fields) == 2 {
+				parts := strings.Split(fields[1], ":")
+				if len(parts) != 3 {
+					t.Fatalf("bad protect directive %q", line)
+				}
+				base, err1 := strconv.ParseUint(parts[1], 0, 32)
+				size, err2 := strconv.ParseUint(parts[2], 0, 32)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("bad protect directive %q", line)
+				}
+				opts.Protected = append(opts.Protected, Range{Name: parts[0], Base: uint32(base), Size: uint32(size)})
+			} else {
+				t.Fatalf("unknown asmcheck directive %q", line)
+			}
+		}
+	}
+	return opts
+}
+
+func checkFile(t *testing.T, path string) []Diag {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := vax.Assemble(string(src))
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return Check(prog, parseProfile(t, string(src)))
+}
+
+// TestFixtureCorpus: every *_bad.s fixture triggers the rule its name
+// carries; every *_ok.s fixture is completely clean. Together the bad
+// fixtures must cover all eight rules.
+func TestFixtureCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.s"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixtures: %v", err)
+	}
+	triggered := map[string]bool{}
+	for _, f := range files {
+		base := strings.TrimSuffix(filepath.Base(f), ".s")
+		rule, kind, ok := strings.Cut(base, "_")
+		if !ok {
+			t.Fatalf("fixture %s: name must be <rule>_<bad|ok>.s", f)
+		}
+		diags := checkFile(t, f)
+		switch kind {
+		case "bad":
+			found := false
+			for _, d := range diags {
+				if d.Rule == rule {
+					found = true
+					triggered[rule] = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: rule %q not triggered; got %v", f, rule, diags)
+			}
+		case "ok":
+			if len(diags) != 0 {
+				t.Errorf("%s: expected clean, got %v", f, diags)
+			}
+		default:
+			t.Fatalf("fixture %s: unknown kind %q", f, kind)
+		}
+	}
+	all := []string{RuleBranchRange, RuleBranchAlign, RuleDecode, RuleDeadCode,
+		RulePrivUser, RuleProtectedWrite, RuleFallthrough, RuleStackBalance}
+	for _, r := range all {
+		if !triggered[r] {
+			t.Errorf("no fixture triggers rule %q", r)
+		}
+	}
+}
+
+// TestExampleProgramsClean: every assembly example ships lint-clean.
+func TestExampleProgramsClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "asm", "*.s"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example programs: %v", err)
+	}
+	for _, f := range files {
+		if diags := checkFile(t, f); len(diags) != 0 {
+			t.Errorf("%s: %v", f, diags)
+		}
+	}
+}
+
+// TestDiagFormat pins the diagnostic rendering drivers grep on.
+func TestDiagFormat(t *testing.T) {
+	d := Diag{Rule: RulePrivUser, Sev: SevError, Addr: 0x204, Block: 0x200, Msg: "m"}
+	want := "error[priv-user] 00000204 (block 00000200): m"
+	if d.String() != want {
+		t.Errorf("got %q want %q", d.String(), want)
+	}
+	if !HasErrors([]Diag{d}) || HasErrors([]Diag{{Sev: SevWarn}}) {
+		t.Error("HasErrors misclassifies")
+	}
+}
+
+// TestCaselDispatch: the CFG expands constant-bounded casel dispatch
+// tables (the kernel's syscall dispatch shape) — the handlers are
+// reachable and the table itself is not decoded as instructions.
+func TestCaselDispatch(t *testing.T) {
+	src := `
+	.org	0x200
+start:	clrl	r0
+	casel	r0, #0, #1
+ctab:	.word	h0 - ctab
+	.word	h1 - ctab
+	halt			; out-of-range fall-through
+h0:	movl	#10, r1
+	halt
+h1:	movl	#11, r1
+	halt
+`
+	prog, err := vax.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Check(prog, BareProgram())
+	if len(diags) != 0 {
+		t.Errorf("casel program flagged: %v", diags)
+	}
+}
+
+// TestEntryOptions: explicit entries override the start symbol.
+func TestEntryOptions(t *testing.T) {
+	src := `
+	.org	0x200
+start:	halt
+alt:	movl	#1, r0
+	halt
+`
+	prog, err := vax.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := BareProgram()
+	opts.Entries = []string{"start", "alt"}
+	if diags := Check(prog, opts); len(diags) != 0 {
+		t.Errorf("multi-entry program flagged: %v", diags)
+	}
+	// With only the default entry, alt is dead code.
+	diags := Check(prog, BareProgram())
+	found := false
+	for _, d := range diags {
+		if d.Rule == RuleDeadCode {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected dead-code for alt, got %v", diags)
+	}
+}
+
+func ExampleCheck() {
+	prog, _ := vax.Assemble("\t.org 0x200\nstart:\tpushl r0\n")
+	for _, d := range Check(prog, BareProgram()) {
+		fmt.Println(d)
+	}
+	// Output:
+	// error[fallthrough-end] 00000200 (block 00000200): execution falls off the end of the image (missing halt/exit/loop)
+}

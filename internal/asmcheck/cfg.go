@@ -1,0 +1,334 @@
+package asmcheck
+
+import (
+	"encoding/binary"
+
+	"atum/internal/vax"
+)
+
+// edgeKind classifies a control-flow edge for diagnostics.
+type edgeKind uint8
+
+const (
+	edgeBranch edgeKind = iota // branch / jump
+	edgeCall                   // jsb / bsbb / bsbw / calls
+	edgeFall                   // fall-through to the next instruction
+	edgeCase                   // casel dispatch-table entry
+)
+
+func (k edgeKind) String() string {
+	switch k {
+	case edgeBranch:
+		return "branch"
+	case edgeCall:
+		return "call"
+	case edgeFall:
+		return "fall-through"
+	case edgeCase:
+		return "case"
+	}
+	return "?"
+}
+
+type edge struct {
+	from uint32 // address of the transferring instruction
+	to   uint32
+	kind edgeKind
+}
+
+// dataRef is a non-control operand whose effective address is statically
+// computable (absolute or PC-relative).
+type dataRef struct {
+	from  uint32
+	addr  uint32
+	width uint32
+	write bool
+}
+
+type decodeFault struct {
+	addr  uint32
+	block uint32
+	err   error
+}
+
+// cfg is the decoded control-flow graph of a program: the set of
+// reachable instructions grouped into basic blocks, the edges between
+// them, and the statically-computable data references.
+type cfg struct {
+	prog     *vax.Program
+	org, end uint32
+
+	instrs  map[uint32]vax.Decoded
+	blockOf map[uint32]uint32 // instruction address -> enclosing block start
+
+	// interior marks image bytes that are the non-first byte of some
+	// decoded instruction; a control transfer into such a byte splits an
+	// instruction.
+	interior []bool
+	// dataBytes marks image bytes that are reachable non-instruction
+	// data: CALLS entry masks and casel dispatch tables.
+	dataBytes []bool
+
+	edges    []edge
+	dataRefs []dataRef
+	faults   []decodeFault
+	fallOff  []uint32 // instructions whose fall-through leaves the image
+
+	subEntries map[uint32]bool // jsb/bsbb/bsbw targets (rsb-return routines)
+	terminal   map[uint32]bool // chmk codes that do not return
+}
+
+// succInfo describes one instruction's control-flow behaviour.
+type succInfo struct {
+	branches []uint32 // definite transfer targets
+	calls    []uint32 // definite call targets (traversal resumes after)
+	caseEdge []uint32 // casel table targets
+	falls    bool     // execution can continue at the next instruction
+	jsbLike  bool     // calls are jsb/bsb (rsb-returning) rather than calls
+	maskSkip uint32   // bytes of non-instruction data the targets skip (calls entry mask)
+	ctlOps   map[int]bool
+}
+
+func buildCFG(p *vax.Program, opts Options) *cfg {
+	c := &cfg{
+		prog:       p,
+		org:        p.Origin,
+		end:        p.Origin + uint32(len(p.Bytes)),
+		instrs:     map[uint32]vax.Decoded{},
+		blockOf:    map[uint32]uint32{},
+		interior:   make([]bool, len(p.Bytes)),
+		dataBytes:  make([]bool, len(p.Bytes)),
+		subEntries: map[uint32]bool{},
+		terminal:   map[uint32]bool{},
+	}
+	for _, code := range opts.terminalSyscalls() {
+		c.terminal[code] = true
+	}
+
+	worklist := opts.entryAddrs(p)
+	queued := map[uint32]bool{}
+	for _, a := range worklist {
+		queued[a] = true
+	}
+
+	for len(worklist) > 0 {
+		block := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		addr := block
+		for {
+			if addr < c.org || addr >= c.end {
+				// Only a fall-through can walk here; transfers out of the
+				// image are reported from their edges.
+				break
+			}
+			if _, done := c.instrs[addr]; done {
+				break // merged into an already-decoded run
+			}
+			d, err := vax.DecodeBytes(p.Bytes[addr-c.org:], addr)
+			if err != nil {
+				c.faults = append(c.faults, decodeFault{addr: addr, block: block, err: err})
+				break
+			}
+			c.instrs[addr] = d
+			c.blockOf[addr] = block
+			for i := 1; i < d.Len && int(addr-c.org)+i < len(c.interior); i++ {
+				c.interior[addr-c.org+int32OK(i)] = true
+			}
+
+			s := c.classify(d)
+			push := func(t uint32, entrySkip uint32) {
+				t += entrySkip
+				if t >= c.org && t < c.end && !queued[t] {
+					queued[t] = true
+					worklist = append(worklist, t)
+				}
+			}
+			for _, t := range s.branches {
+				c.edges = append(c.edges, edge{from: addr, to: t, kind: edgeBranch})
+				push(t, 0)
+			}
+			for _, t := range s.caseEdge {
+				c.edges = append(c.edges, edge{from: addr, to: t, kind: edgeCase})
+				push(t, 0)
+			}
+			for _, t := range s.calls {
+				c.edges = append(c.edges, edge{from: addr, to: t, kind: edgeCall})
+				if s.jsbLike {
+					if t >= c.org && t < c.end {
+						c.subEntries[t] = true
+					}
+					push(t, 0)
+				} else {
+					// CALLS target: a 2-byte entry mask precedes the code.
+					for i := uint32(0); i < s.maskSkip && t+i >= c.org && t+i < c.end; i++ {
+						c.dataBytes[t+i-c.org] = true
+					}
+					push(t, s.maskSkip)
+				}
+			}
+			c.collectDataRefs(d, s.ctlOps)
+
+			if !s.falls {
+				break
+			}
+			next := addr + uint32(d.Len)
+			if len(s.caseEdge) > 0 {
+				// casel falls through past its dispatch table.
+				next = c.caseFallAddr(d)
+			}
+			if next >= c.end {
+				c.fallOff = append(c.fallOff, addr)
+				break
+			}
+			addr = next
+		}
+	}
+	return c
+}
+
+func int32OK(i int) uint32 { return uint32(i) }
+
+// classify determines the successors of one decoded instruction.
+func (c *cfg) classify(d vax.Decoded) succInfo {
+	s := succInfo{falls: true, ctlOps: map[int]bool{}}
+	op := d.Info.Opcode
+	switch op {
+	case vax.OpBRB, vax.OpBRW:
+		s.falls = false
+		s.ctlOps[0] = true
+		if t, ok := d.OperandTarget(0); ok {
+			s.branches = append(s.branches, t)
+		}
+	case vax.OpJMP:
+		s.falls = false
+		s.ctlOps[0] = true
+		if t, ok := c.directTarget(d, 0); ok {
+			s.branches = append(s.branches, t)
+		}
+	case vax.OpBSBB, vax.OpBSBW:
+		s.jsbLike = true
+		s.ctlOps[0] = true
+		if t, ok := d.OperandTarget(0); ok {
+			s.calls = append(s.calls, t)
+		}
+	case vax.OpJSB:
+		s.jsbLike = true
+		s.ctlOps[0] = true
+		if t, ok := c.directTarget(d, 0); ok {
+			s.calls = append(s.calls, t)
+		}
+	case vax.OpCALLS:
+		s.maskSkip = 2
+		s.ctlOps[1] = true
+		if t, ok := c.directTarget(d, 1); ok {
+			s.calls = append(s.calls, t)
+		}
+	case vax.OpRET, vax.OpRSB, vax.OpREI, vax.OpHALT:
+		s.falls = false
+	case vax.OpCHMK:
+		if code, ok := constOperand(d, 0); ok && c.terminal[code] {
+			s.falls = false
+		}
+	case vax.OpCASEL:
+		s.caseEdge, s.falls = c.caseTargets(d)
+	default:
+		for i, spec := range d.Info.Operands {
+			if spec.Access == vax.AccBranch {
+				s.ctlOps[i] = true
+				if t, ok := d.OperandTarget(i); ok {
+					s.branches = append(s.branches, t)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// directTarget resolves an address-access control operand (jmp/jsb/calls
+// destination). Deferred modes are pointer loads — the final target is
+// dynamic — so only plain PC-relative and absolute modes resolve.
+func (c *cfg) directTarget(d vax.Decoded, idx int) (uint32, bool) {
+	op := d.Operands[idx]
+	switch op.Mode {
+	case vax.ModeAbsolute, vax.ModeByteDisp, vax.ModeWordDisp, vax.ModeLongDisp:
+		if op.Mode != vax.ModeAbsolute && op.Reg != vax.PC {
+			return 0, false
+		}
+		return d.OperandTarget(idx)
+	}
+	return 0, false
+}
+
+// constOperand extracts a constant operand value (short literal or
+// immediate).
+func constOperand(d vax.Decoded, idx int) (uint32, bool) {
+	op := d.Operands[idx]
+	switch op.Mode {
+	case vax.ModeLiteral:
+		return uint32(op.Lit), true
+	case vax.ModeImmediate:
+		return op.Imm, true
+	}
+	return 0, false
+}
+
+// caseTargets expands a casel dispatch table when base and limit are
+// constants. Each table entry is a word displacement relative to the
+// start of the table; out-of-range selectors continue past the table.
+func (c *cfg) caseTargets(d vax.Decoded) (targets []uint32, falls bool) {
+	_, baseOK := constOperand(d, 1)
+	limit, limitOK := constOperand(d, 2)
+	if !baseOK || !limitOK || limit > 4096 {
+		// Dynamic dispatch: successors unknown; suppress fall-through
+		// analysis rather than guess.
+		return nil, false
+	}
+	table := d.Addr + uint32(d.Len)
+	for i := uint32(0); i <= limit; i++ {
+		off := table + 2*i
+		if off+2 > c.end || off < c.org {
+			break
+		}
+		disp := int16(binary.LittleEndian.Uint16(c.prog.Bytes[off-c.org:]))
+		targets = append(targets, table+uint32(int32(disp)))
+		// The table itself is data, not instructions.
+		c.dataBytes[off-c.org] = true
+		if off+1 < c.end {
+			c.dataBytes[off+1-c.org] = true
+		}
+	}
+	return targets, true
+}
+
+// caseFallAddr is where execution continues when a casel selector is out
+// of range: just past the dispatch table.
+func (c *cfg) caseFallAddr(d vax.Decoded) uint32 {
+	limit, _ := constOperand(d, 2)
+	return d.Addr + uint32(d.Len) + 2*(limit+1)
+}
+
+// collectDataRefs records statically-computable effective addresses of
+// non-control operands, used by the protected-write and dead-code rules.
+func (c *cfg) collectDataRefs(d vax.Decoded, ctlOps map[int]bool) {
+	for i, spec := range d.Info.Operands {
+		if ctlOps[i] || spec.Access == vax.AccBranch {
+			continue
+		}
+		t, ok := d.OperandTarget(i)
+		if !ok {
+			continue
+		}
+		write := spec.Access == vax.AccWrite || spec.Access == vax.AccModify
+		// The block-move microinstructions write through their
+		// address-access destination operand.
+		if (d.Info.Opcode == vax.OpMOVC3 && i == 2) || (d.Info.Opcode == vax.OpMOVC5 && i == 4) {
+			write = true
+		}
+		c.dataRefs = append(c.dataRefs, dataRef{
+			from:  d.Addr,
+			addr:  t,
+			width: uint32(spec.Width),
+			write: write,
+		})
+	}
+}

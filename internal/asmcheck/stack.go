@@ -1,0 +1,159 @@
+package asmcheck
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"atum/internal/vax"
+)
+
+// checkStackBalance verifies push/pop discipline along every path of
+// each jsb/bsb-entered routine: the net stack depth at every rsb must be
+// zero, and join points must agree on depth. Routines containing stack
+// manipulation the pass cannot model (dynamic pushr masks, direct moves
+// into sp) are skipped silently rather than guessed at.
+func (c *cfg) checkStackBalance() []Diag {
+	entries := make([]uint32, 0, len(c.subEntries))
+	for e := range c.subEntries {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+
+	var out []Diag
+	for _, entry := range entries {
+		out = append(out, c.analyzeRoutine(entry)...)
+	}
+	return out
+}
+
+func (c *cfg) analyzeRoutine(entry uint32) []Diag {
+	type item struct {
+		addr  uint32
+		depth int
+	}
+	depth := map[uint32]int{entry: 0}
+	work := []item{{entry, 0}}
+	var diags []Diag
+	reportedJoin := false
+
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		d, ok := c.instrs[it.addr]
+		if !ok {
+			continue // undecoded (fault already reported elsewhere)
+		}
+		delta, analyzable := stackDelta(d)
+		if !analyzable {
+			return nil // abandon: this routine does raw sp surgery
+		}
+		after := it.depth + delta
+
+		if d.Info.Opcode == vax.OpRSB {
+			if after != 0 {
+				diags = append(diags, Diag{
+					Rule: RuleStackBalance, Sev: SevWarn,
+					Addr: it.addr, Block: c.blockOf[it.addr],
+					Msg: fmt.Sprintf("rsb with net stack imbalance of %+d bytes on some path from routine %#x", after, entry),
+				})
+			}
+			continue
+		}
+
+		s := c.classify(d)
+		var succs []uint32
+		succs = append(succs, s.branches...)
+		succs = append(succs, s.caseEdge...)
+		if s.falls {
+			next := it.addr + uint32(d.Len)
+			if len(s.caseEdge) > 0 {
+				next = c.caseFallAddr(d)
+			}
+			succs = append(succs, next)
+		}
+		for _, t := range succs {
+			if t < c.org || t >= c.end {
+				continue
+			}
+			if prev, seen := depth[t]; seen {
+				if prev != after && !reportedJoin {
+					reportedJoin = true
+					diags = append(diags, Diag{
+						Rule: RuleStackBalance, Sev: SevWarn,
+						Addr: t, Block: c.blockOf[t],
+						Msg: fmt.Sprintf("paths join at %#x with different stack depths (%d vs %d bytes) in routine %#x", t, prev, after, entry),
+					})
+				}
+				continue
+			}
+			depth[t] = after
+			work = append(work, item{t, after})
+		}
+	}
+	return diags
+}
+
+// stackDelta returns the net change in pushed-byte depth one instruction
+// causes, from before it executes to after it (for calls: after the
+// matching ret). ok=false means the effect is not statically modelable.
+func stackDelta(d vax.Decoded) (delta int, ok bool) {
+	switch d.Info.Opcode {
+	case vax.OpPUSHL, vax.OpPUSHAB, vax.OpPUSHAL:
+		return 4, true
+	case vax.OpPUSHR:
+		m, c := constOperand(d, 0)
+		if !c {
+			return 0, false
+		}
+		return 4 * bits.OnesCount32(m&0x7FFF), true
+	case vax.OpPOPR:
+		m, c := constOperand(d, 0)
+		if !c {
+			return 0, false
+		}
+		return -4 * bits.OnesCount32(m&0x7FFF), true
+	case vax.OpCALLS:
+		// RET removes the frame and the n longwords of arguments the
+		// caller pushed, so across the call depth drops by 4n.
+		n, c := constOperand(d, 0)
+		if !c {
+			return 0, false
+		}
+		return -4 * int(n), true
+	case vax.OpBSBB, vax.OpBSBW, vax.OpJSB:
+		return 0, true // callee assumed balanced (checked separately)
+	}
+
+	delta = 0
+	for i, spec := range d.Info.Operands {
+		op := d.Operands[i]
+		w := int(spec.Width)
+		switch {
+		case op.Mode == vax.ModeAutoInc && op.Reg == vax.SP:
+			delta -= w
+		case op.Mode == vax.ModeAutoDec && op.Reg == vax.SP:
+			delta += w
+		case op.Mode == vax.ModeAutoIncDeferred && op.Reg == vax.SP:
+			delta -= 4
+		case op.Mode == vax.ModeRegister && int(op.Reg) == vax.SP &&
+			(spec.Access == vax.AccWrite || spec.Access == vax.AccModify):
+			// Arithmetic directly on sp: model the immediate forms of
+			// add/sub, refuse anything else.
+			switch d.Info.Opcode {
+			case vax.OpADDL2:
+				if k, c := constOperand(d, 0); c {
+					delta -= int(k)
+					continue
+				}
+			case vax.OpSUBL2:
+				if k, c := constOperand(d, 0); c {
+					delta += int(k)
+					continue
+				}
+			}
+			return 0, false
+		}
+	}
+	return delta, true
+}

@@ -1,0 +1,6 @@
+; asmcheck: bare
+	.org	0x200
+start:	movl	#1, r0
+	brb	mid
+	halt
+mid	=	start + 1	; lands inside the movl above

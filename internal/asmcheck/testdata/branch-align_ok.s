@@ -1,0 +1,6 @@
+; asmcheck: bare
+	.org	0x200
+start:	brb	next
+	halt
+next:	movl	#1, r0
+	halt

@@ -1,0 +1,4 @@
+; asmcheck: bare
+	.org	0x200
+start:	clrl	r0
+	brw	0x1000		; far outside the image

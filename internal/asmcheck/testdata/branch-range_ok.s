@@ -1,0 +1,7 @@
+; asmcheck: bare
+	.org	0x200
+start:	clrl	r0
+loop:	incl	r0
+	cmpl	r0, #10
+	blss	loop
+	halt

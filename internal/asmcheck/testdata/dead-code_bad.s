@@ -1,0 +1,5 @@
+; asmcheck: bare
+	.org	0x200
+start:	halt
+orphan:	movl	#1, r0		; never branched to, never referenced
+	brb	orphan

@@ -1,0 +1,7 @@
+; asmcheck: bare
+	.org	0x200
+start:	movl	val, r0
+	brb	fin
+fin:	halt
+	.align	4
+val:	.long	7

@@ -1,0 +1,4 @@
+; asmcheck: bare
+	.org	0x200
+start:	clrl	r0
+	.byte	0x57		; reserved opcode on the execution path

@@ -1,0 +1,4 @@
+; asmcheck: bare
+	.org	0x200
+start:	nop
+	halt

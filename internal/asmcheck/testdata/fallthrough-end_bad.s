@@ -1,0 +1,4 @@
+; asmcheck: bare
+	.org	0x200
+start:	movl	#1, r0
+	incl	r0		; no halt/exit: runs off the image

@@ -1,0 +1,4 @@
+; asmcheck: user
+	.org	0x200
+start:	mtpr	r0, #18		; privileged on a user path
+	chmk	#0

@@ -1,0 +1,4 @@
+; asmcheck: user
+	.org	0x200
+start:	movl	#1, r0
+	chmk	#0

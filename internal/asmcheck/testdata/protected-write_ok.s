@@ -1,0 +1,5 @@
+; asmcheck: bare
+; asmcheck: protect trace:0x10000:0x1000
+	.org	0x200
+start:	movl	r1, @#0x8000	; store outside the protected range
+	halt

@@ -1,0 +1,6 @@
+; asmcheck: bare
+	.org	0x200
+start:	jsb	leaky
+	halt
+leaky:	pushl	r0		; never popped
+	rsb

@@ -1,0 +1,10 @@
+; asmcheck: bare
+	.org	0x200
+start:	jsb	tidy
+	halt
+tidy:	pushr	#0x06		; r1, r2
+	movl	#5, r1
+	pushl	r1
+	movl	(sp)+, r2
+	popr	#0x06
+	rsb

@@ -660,9 +660,15 @@ func A5TraceDrivenFidelity() (*Report, error) {
 		Headers: []string{"workload", "hw misses", "naive replay", "delta",
 			"walk-aware replay", "delta"},
 	}
-	for _, name := range []string{"sieve", "qsort", "tree"} {
+	// Two-process mixes: the scheduler's same-process fast path means a
+	// solo workload is never context-switched (no TB flushes, a handful
+	// of cold misses), which leaves nothing for a replay to be faithful
+	// *to*. Pairs switch every quantum, so the flush/refill traffic that
+	// trace-driven studies must reproduce is actually present.
+	for _, mix := range [][]string{{"sieve", "qsort"}, {"qsort", "tree"}, {"tree", "sieve"}} {
+		name := mix[0] + "+" + mix[1]
 		cfg := sysConfig()
-		sys, err := workload.BootMix(cfg, name)
+		sys, err := workload.BootMix(cfg, mix...)
 		if err != nil {
 			return nil, err
 		}

@@ -43,9 +43,17 @@ kstart:	movl	icrval, r0
 	brw	pick		; select the first process
 
 ; ---- scheduler ------------------------------------------------------
-; resched: save the current context, then pick the next runnable
-; process. Entered with the interrupted PC/PSL on the kernel stack.
-resched: svpctx
+; resched: pick the next runnable process. The interrupted context is
+; saved (svpctx) only when the decision is to run a *different* process;
+; re-dispatching the interrupted process — the common case under
+; preemption with one runnable process — takes a fast path with no PCB
+; traffic, no TB flush and no switch marker, since the reference stream
+; never changes hands. ctxlive tracks whether a live context still sits
+; on the kernel stack (resched entry) or was parked into its PCB /
+; never existed (idle loop, boot, kill).
+resched: movl	#1, ctxlive
+	movl	r1, savr1	; the scan below clobbers r1/r2; a deferred
+	movl	r2, savr2	; svpctx must park the process's own values
 pick:	mtpr	#31, #18	; block the clock: the scan must not race
 				; a tick waking processes mid-decision
 	movl	nproc, r2	; attempts remaining
@@ -58,7 +66,11 @@ pick1:	cmpl	procstate[r1], #1
 	beql	found
 	decl	r2
 	bgtr	pickl
-	; nothing runnable: is anyone waiting (napping or on the pipe)?
+	; nothing runnable now: is anyone waiting (napping or on the pipe)?
+	; A live context stays on the kernel stack across the idle loop —
+	; the idle loop and the clock handler are stack-neutral, so if the
+	; waiter that wakes is the interrupted process itself, the fast
+	; path below resumes it without ever having parked it.
 	clrl	r1
 pick2:	cmpl	r1, nproc
 	bgequ	pick3
@@ -70,11 +82,29 @@ pick3:	halt			; every process is dead: workload finished
 idle:	mtpr	#0, #18		; open a one-instruction interrupt window
 	nop			; (a pending tick is taken here)
 	brw	pick		; rescan at IPL 31
-found:	movl	r1, curproc
-	incl	procswtch[r1]
+found:	incl	procswtch[r1]	; dispatch count (fast or full path)
 	movl	quantum, qleft
+	cmpl	r1, curproc
+	bneq	fndsw
+	tstl	ctxlive
+	bneq	fndgo
+fndsw:	tstl	ctxlive
+	beql	fndld
+	movl	r1, savidx	; keep the pick across the context save
+	movl	savr1, r1
+	movl	savr2, r2
+	svpctx			; park the outgoing context
+	movl	savidx, r1
+fndld:	clrl	ctxlive
+	movl	r1, curproc
 	mtpr	procpcb[r1], #16 ; PCBB
 	ldpctx
+	rei
+	; same process re-picked with its context still live on the kernel
+	; stack: resume it directly, with its own r1/r2 back in place.
+fndgo:	clrl	ctxlive
+	movl	savr1, r1
+	movl	savr2, r2
 	rei
 
 ; ---- interval timer -------------------------------------------------
@@ -475,6 +505,10 @@ zfl:	clrl	(r5)+
 icrval:	.long	0		; microcycles per clock tick (builder)
 quantum: .long	0		; ticks per scheduling quantum (builder)
 qleft:	.long	0
+ctxlive: .long	0		; interrupted context on kstack, not yet saved
+savr1:	.long	0		; r1/r2 at resched entry (scan scratch)
+savr2:	.long	0
+savidx:	.long	0		; picked process across a deferred svpctx
 nproc:	.long	0
 curproc: .long	0
 ticks:	.long	0

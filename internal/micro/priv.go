@@ -78,14 +78,20 @@ func execLDPCTX(m *Machine) {
 	pid := uint8(m.readPhys(b + 4*PCBPID))
 
 	m.MMU.TB.InvalidateProcess()
+	prev := m.CurPID
 	m.CurPID = pid
 
 	// The switch marker delimits the two processes' reference streams:
 	// everything before it (the PCB reads above) belongs to the old
 	// context, everything after — including the PC/PSL pushes onto the
-	// incoming process's kernel stack — to the new one.
+	// incoming process's kernel stack — to the new one. When the
+	// scheduler re-loads the context it just saved (same PID), the stream
+	// does not change hands and no marker is emitted: a marker announcing
+	// the already-current PID would double-count switches downstream.
 	m.Cycles += uint64(m.Costs.CtxSwitch)
-	m.fire(Access{Ev: EvCtxSwitch, VA: b, Mode: m.mode(), PID: pid, Extra: uint16(pid), Phys: true})
+	if pid != prev {
+		m.fire(Access{Ev: EvCtxSwitch, VA: b, Mode: m.mode(), PID: pid, Extra: uint16(pid), Phys: true})
+	}
 
 	// Executing in kernel mode: refresh the active SP from the new KSP.
 	m.CPU.R[vax.SP] = m.CPU.KSP

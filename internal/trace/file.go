@@ -209,14 +209,18 @@ func readDelta(r *bufio.Reader, count uint64) ([]Record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: record %d: %w", i, err)
 		}
-		if Kind(h&7) >= NumKinds {
+		k := Kind(h & 7)
+		if k >= NumKinds {
 			return nil, fmt.Errorf("trace: record %d: invalid kind %d", i, h&7)
 		}
 		rec := Record{
-			Kind:  Kind(h & 7),
-			Width: 1 << (h >> 3 & 3),
-			User:  h&flagUser != 0,
-			Phys:  h&flagPhys != 0,
+			Kind: k,
+			User: h&flagUser != 0,
+			Phys: h&flagPhys != 0,
+		}
+		// Markers carry no reference width (see DecodeRecord).
+		if k.IsMemRef() {
+			rec.Width = 1 << (h >> 3 & 3)
 		}
 		if h&deltaPIDChanged != 0 {
 			p, err := r.ReadByte()

@@ -1,6 +1,9 @@
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Lint checks a trace for well-formedness — the sanity pass the original
 // project would have run while debugging microcode patches, since a bad
@@ -9,13 +12,19 @@ import "fmt"
 // record), capped so a corrupt trace cannot flood the caller.
 //
 // Checks:
-//   - record kinds and widths are valid;
+//   - record kinds are valid and memory references have width 1, 2 or 4;
+//   - marker records (exceptions in particular) carry width 0 — a
+//     nonzero width means a patch emitted a marker through the
+//     memory-reference path;
 //   - instruction fetches are longword-aligned longwords;
 //   - the PID field follows the last context-switch marker;
 //   - kernel-mode instruction fetches come from system space (the
 //     kernel executes from S0) and user-mode fetches never do;
 //   - virtual PTE references lie in system space;
-//   - context-switch markers carry the PID they announce.
+//   - context-switch markers carry the PID they announce and actually
+//     switch — a marker announcing the already-current PID means the
+//     patch fired on a context *load*, not a context *change*, double-
+//     counting switches and splitting one process's stream in two.
 func Lint(recs []Record) []string {
 	type violation struct {
 		count int
@@ -38,10 +47,12 @@ func Lint(recs []Record) []string {
 			report(i, "kind", "invalid record kind %d", r.Kind)
 			continue
 		}
-		switch r.Width {
-		case 1, 2, 4:
-		default:
-			report(i, "width", "invalid width %d", r.Width)
+		if r.Kind.IsMemRef() {
+			switch r.Width {
+			case 1, 2, 4:
+			default:
+				report(i, "width", "invalid width %d", r.Width)
+			}
 		}
 
 		switch r.Kind {
@@ -49,9 +60,15 @@ func Lint(recs []Record) []string {
 			if r.PID != uint8(r.Extra) {
 				report(i, "switch-pid", "context switch announces pid %d but carries %d", r.Extra, r.PID)
 			}
+			if curPID >= 0 && int(r.PID) == curPID {
+				report(i, "switch-redundant", "context switch announces already-current pid %d", r.PID)
+			}
 			curPID = int(r.PID)
 			continue
 		case KindException:
+			if r.Width != 0 {
+				report(i, "exception-width", "exception marker carries width %d", r.Width)
+			}
 			continue
 		}
 
@@ -81,17 +98,22 @@ func Lint(recs []Record) []string {
 		}
 	}
 
-	out := make([]string, 0, len(seen))
+	// Deterministic order for tests and tooling: by first-offending
+	// record index, then message. (Sorting the rendered strings would
+	// order "record 10" before "record 9".)
+	vs := make([]*violation, 0, len(seen))
 	for _, v := range seen {
-		out = append(out, fmt.Sprintf("record %d: %s (%d occurrence(s))", v.first, v.msg, v.count))
+		vs = append(vs, v)
 	}
-	// Deterministic order for tests and tooling.
-	for i := 0; i < len(out); i++ {
-		for j := i + 1; j < len(out); j++ {
-			if out[j] < out[i] {
-				out[i], out[j] = out[j], out[i]
-			}
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].first != vs[j].first {
+			return vs[i].first < vs[j].first
 		}
+		return vs[i].msg < vs[j].msg
+	})
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = fmt.Sprintf("record %d: %s (%d occurrence(s))", v.first, v.msg, v.count)
 	}
 	return out
 }

@@ -8,8 +8,8 @@ import (
 func TestLintCleanTrace(t *testing.T) {
 	recs := []Record{
 		{Kind: KindIFetch, Addr: 0x80000000, Width: 4, User: false, PID: 0},
-		{Kind: KindCtxSwitch, Extra: 1, PID: 1, Width: 1},
-		{Kind: KindException, Extra: 0x40, PID: 1, Width: 1},
+		{Kind: KindCtxSwitch, Extra: 1, PID: 1},
+		{Kind: KindException, Extra: 0x40, PID: 1},
 		{Kind: KindIFetch, Addr: 0x200, Width: 4, User: true, PID: 1},
 		{Kind: KindDRead, Addr: 0x1000, Width: 4, User: true, PID: 1},
 		{Kind: KindPTERead, Addr: 0x80010000, Width: 4, PID: 1},
@@ -37,7 +37,7 @@ func TestLintCatchesViolations(t *testing.T) {
 	}
 	for _, c := range cases {
 		recs := []Record{
-			{Kind: KindCtxSwitch, Extra: 1, PID: 1, Width: 1},
+			{Kind: KindCtxSwitch, Extra: 1, PID: 1},
 			c.rec,
 		}
 		v := Lint(recs)
@@ -52,10 +52,80 @@ func TestLintCatchesViolations(t *testing.T) {
 }
 
 func TestLintBadSwitchMarker(t *testing.T) {
-	recs := []Record{{Kind: KindCtxSwitch, Extra: 2, PID: 3, Width: 1}}
+	recs := []Record{{Kind: KindCtxSwitch, Extra: 2, PID: 3}}
 	v := Lint(recs)
 	if len(v) == 0 || !strings.Contains(v[0], "announces pid 2 but carries 3") {
 		t.Errorf("violations: %v", v)
+	}
+}
+
+// TestLintMarkerClasses covers the marker-specific violation classes:
+// exception records emitted through the memory-reference path (nonzero
+// width) and context-switch markers that announce the already-current
+// PID (a patch firing on context load rather than context change).
+func TestLintMarkerClasses(t *testing.T) {
+	sw := func(pid uint8) Record { return Record{Kind: KindCtxSwitch, Extra: uint16(pid), PID: pid} }
+	cases := []struct {
+		name string
+		recs []Record
+		want string // "" means clean
+	}{
+		{
+			"exception with width",
+			[]Record{sw(1), {Kind: KindException, Extra: 0x40, PID: 1, Width: 4}},
+			"exception marker carries width 4",
+		},
+		{
+			"exception clean",
+			[]Record{sw(1), {Kind: KindException, Extra: 0x40, PID: 1}},
+			"",
+		},
+		{
+			"redundant switch",
+			[]Record{sw(1), sw(1)},
+			"announces already-current pid 1",
+		},
+		{
+			"alternating switches clean",
+			[]Record{sw(1), sw(2), sw(1)},
+			"",
+		},
+		{
+			"first switch never redundant",
+			[]Record{sw(0)}, // PID 0 matches the zero value; curPID starts unknown
+			"",
+		},
+	}
+	for _, c := range cases {
+		v := Lint(c.recs)
+		joined := strings.Join(v, "\n")
+		if c.want == "" {
+			if len(v) != 0 {
+				t.Errorf("%s: flagged clean trace: %v", c.name, v)
+			}
+		} else if !strings.Contains(joined, c.want) {
+			t.Errorf("%s: violations %v missing %q", c.name, v, c.want)
+		}
+	}
+}
+
+// TestLintOrderNumeric pins the report ordering: by first-offending
+// record index as a number, not as a string (which would put record 10
+// before record 9).
+func TestLintOrderNumeric(t *testing.T) {
+	recs := make([]Record, 12)
+	for i := range recs {
+		recs[i] = Record{Kind: KindIFetch, Addr: 0x200, Width: 4, User: true, PID: 0}
+	}
+	// First violation class appears at record 9, second at record 10.
+	recs[9] = Record{Kind: KindIFetch, Addr: 0x201, Width: 4, User: true, PID: 0}
+	recs[10] = Record{Kind: KindDRead, Addr: 0x1000, Width: 3, User: true, PID: 0}
+	v := Lint(recs)
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations, got %v", v)
+	}
+	if !strings.HasPrefix(v[0], "record 9:") || !strings.HasPrefix(v[1], "record 10:") {
+		t.Errorf("violations out of numeric order: %v", v)
 	}
 }
 

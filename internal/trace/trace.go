@@ -51,7 +51,7 @@ func (k Kind) IsMemRef() bool { return k <= KindPTEWrite }
 type Record struct {
 	Kind  Kind
 	Addr  uint32 // virtual address (physical when Phys)
-	Width uint8  // reference width in bytes (1, 2 or 4)
+	Width uint8  // reference width in bytes (1, 2 or 4); 0 for marker records
 	PID   uint8
 	User  bool // access made in user mode
 	Phys  bool // Addr is physical (system PTE and PCB references)
@@ -110,12 +110,19 @@ func (r Record) Encode(b []byte) {
 	binary.LittleEndian.PutUint32(b[4:], r.Addr)
 }
 
-// DecodeRecord unpacks one record from b.
+// DecodeRecord unpacks one record from b. The packed width field cannot
+// represent 0, so marker kinds — which carry no reference width — decode
+// to Width 0 by fiat rather than a phantom 1-byte width.
 func DecodeRecord(b []byte) Record {
 	b0 := b[0]
+	k := Kind(b0 & 7)
+	var w uint8
+	if k.IsMemRef() {
+		w = 1 << (b0 >> 3 & 3)
+	}
 	return Record{
-		Kind:  Kind(b0 & 7),
-		Width: 1 << (b0 >> 3 & 3),
+		Kind:  k,
+		Width: w,
 		User:  b0&flagUser != 0,
 		Phys:  b0&flagPhys != 0,
 		PID:   b[1],

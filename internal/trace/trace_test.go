@@ -10,19 +10,21 @@ import (
 	"testing/quick"
 )
 
-// randomRecord generates structurally valid records for property tests.
+// randomRecord generates structurally valid records for property tests:
+// memory references carry width 1/2/4, markers carry width 0.
 func randomRecord(r *rand.Rand) Record {
 	widths := []uint8{1, 2, 4}
 	k := Kind(r.Intn(int(NumKinds)))
 	rec := Record{
-		Kind:  k,
-		Addr:  r.Uint32(),
-		Width: widths[r.Intn(3)],
-		PID:   uint8(r.Intn(16)),
-		User:  r.Intn(2) == 0,
-		Phys:  r.Intn(4) == 0,
+		Kind: k,
+		Addr: r.Uint32(),
+		PID:  uint8(r.Intn(16)),
+		User: r.Intn(2) == 0,
+		Phys: r.Intn(4) == 0,
 	}
-	if k == KindCtxSwitch || k == KindException {
+	if k.IsMemRef() {
+		rec.Width = widths[r.Intn(3)]
+	} else {
 		rec.Extra = uint16(r.Intn(1 << 16))
 	}
 	return rec
@@ -45,7 +47,7 @@ func TestParseBuffer(t *testing.T) {
 	recs := []Record{
 		{Kind: KindIFetch, Addr: 0x200, Width: 4, User: true, PID: 1},
 		{Kind: KindDWrite, Addr: 0x7FFFFFFC, Width: 4, User: true, PID: 1},
-		{Kind: KindCtxSwitch, Extra: 2, PID: 2, Width: 1},
+		{Kind: KindCtxSwitch, Extra: 2, PID: 2},
 	}
 	buf := make([]byte, len(recs)*RecordBytes)
 	for i, r := range recs {
@@ -76,7 +78,7 @@ func makeTrace(n int, seed int64) []Record {
 		case 2:
 			recs[i] = Record{Kind: KindPTERead, Addr: 0x80010000 + uint32(r.Intn(64))*4, Width: 4, PID: 1}
 		case 3:
-			recs[i] = Record{Kind: KindCtxSwitch, Extra: uint16(r.Intn(4)), Width: 1, PID: uint8(r.Intn(4))}
+			recs[i] = Record{Kind: KindCtxSwitch, Extra: uint16(r.Intn(4)), PID: uint8(r.Intn(4))}
 		default:
 			pc += uint32(r.Intn(3)) * 4
 			recs[i] = Record{Kind: KindIFetch, Addr: pc, Width: 4, User: r.Intn(3) > 0, PID: 1}
@@ -203,7 +205,7 @@ func TestFilters(t *testing.T) {
 		{Kind: KindIFetch, User: false, PID: 1, Width: 4},
 		{Kind: KindPTERead, User: true, PID: 1, Width: 4},
 		{Kind: KindDRead, User: true, PID: 2, Width: 4},
-		{Kind: KindCtxSwitch, User: true, PID: 2, Width: 1},
+		{Kind: KindCtxSwitch, User: true, PID: 2},
 	}
 	u := FilterUser(recs)
 	if len(u) != 3 { // user ifetch, user dread, user ctxswitch; PTE excluded
@@ -226,8 +228,8 @@ func TestSummarize(t *testing.T) {
 		{Kind: KindDRead, Addr: 0x1000, Width: 4, User: true, PID: 1},
 		{Kind: KindDWrite, Addr: 0x1004, Width: 4, User: true, PID: 1},
 		{Kind: KindPTERead, Addr: 0x80010000, Width: 4, User: false, PID: 1},
-		{Kind: KindCtxSwitch, Extra: 2, PID: 2, Width: 1},
-		{Kind: KindException, Extra: 0xC0, PID: 2, Width: 1},
+		{Kind: KindCtxSwitch, Extra: 2, PID: 2},
+		{Kind: KindException, Extra: 0xC0, PID: 2},
 		{Kind: KindDRead, Addr: 0x1000, Width: 4, User: true, PID: 2},
 	}
 	s := Summarize(recs)
@@ -257,7 +259,7 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestRecordString(t *testing.T) {
-	r := Record{Kind: KindCtxSwitch, PID: 3, Extra: 4, Width: 1}
+	r := Record{Kind: KindCtxSwitch, PID: 3, Extra: 4}
 	if s := r.String(); !strings.Contains(s, "ctxswitch") || !strings.Contains(s, "extra=0x4") {
 		t.Errorf("String() = %q", s)
 	}

@@ -53,13 +53,37 @@ func (d Decoded) String() string {
 // "address after this operand's bytes", which we reconstruct by summing
 // operand lengths.
 func opTarget(d Decoded, idx int, end uint32) uint32 {
+	_ = end
+	t, _ := d.OperandTarget(idx)
+	return t
+}
+
+// OperandTarget returns the absolute address operand idx statically
+// refers to, when that address is computable from the instruction alone:
+// branch displacements, PC-relative displacement modes (plain and
+// deferred), and absolute (@#) operands. For register-based and dynamic
+// modes it returns ok=false. For deferred modes the returned address is
+// the location of the pointer, not the final target.
+func (d Decoded) OperandTarget(idx int) (addr uint32, ok bool) {
+	op := d.Operands[idx]
+	switch {
+	case op.Mode == ModeBranch:
+		// fall through to PC arithmetic below
+	case op.Mode == ModeAbsolute:
+		return op.Imm, true
+	case op.Reg == PC && (op.Mode == ModeByteDisp || op.Mode == ModeWordDisp ||
+		op.Mode == ModeLongDisp || op.Mode == ModeByteDispDef ||
+		op.Mode == ModeWordDispDef || op.Mode == ModeLongDispDef):
+		// fall through to PC arithmetic below
+	default:
+		return 0, false
+	}
 	// PC after this operand = addr + 1 (opcode) + lengths of operands 0..idx.
 	pc := d.Addr + 1
 	for i := 0; i <= idx; i++ {
 		pc += uint32(d.Operands[i].Len)
 	}
-	_ = end
-	return pc + uint32(d.Operands[idx].Disp)
+	return pc + uint32(op.Disp), true
 }
 
 // sliceFetcher implements Fetcher over a byte slice.

@@ -144,7 +144,7 @@ func Interleave(quantum int, streams ...[]trace.Record) []trace.Record {
 				cur = s
 				pid := streams[s][idx[s]].PID
 				out = append(out, trace.Record{
-					Kind: trace.KindCtxSwitch, Width: 1, PID: pid, Extra: uint16(pid),
+					Kind: trace.KindCtxSwitch, PID: pid, Extra: uint16(pid),
 				})
 			}
 			n := quantum

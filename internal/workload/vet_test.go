@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"testing"
+
+	"atum/internal/asmcheck"
+)
+
+// TestWorkloadsVet runs the static verifier over every workload program
+// under the user-mode profile. Workloads run in user mode, so reachable
+// privileged instructions, wild branches or decode faults are bugs that
+// would otherwise only surface as a fault mid-trace. Dead-code warnings
+// are tolerated: the shared runtime library is appended to every
+// workload whether or not it calls each helper.
+func TestWorkloadsVet(t *testing.T) {
+	for _, w := range All {
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := w.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range asmcheck.Check(p, asmcheck.UserProgram()) {
+				if d.Rule == asmcheck.RuleDeadCode {
+					continue
+				}
+				if d.Sev == asmcheck.SevError {
+					t.Errorf("%s", d)
+				} else {
+					t.Logf("warn: %s", d)
+				}
+			}
+		})
+	}
+}
