@@ -7,8 +7,13 @@ package repro
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"atum/internal/analysis"
 	"atum/internal/atum"
@@ -16,6 +21,7 @@ import (
 	"atum/internal/cache"
 	"atum/internal/kernel"
 	"atum/internal/micro"
+	"atum/internal/sweep"
 	"atum/internal/tlbsim"
 	"atum/internal/trace"
 	"atum/internal/workload"
@@ -322,6 +328,97 @@ func BenchmarkA2Codec(b *testing.B) {
 	}
 	b.ReportMetric(float64(rawN)/float64(deltaN), "compression-ratio")
 	b.ReportMetric(float64(deltaN)/float64(len(recs)), "delta-bytes/record")
+}
+
+// ---- sweep engine: serial vs parallel throughput ----
+
+// sweepJSON, when set, makes BenchmarkSweepEngine record its serial and
+// parallel throughput numbers (BENCH_sweep.json):
+//
+//	go test -bench=SweepEngine -benchtime=1x -sweep-json=BENCH_sweep.json
+var sweepJSON = flag.String("sweep-json", "", "write sweep benchmark results to this JSON file")
+
+// sweepBenchConfigs is the config grid the sweep benchmark fans out:
+// six sizes by four associativities, the cross product the paper's size
+// and associativity figures sample.
+func sweepBenchConfigs() []cache.Config {
+	var cfgs []cache.Config
+	base := benchCacheCfg()
+	for _, sized := range cache.SizeConfigs(base, []uint32{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10}) {
+		cfgs = append(cfgs, cache.AssocConfigs(sized, []uint32{1, 2, 4, 8})...)
+	}
+	return cfgs
+}
+
+// BenchmarkSweepEngine measures the parallel sweep engine against its
+// serial reference path (workers == 1) over one shared arena, and
+// verifies the two produce identical results while timing them.
+func BenchmarkSweepEngine(b *testing.B) {
+	src := trace.NewArena(benchTrace(b))
+	cfgs := sweepBenchConfigs()
+	opts := cache.RunOptions{IncludePTE: true}
+	nrec := float64(src.NumRecords())
+	b.ResetTimer()
+	var serialSec, parallelSec float64
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		serial, err := sweep.Caches(src, cfgs, opts, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		parallel, err := sweep.Caches(src, cfgs, opts, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t2 := time.Now()
+		for j := range serial {
+			if serial[j] != parallel[j] {
+				b.Fatalf("config %s: serial and parallel results differ", cfgs[j].Name)
+			}
+		}
+		serialSec, parallelSec = t1.Sub(t0).Seconds(), t2.Sub(t1).Seconds()
+	}
+	nc := float64(len(cfgs))
+	b.ReportMetric(nc/serialSec, "serial-configs/s")
+	b.ReportMetric(nc/parallelSec, "parallel-configs/s")
+	b.ReportMetric(serialSec/parallelSec, "speedup-x")
+
+	if *sweepJSON == "" {
+		return
+	}
+	type lane struct {
+		Workers       int     `json:"workers"`
+		Seconds       float64 `json:"seconds"`
+		ConfigsPerSec float64 `json:"configs_per_sec"`
+		RecordsPerSec float64 `json:"records_per_sec"`
+	}
+	out := struct {
+		GeneratedBy  string  `json:"generated_by"`
+		Cores        int     `json:"cores"`
+		GOMAXPROCS   int     `json:"gomaxprocs"`
+		TraceRecords int     `json:"trace_records"`
+		Configs      int     `json:"configs"`
+		Serial       lane    `json:"serial"`
+		Parallel     lane    `json:"parallel"`
+		SpeedupX     float64 `json:"speedup_x"`
+	}{
+		GeneratedBy:  "go test -bench=SweepEngine -benchtime=1x -sweep-json=" + *sweepJSON,
+		Cores:        runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		TraceRecords: src.NumRecords(),
+		Configs:      len(cfgs),
+		Serial:       lane{Workers: 1, Seconds: serialSec, ConfigsPerSec: nc / serialSec, RecordsPerSec: nc * nrec / serialSec},
+		Parallel:     lane{Workers: sweep.Resolve(0), Seconds: parallelSec, ConfigsPerSec: nc / parallelSec, RecordsPerSec: nc * nrec / parallelSec},
+		SpeedupX:     serialSec / parallelSec,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(*sweepJSON, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // ---- simulator throughput (engineering metric) ----

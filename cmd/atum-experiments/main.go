@@ -21,6 +21,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	md := flag.Bool("md", false, "render tables as markdown")
 	csv := flag.Bool("csv", false, "render tables as CSV")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores, 1 = serial reference path)")
 	flag.Parse()
 
 	registry := experiments.All()
@@ -41,7 +42,7 @@ func main() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		rep, err := e.Run()
+		rep, err := e.Run(experiments.Options{Workers: *workers})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "atum-experiments: %s: %v\n", e.ID, err)
 			os.Exit(1)

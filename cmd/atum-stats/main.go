@@ -2,6 +2,11 @@
 // reference mix, user/system split, context switches, distinct pages —
 // the per-trace columns of the paper's trace table.
 //
+// The trace is decoded once, streaming, into a shared read-only arena
+// (internal/trace.Arena); independent report sections then run
+// concurrently over it and print in a fixed order, so the output is
+// identical for any -workers value.
+//
 // Usage:
 //
 //	atum-stats mix.trc
@@ -12,19 +17,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"atum/internal/analysis"
+	"atum/internal/sweep"
 	"atum/internal/trace"
 )
 
 func main() {
 	var (
-		pid   = flag.Int("pid", -1, "restrict to one process id")
-		user  = flag.Bool("user", false, "restrict to user-mode references")
-		dump  = flag.Int("dump", 0, "also print the first N records")
-		wset  = flag.Bool("wset", false, "compute working-set curve")
-		byPID = flag.Bool("by-pid", false, "per-process breakdown table")
-		check = flag.Bool("check", false, "lint the trace for structural violations")
+		pid     = flag.Int("pid", -1, "restrict to one process id")
+		user    = flag.Bool("user", false, "restrict to user-mode references")
+		dump    = flag.Int("dump", 0, "also print the first N records")
+		wset    = flag.Bool("wset", false, "compute working-set curve")
+		byPID   = flag.Bool("by-pid", false, "per-process breakdown table")
+		check   = flag.Bool("check", false, "lint the trace for structural violations")
+		workers = flag.Int("workers", 0, "section worker goroutines (0 = all cores, 1 = serial reference path)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -37,7 +45,7 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	recs, meta, err := trace.ReadFileMeta(f)
+	arena, meta, err := trace.ReadArena(f)
 	if err != nil {
 		fatal(err)
 	}
@@ -49,42 +57,72 @@ func main() {
 		if *pid > 255 {
 			fatal(fmt.Errorf("-pid %d out of range (trace PIDs are 8-bit)", *pid))
 		}
-		recs = trace.FilterPID(recs, uint8(*pid))
+		want := uint8(*pid)
+		arena = arena.Filter(func(r trace.Record) bool { return r.PID == want })
 	}
 	if *user {
-		recs = trace.FilterUser(recs)
+		arena = arena.FilterUser()
 	}
 
+	// Each enabled section renders independently from the shared arena;
+	// results print in registration order regardless of worker count.
+	var sections []func() string
+	lintFailed := false
 	if *check {
-		violations := trace.Lint(recs)
-		if len(violations) == 0 {
-			fmt.Println("lint: trace is well-formed")
-		} else {
-			for _, v := range violations {
-				fmt.Println("lint:", v)
+		sections = append(sections, func() string {
+			violations := trace.Lint(arena.Flatten())
+			if len(violations) == 0 {
+				return "lint: trace is well-formed\n"
 			}
-			defer os.Exit(1)
-		}
+			lintFailed = true
+			var b strings.Builder
+			for _, v := range violations {
+				fmt.Fprintln(&b, "lint:", v)
+			}
+			return b.String()
+		})
 	}
-
-	fmt.Print(trace.Summarize(recs))
-
+	sections = append(sections, func() string {
+		return trace.SummarizeSource(arena).String()
+	})
 	if *byPID {
-		fmt.Print(analysis.PerPID(recs))
+		sections = append(sections, func() string {
+			return analysis.PerPID(arena.Flatten()).String()
+		})
 	}
-
 	if *wset {
-		taus := []uint32{100, 1000, 10_000, 100_000}
-		ws := analysis.WorkingSet(recs, taus)
-		tb := &analysis.Table{Title: "working set", Headers: []string{"tau", "W(tau) pages"}}
-		for i, tau := range taus {
-			tb.AddRow(analysis.N(tau), analysis.F(ws[i], 1))
-		}
-		fmt.Print(tb)
+		sections = append(sections, func() string {
+			taus := []uint32{100, 1000, 10_000, 100_000}
+			ws := analysis.WorkingSet(arena.Flatten(), taus)
+			tb := &analysis.Table{Title: "working set", Headers: []string{"tau", "W(tau) pages"}}
+			for i, tau := range taus {
+				tb.AddRow(analysis.N(tau), analysis.F(ws[i], 1))
+			}
+			return tb.String()
+		})
+	}
+	if *dump > 0 {
+		sections = append(sections, func() string {
+			var b strings.Builder
+			recs := arena.Flatten()
+			for i := 0; i < *dump && i < len(recs); i++ {
+				fmt.Fprintln(&b, recs[i])
+			}
+			return b.String()
+		})
 	}
 
-	for i := 0; i < *dump && i < len(recs); i++ {
-		fmt.Println(recs[i])
+	rendered, err := sweep.Map(*workers, len(sections), func(i int) (string, error) {
+		return sections[i](), nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, s := range rendered {
+		fmt.Print(s)
+	}
+	if lintFailed {
+		os.Exit(1)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"atum/internal/analysis"
 	"atum/internal/cache"
 	"atum/internal/stackdist"
+	"atum/internal/sweep"
 	"atum/internal/tlbsim"
 	"atum/internal/trace"
 )
@@ -32,12 +33,13 @@ func main() {
 		flush    = flag.Bool("flush", false, "flush on context switch (no PID tags)")
 		userOnly = flag.Bool("user-only", false, "simulate the user-only subset of the trace")
 		pte      = flag.Bool("pte", true, "include page-table references")
-		sweep    = flag.String("sweep", "", "sweep: sizes, blocks or assoc")
+		sweepArg = flag.String("sweep", "", "sweep: sizes, blocks or assoc")
 		sizesArg = flag.String("sizes", "1K,2K,4K,8K,16K,32K,64K,128K,256K", "sweep sizes")
 		tlb      = flag.Bool("tlb", false, "simulate a translation buffer instead")
 		entries  = flag.Uint("entries", 256, "TLB entries")
 		mattson  = flag.Bool("mattson", false, "one-pass stack-distance analysis: print the fully-associative LRU miss curve")
 		l2       = flag.String("l2", "", "two-level mode: unified L2 of this size behind split L1s of -size")
+		workers  = flag.Int("workers", 0, "sweep worker goroutines (0 = all cores, 1 = serial reference path)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -50,16 +52,16 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	recs, err := trace.ReadFile(f)
+	src, _, err := trace.ReadArena(f)
 	if err != nil {
 		fatal(err)
 	}
 	if *userOnly {
-		recs = trace.FilterUser(recs)
+		src = src.FilterUser()
 	}
 
 	if *mattson {
-		prof := stackdist.FromTrace(recs, stackdist.Options{
+		prof := stackdist.FromSource(src, stackdist.Options{
 			BlockBytes: uint32(*block), PIDTag: !*flush, IncludePTE: *pte,
 		})
 		tb := &analysis.Table{
@@ -82,7 +84,7 @@ func main() {
 			Entries: uint32(*entries), Assoc: 2, SplitSystem: true,
 			PIDTags: !*flush, FlushOnSwitch: *flush, IncludeSystem: true,
 		}
-		st, err := tlbsim.Run(recs, cfg)
+		st, err := tlbsim.RunSource(src, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -117,7 +119,7 @@ func main() {
 		l2cfg := cfg
 		l2cfg.SizeBytes = parseSize(*l2)
 		l2cfg.Assoc = 4
-		res, err := cache.RunHierarchy(recs, cache.HierarchyConfig{L1: cfg, L2: l2cfg}, opts)
+		res, err := cache.RunHierarchySource(src, cache.HierarchyConfig{L1: cfg, L2: l2cfg}, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -127,38 +129,33 @@ func main() {
 		return
 	}
 
-	switch *sweep {
+	var cfgs []cache.Config
+	switch *sweepArg {
 	case "":
-		res, err := cache.RunUnified(recs, cfg, opts)
+		res, err := cache.RunUnifiedSource(src, cfg, opts)
 		if err != nil {
 			fatal(err)
 		}
 		report([]cache.Result{res})
+		return
 	case "sizes":
 		var sizes []uint32
 		for _, s := range strings.Split(*sizesArg, ",") {
 			sizes = append(sizes, parseSize(s))
 		}
-		res, err := cache.SweepSizes(recs, cfg, sizes, opts)
-		if err != nil {
-			fatal(err)
-		}
-		report(res)
+		cfgs = cache.SizeConfigs(cfg, sizes)
 	case "blocks":
-		res, err := cache.SweepBlocks(recs, cfg, []uint32{4, 8, 16, 32, 64, 128}, opts)
-		if err != nil {
-			fatal(err)
-		}
-		report(res)
+		cfgs = cache.BlockConfigs(cfg, []uint32{4, 8, 16, 32, 64, 128})
 	case "assoc":
-		res, err := cache.SweepAssoc(recs, cfg, []uint32{1, 2, 4, 8}, opts)
-		if err != nil {
-			fatal(err)
-		}
-		report(res)
+		cfgs = cache.AssocConfigs(cfg, []uint32{1, 2, 4, 8})
 	default:
-		fatal(fmt.Errorf("unknown sweep %q", *sweep))
+		fatal(fmt.Errorf("unknown sweep %q", *sweepArg))
 	}
+	res, err := sweep.Caches(src, cfgs, opts, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	report(res)
 }
 
 func report(results []cache.Result) {

@@ -8,6 +8,7 @@ import (
 	"atum/internal/atum"
 	"atum/internal/baseline"
 	"atum/internal/cache"
+	"atum/internal/experiments"
 	"atum/internal/kernel"
 	"atum/internal/micro"
 	"atum/internal/stackdist"
@@ -185,6 +186,30 @@ func TestDeterministicEndToEnd(t *testing.T) {
 	a, b := capture(), capture()
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("two identical runs produced different traces")
+	}
+}
+
+// TestSweepDeterminism extends TestDeterministicEndToEnd from capture to
+// consumption: every experiment must render a byte-identical report from
+// the serial reference path (workers == 1) and from a saturated worker
+// pool, whatever the machine's core count — the parallel sweep engine is
+// an implementation detail, never a result change.
+func TestSweepDeterminism(t *testing.T) {
+	for _, e := range experiments.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			serial, err := e.Run(experiments.Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := e.Run(experiments.Options{Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, p := serial.String(), parallel.String(); s != p {
+				t.Errorf("report differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+			}
+		})
 	}
 }
 

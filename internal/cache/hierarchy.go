@@ -94,34 +94,45 @@ type HierarchyResult struct {
 
 // RunHierarchy drives a trace through the hierarchy.
 func RunHierarchy(recs []trace.Record, cfg HierarchyConfig, opts RunOptions) (HierarchyResult, error) {
+	return RunHierarchySource(trace.Records(recs), cfg, opts)
+}
+
+// RunHierarchySource is RunHierarchy over any record source.
+func RunHierarchySource(src trace.Source, cfg HierarchyConfig, opts RunOptions) (HierarchyResult, error) {
 	h, err := NewHierarchy(cfg)
 	if err != nil {
 		return HierarchyResult{}, err
 	}
 	flush := cfg.L1.FlushOnSwitch || cfg.L2.FlushOnSwitch
-	for _, r := range recs {
-		pid := r.PID
-		if r.Phys || r.Addr>>30 == 2 {
-			pid = 0
+	err = src.EachChunk(func(chunk []trace.Record) error {
+		for _, r := range chunk {
+			pid := r.PID
+			if r.Phys || r.Addr>>30 == 2 {
+				pid = 0
+			}
+			switch r.Kind {
+			case trace.KindCtxSwitch:
+				if flush {
+					h.Flush()
+				}
+			case trace.KindIFetch:
+				h.access(h.L1I, r.Addr, false, pid)
+			case trace.KindDRead, trace.KindDWrite:
+				if r.Phys && opts.SkipPhys {
+					continue
+				}
+				h.access(h.L1D, r.Addr, r.Kind == trace.KindDWrite, pid)
+			case trace.KindPTERead, trace.KindPTEWrite:
+				if !opts.IncludePTE {
+					continue
+				}
+				h.access(h.L1D, r.Addr, r.Kind == trace.KindPTEWrite, pid)
+			}
 		}
-		switch r.Kind {
-		case trace.KindCtxSwitch:
-			if flush {
-				h.Flush()
-			}
-		case trace.KindIFetch:
-			h.access(h.L1I, r.Addr, false, pid)
-		case trace.KindDRead, trace.KindDWrite:
-			if r.Phys && opts.SkipPhys {
-				continue
-			}
-			h.access(h.L1D, r.Addr, r.Kind == trace.KindDWrite, pid)
-		case trace.KindPTERead, trace.KindPTEWrite:
-			if !opts.IncludePTE {
-				continue
-			}
-			h.access(h.L1D, r.Addr, r.Kind == trace.KindPTEWrite, pid)
-		}
+		return nil
+	})
+	if err != nil {
+		return HierarchyResult{}, err
 	}
 	res := HierarchyResult{
 		L1I:            h.L1I.Stats,

@@ -25,12 +25,25 @@ type Result struct {
 // RunUnified drives one unified cache with every memory reference in the
 // trace, honouring context-switch flushes.
 func RunUnified(recs []trace.Record, cfg Config, opts RunOptions) (Result, error) {
+	return RunUnifiedSource(trace.Records(recs), cfg, opts)
+}
+
+// RunUnifiedSource is RunUnified over any record source (e.g. a shared
+// trace.Arena). The source is only read, so many configurations can
+// replay the same one concurrently.
+func RunUnifiedSource(src trace.Source, cfg Config, opts RunOptions) (Result, error) {
 	c, err := New(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	for _, r := range recs {
-		feedRecord(c, c, r, cfg, opts)
+	err = src.EachChunk(func(chunk []trace.Record) error {
+		for _, r := range chunk {
+			feedRecord(c, c, r, cfg, opts)
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{Config: cfg, Stats: c.Stats}, nil
 }
@@ -52,6 +65,11 @@ func (s SplitResult) Combined() float64 {
 
 // RunSplit drives a split instruction/data cache pair.
 func RunSplit(recs []trace.Record, icfg, dcfg Config, opts RunOptions) (SplitResult, error) {
+	return RunSplitSource(trace.Records(recs), icfg, dcfg, opts)
+}
+
+// RunSplitSource is RunSplit over any record source.
+func RunSplitSource(src trace.Source, icfg, dcfg Config, opts RunOptions) (SplitResult, error) {
 	ic, err := New(icfg)
 	if err != nil {
 		return SplitResult{}, err
@@ -60,8 +78,14 @@ func RunSplit(recs []trace.Record, icfg, dcfg Config, opts RunOptions) (SplitRes
 	if err != nil {
 		return SplitResult{}, err
 	}
-	for _, r := range recs {
-		feedRecord(ic, dc, r, icfg, opts)
+	err = src.EachChunk(func(chunk []trace.Record) error {
+		for _, r := range chunk {
+			feedRecord(ic, dc, r, icfg, opts)
+		}
+		return nil
+	})
+	if err != nil {
+		return SplitResult{}, err
 	}
 	return SplitResult{IConfig: icfg, DConfig: dcfg, I: ic.Stats, D: dc.Stats}, nil
 }
@@ -101,30 +125,49 @@ func feedRecord(ic, dc *Cache, r trace.Record, cfg Config, opts RunOptions) {
 	}
 }
 
-// SweepSizes runs the trace through a series of cache sizes derived from
-// base (same block/assoc/policies) and returns one result per size.
-func SweepSizes(recs []trace.Record, base Config, sizes []uint32, opts RunOptions) ([]Result, error) {
-	out := make([]Result, 0, len(sizes))
+// SizeConfigs derives one configuration per capacity from base (same
+// block/assoc/policies). The serial Sweep* helpers and the parallel
+// engine (internal/sweep) both build their jobs from these lists, so
+// both paths simulate — and name — exactly the same configurations.
+func SizeConfigs(base Config, sizes []uint32) []Config {
+	out := make([]Config, 0, len(sizes))
 	for _, sz := range sizes {
 		cfg := base
 		cfg.SizeBytes = sz
 		cfg.Name = fmt.Sprintf("%s-%dKB", base.Name, sz>>10)
-		res, err := RunUnified(recs, cfg, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
+		out = append(out, cfg)
 	}
-	return out, nil
+	return out
 }
 
-// SweepBlocks varies the block size at fixed capacity.
-func SweepBlocks(recs []trace.Record, base Config, blocks []uint32, opts RunOptions) ([]Result, error) {
-	out := make([]Result, 0, len(blocks))
+// BlockConfigs derives one configuration per block size at fixed capacity.
+func BlockConfigs(base Config, blocks []uint32) []Config {
+	out := make([]Config, 0, len(blocks))
 	for _, b := range blocks {
 		cfg := base
 		cfg.BlockBytes = b
 		cfg.Name = fmt.Sprintf("%s-%dB", base.Name, b)
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// AssocConfigs derives one configuration per way count at fixed capacity.
+func AssocConfigs(base Config, ways []uint32) []Config {
+	out := make([]Config, 0, len(ways))
+	for _, w := range ways {
+		cfg := base
+		cfg.Assoc = w
+		cfg.Name = fmt.Sprintf("%s-%dway", base.Name, w)
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// runConfigs is the serial reference loop behind the Sweep* helpers.
+func runConfigs(recs []trace.Record, cfgs []Config, opts RunOptions) ([]Result, error) {
+	out := make([]Result, 0, len(cfgs))
+	for _, cfg := range cfgs {
 		res, err := RunUnified(recs, cfg, opts)
 		if err != nil {
 			return nil, err
@@ -134,18 +177,18 @@ func SweepBlocks(recs []trace.Record, base Config, blocks []uint32, opts RunOpti
 	return out, nil
 }
 
+// SweepSizes runs the trace through a series of cache sizes derived from
+// base (same block/assoc/policies) and returns one result per size.
+func SweepSizes(recs []trace.Record, base Config, sizes []uint32, opts RunOptions) ([]Result, error) {
+	return runConfigs(recs, SizeConfigs(base, sizes), opts)
+}
+
+// SweepBlocks varies the block size at fixed capacity.
+func SweepBlocks(recs []trace.Record, base Config, blocks []uint32, opts RunOptions) ([]Result, error) {
+	return runConfigs(recs, BlockConfigs(base, blocks), opts)
+}
+
 // SweepAssoc varies associativity at fixed capacity.
 func SweepAssoc(recs []trace.Record, base Config, ways []uint32, opts RunOptions) ([]Result, error) {
-	out := make([]Result, 0, len(ways))
-	for _, w := range ways {
-		cfg := base
-		cfg.Assoc = w
-		cfg.Name = fmt.Sprintf("%s-%dway", base.Name, w)
-		res, err := RunUnified(recs, cfg, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
-	}
-	return out, nil
+	return runConfigs(recs, AssocConfigs(base, ways), opts)
 }

@@ -9,6 +9,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"atum/internal/analysis"
 	"atum/internal/atum"
@@ -17,6 +18,7 @@ import (
 	"atum/internal/kernel"
 	"atum/internal/micro"
 	"atum/internal/stackdist"
+	"atum/internal/sweep"
 	"atum/internal/tlbsim"
 	"atum/internal/trace"
 	"atum/internal/workload"
@@ -49,8 +51,18 @@ func (r *Report) String() string {
 	return b.String()
 }
 
+// Options parameterises one run of an experiment.
+type Options struct {
+	// Workers bounds the parallel sweep fan-out (internal/sweep); <= 0
+	// means all available cores. Workers == 1 is the serial reference
+	// path, and every value produces byte-identical reports — captures
+	// stay serial (the simulated machine is single-threaded state);
+	// only trace *consumption* fans out.
+	Workers int
+}
+
 // Runner produces a report.
-type Runner func() (*Report, error)
+type Runner func(Options) (*Report, error)
 
 // All returns the experiment registry in canonical order.
 func All() []struct {
@@ -114,20 +126,41 @@ func captureMix(cfg kernel.Config, names ...string) ([]trace.Record, error) {
 	return cap.All(), nil
 }
 
-// mixTrace memoizes the standard-mix capture across experiments within
-// one process (the machine is deterministic, so this is sound).
-var mixTraceCache []trace.Record
+// The standard-mix capture is memoized across experiments within one
+// process (the machine is deterministic, so this is sound): captured
+// once, decoded once, shared read-only between every sweep worker. The
+// user-only subset — half the suite compares against it — is likewise
+// derived once.
+var (
+	mixOnce      sync.Once
+	mixRecsOnce  []trace.Record
+	mixArenaOnce *trace.Arena
+	mixUserOnce  *trace.Arena
+	mixErrOnce   error
+)
+
+func standardMix() ([]trace.Record, *trace.Arena, *trace.Arena, error) {
+	mixOnce.Do(func() {
+		recs, err := captureMix(sysConfig(), workload.StandardMix...)
+		if err != nil {
+			mixErrOnce = err
+			return
+		}
+		mixRecsOnce = recs
+		mixArenaOnce = trace.NewArena(recs)
+		mixUserOnce = mixArenaOnce.FilterUser()
+	})
+	return mixRecsOnce, mixArenaOnce, mixUserOnce, mixErrOnce
+}
 
 func standardMixTrace() ([]trace.Record, error) {
-	if mixTraceCache != nil {
-		return mixTraceCache, nil
-	}
-	recs, err := captureMix(sysConfig(), workload.StandardMix...)
-	if err != nil {
-		return nil, err
-	}
-	mixTraceCache = recs
-	return recs, nil
+	recs, _, _, err := standardMix()
+	return recs, err
+}
+
+func standardMixArena() (*trace.Arena, *trace.Arena, error) {
+	_, full, user, err := standardMix()
+	return full, user, err
 }
 
 // baseCacheCfg is the default cache for the sweeps: direct-mapped, 16 B
@@ -156,7 +189,7 @@ func kb(b uint32) string { return fmt.Sprintf("%dKB", b>>10) }
 // T1TechniqueComparison measures slowdown and completeness of ATUM
 // against inline instrumentation and trap-driven tracing on a
 // two-process workload.
-func T1TechniqueComparison() (*Report, error) {
+func T1TechniqueComparison(Options) (*Report, error) {
 	factory := func() (*micro.Machine, func() error, error) {
 		sys, err := workload.BootMix(sysConfig(), "sieve", "list")
 		if err != nil {
@@ -202,7 +235,7 @@ func T1TechniqueComparison() (*Report, error) {
 // T2TraceCharacteristics reports, per workload and for the standard mix,
 // the columns of the paper's trace table: record counts, reference mix,
 // and the system-reference share only ATUM-style tracing can measure.
-func T2TraceCharacteristics() (*Report, error) {
+func T2TraceCharacteristics(Options) (*Report, error) {
 	tb := &analysis.Table{
 		Title: "Trace characteristics (complete system traces)",
 		Headers: []string{"workload", "memrefs", "%ifetch", "%read", "%write",
@@ -255,25 +288,30 @@ func T2TraceCharacteristics() (*Report, error) {
 
 // F1OSImpact sweeps cache size and compares the miss rate computed from
 // the full system trace against the user-only subset of the same trace —
-// the paper's headline comparison.
-func F1OSImpact() (*Report, error) {
-	full, err := standardMixTrace()
+// the paper's headline comparison. Both sweeps fan out over the engine:
+// one shared arena per trace, one worker-owned cache per configuration.
+func F1OSImpact(opt Options) (*Report, error) {
+	fullSrc, userSrc, err := standardMixArena()
 	if err != nil {
 		return nil, err
 	}
-	userOnly := trace.FilterUser(full)
 	sizes := []uint32{256, 512, 1 << 10, 2 << 10, 4 << 10, 8 << 10}
-	cfg := baseCacheCfg()
+	cfgs := cache.SizeConfigs(baseCacheCfg(), sizes)
 	opts := cache.RunOptions{IncludePTE: true}
 
-	fullRes, err := cache.SweepSizes(full, cfg, sizes, opts)
+	// One flat job list over (trace, size) so both curves' points run
+	// concurrently; results come back in index order regardless.
+	both, err := sweep.Map(opt.Workers, 2*len(cfgs), func(i int) (cache.Result, error) {
+		src := trace.Source(fullSrc)
+		if i >= len(cfgs) {
+			src = userSrc
+		}
+		return cache.RunUnifiedSource(src, cfgs[i%len(cfgs)], opts)
+	})
 	if err != nil {
 		return nil, err
 	}
-	userRes, err := cache.SweepSizes(userOnly, cfg, sizes, opts)
-	if err != nil {
-		return nil, err
-	}
+	fullRes, userRes := both[:len(cfgs)], both[len(cfgs):]
 	tb := &analysis.Table{
 		Title:   "Miss rate vs cache size (direct-mapped, 16B blocks)",
 		Headers: []string{"size", "user-only", "user+system", "ratio"},
@@ -317,8 +355,8 @@ func F1OSImpact() (*Report, error) {
 // F2Multiprogramming compares single-process, PID-tagged multiprogrammed,
 // and flush-on-switch multiprogrammed miss rates across cache sizes, and
 // sweeps the scheduling quantum at a fixed size.
-func F2Multiprogramming() (*Report, error) {
-	mix, err := standardMixTrace()
+func F2Multiprogramming(opt Options) (*Report, error) {
+	mixSrc, _, err := standardMixArena()
 	if err != nil {
 		return nil, err
 	}
@@ -326,35 +364,42 @@ func F2Multiprogramming() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	soloSrc := trace.NewArena(solo)
 	sizes := []uint32{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10}
 	opts := cache.RunOptions{IncludePTE: true}
+
+	// Three columns per size → one 3*len(sizes) fan-out over the two
+	// shared arenas.
+	type job struct {
+		src trace.Source
+		cfg cache.Config
+	}
+	var jobs []job
+	for _, sz := range sizes {
+		cfg := baseCacheCfg()
+		cfg.SizeBytes = sz
+		fcfg := cfg
+		fcfg.PIDTags = false
+		fcfg.FlushOnSwitch = true
+		jobs = append(jobs,
+			job{soloSrc, cfg}, job{mixSrc, cfg}, job{mixSrc, fcfg})
+	}
+	res, err := sweep.Map(opt.Workers, len(jobs), func(i int) (cache.Result, error) {
+		return cache.RunUnifiedSource(jobs[i].src, jobs[i].cfg, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	tb := &analysis.Table{
 		Title:   "Miss rate vs cache size under multiprogramming",
 		Headers: []string{"size", "single-process", "mix (PID tags)", "mix (flush on switch)"},
 	}
-	for _, sz := range sizes {
-		cfg := baseCacheCfg()
-		cfg.SizeBytes = sz
-		soloRes, err := cache.RunUnified(solo, cfg, opts)
-		if err != nil {
-			return nil, err
-		}
-		mixRes, err := cache.RunUnified(mix, cfg, opts)
-		if err != nil {
-			return nil, err
-		}
-		fcfg := cfg
-		fcfg.PIDTags = false
-		fcfg.FlushOnSwitch = true
-		flushRes, err := cache.RunUnified(mix, fcfg, opts)
-		if err != nil {
-			return nil, err
-		}
+	for i, sz := range sizes {
 		tb.AddRow(kb(sz),
-			analysis.Pct(soloRes.Stats.MissRate()),
-			analysis.Pct(mixRes.Stats.MissRate()),
-			analysis.Pct(flushRes.Stats.MissRate()))
+			analysis.Pct(res[3*i].Stats.MissRate()),
+			analysis.Pct(res[3*i+1].Stats.MissRate()),
+			analysis.Pct(res[3*i+2].Stats.MissRate()))
 	}
 
 	// Quantum sweep at 8 KB, flush-on-switch, on a lighter two-process
@@ -395,13 +440,14 @@ func F2Multiprogramming() (*Report, error) {
 // ---- F3: block size ----
 
 // F3BlockSize sweeps the line size at fixed 64 KB capacity.
-func F3BlockSize() (*Report, error) {
-	mix, err := standardMixTrace()
+func F3BlockSize(opt Options) (*Report, error) {
+	mixSrc, _, err := standardMixArena()
 	if err != nil {
 		return nil, err
 	}
 	blocks := []uint32{4, 8, 16, 32, 64, 128}
-	res, err := cache.SweepBlocks(mix, baseCacheCfg(), blocks, cache.RunOptions{IncludePTE: true})
+	res, err := sweep.Caches(mixSrc, cache.BlockConfigs(baseCacheCfg(), blocks),
+		cache.RunOptions{IncludePTE: true}, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -430,12 +476,13 @@ func F3BlockSize() (*Report, error) {
 // ---- F4: associativity ----
 
 // F4Associativity sweeps set associativity at two capacities.
-func F4Associativity() (*Report, error) {
-	mix, err := standardMixTrace()
+func F4Associativity(opt Options) (*Report, error) {
+	mixSrc, _, err := standardMixArena()
 	if err != nil {
 		return nil, err
 	}
 	ways := []uint32{1, 2, 4, 8}
+	sizes := []uint32{2 << 10, 8 << 10}
 	tb := &analysis.Table{
 		Title:   "Miss rate vs associativity (full trace, 16B blocks)",
 		Headers: []string{"ways", "2KB", "8KB"},
@@ -447,15 +494,20 @@ func F4Associativity() (*Report, error) {
 	for i, w := range ways {
 		rows[i][0] = analysis.N(w)
 	}
-	for col, size := range []uint32{2 << 10, 8 << 10} {
+	// Both capacity columns' way-sweeps in one fan-out.
+	var cfgs []cache.Config
+	for _, size := range sizes {
 		cfg := baseCacheCfg()
 		cfg.SizeBytes = size
-		res, err := cache.SweepAssoc(mix, cfg, ways, cache.RunOptions{IncludePTE: true})
-		if err != nil {
-			return nil, err
-		}
+		cfgs = append(cfgs, cache.AssocConfigs(cfg, ways)...)
+	}
+	res, err := sweep.Caches(mixSrc, cfgs, cache.RunOptions{IncludePTE: true}, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for col := range sizes {
 		for i := range ways {
-			rows[i][col+1] = analysis.Pct(res[i].Stats.MissRate())
+			rows[i][col+1] = analysis.Pct(res[col*len(ways)+i].Stats.MissRate())
 		}
 	}
 	for _, r := range rows {
@@ -473,8 +525,8 @@ func F4Associativity() (*Report, error) {
 
 // F5TLB sweeps TB capacity with and without system references, PID tags
 // versus flush-on-switch.
-func F5TLB() (*Report, error) {
-	mix, err := standardMixTrace()
+func F5TLB(opt Options) (*Report, error) {
+	mixSrc, _, err := standardMixArena()
 	if err != nil {
 		return nil, err
 	}
@@ -483,24 +535,21 @@ func F5TLB() (*Report, error) {
 		Title:   "TB miss rate vs entries (2-way, split system half)",
 		Headers: []string{"entries", "user-only", "full (PID tags)", "full (flush on switch)"},
 	}
+	// Three TB designs per capacity → one 3*len(sizes) fan-out.
+	var cfgs []tlbsim.Config
 	for _, n := range sizes {
-		user := tlbsim.Config{Entries: n, Assoc: 2, SplitSystem: true, PIDTags: true, IncludeSystem: false}
-		fullTags := tlbsim.Config{Entries: n, Assoc: 2, SplitSystem: true, PIDTags: true, IncludeSystem: true}
-		fullFlush := tlbsim.Config{Entries: n, Assoc: 2, SplitSystem: true, FlushOnSwitch: true, IncludeSystem: true}
-		su, err := tlbsim.Run(mix, user)
-		if err != nil {
-			return nil, err
-		}
-		st, err := tlbsim.Run(mix, fullTags)
-		if err != nil {
-			return nil, err
-		}
-		sf, err := tlbsim.Run(mix, fullFlush)
-		if err != nil {
-			return nil, err
-		}
-		tb.AddRow(analysis.N(n), analysis.Pct(su.MissRate()),
-			analysis.Pct(st.MissRate()), analysis.Pct(sf.MissRate()))
+		cfgs = append(cfgs,
+			tlbsim.Config{Entries: n, Assoc: 2, SplitSystem: true, PIDTags: true, IncludeSystem: false},
+			tlbsim.Config{Entries: n, Assoc: 2, SplitSystem: true, PIDTags: true, IncludeSystem: true},
+			tlbsim.Config{Entries: n, Assoc: 2, SplitSystem: true, FlushOnSwitch: true, IncludeSystem: true})
+	}
+	res, err := sweep.TBs(mixSrc, cfgs, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		tb.AddRow(analysis.N(n), analysis.Pct(res[3*i].MissRate()),
+			analysis.Pct(res[3*i+1].MissRate()), analysis.Pct(res[3*i+2].MissRate()))
 	}
 	return &Report{
 		ID:     "F5",
@@ -517,7 +566,7 @@ func F5TLB() (*Report, error) {
 // ---- F6: working sets ----
 
 // F6WorkingSet computes W(tau) for user-only and full traces.
-func F6WorkingSet() (*Report, error) {
+func F6WorkingSet(Options) (*Report, error) {
 	mix, err := standardMixTrace()
 	if err != nil {
 		return nil, err
@@ -553,31 +602,38 @@ func F6WorkingSet() (*Report, error) {
 // comparing user-only and full-system traffic to memory. Second-level
 // caches arrived commercially shortly after the paper; ATUM-style traces
 // were what made evaluating them possible.
-func F7Hierarchy() (*Report, error) {
-	mix, err := standardMixTrace()
+func F7Hierarchy(opt Options) (*Report, error) {
+	fullSrc, userSrc, err := standardMixArena()
 	if err != nil {
 		return nil, err
 	}
-	user := trace.FilterUser(mix)
 	tb := &analysis.Table{
 		Title:   "Two-level hierarchy: 2x1KB split L1 + unified L2 (16B blocks)",
 		Headers: []string{"L2 size", "L1I miss", "L1D miss", "global L2 miss (full)", "global L2 miss (user-only)", "memory accesses"},
 	}
-	for _, l2 := range []uint32{4 << 10, 16 << 10, 64 << 10} {
-		cfg := cache.HierarchyConfig{
+	l2s := []uint32{4 << 10, 16 << 10, 64 << 10}
+	var cfgs []cache.HierarchyConfig
+	for _, l2 := range l2s {
+		cfgs = append(cfgs, cache.HierarchyConfig{
 			L1: cache.Config{Name: "f7", SizeBytes: 1 << 10, BlockBytes: 16, Assoc: 1,
 				Replacement: cache.LRU, WriteAllocate: true, PIDTags: true},
 			L2: cache.Config{Name: "f7", SizeBytes: l2, BlockBytes: 16, Assoc: 4,
 				Replacement: cache.LRU, WriteAllocate: true, PIDTags: true},
+		})
+	}
+	// Full-trace and user-only replays of every hierarchy in one fan-out.
+	res, err := sweep.Map(opt.Workers, 2*len(cfgs), func(i int) (cache.HierarchyResult, error) {
+		src := trace.Source(fullSrc)
+		if i >= len(cfgs) {
+			src = userSrc
 		}
-		full, err := cache.RunHierarchy(mix, cfg, cache.RunOptions{IncludePTE: true})
-		if err != nil {
-			return nil, err
-		}
-		ures, err := cache.RunHierarchy(user, cfg, cache.RunOptions{IncludePTE: true})
-		if err != nil {
-			return nil, err
-		}
+		return cache.RunHierarchySource(src, cfgs[i%len(cfgs)], cache.RunOptions{IncludePTE: true})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, l2 := range l2s {
+		full, ures := res[i], res[len(cfgs)+i]
 		tb.AddRow(kb(l2),
 			analysis.Pct(full.L1I.MissRate()),
 			analysis.Pct(full.L1D.MissRate()),
@@ -602,31 +658,32 @@ func F7Hierarchy() (*Report, error) {
 // times (1-cycle hit, 12-cycle miss penalty — mid-80s main-memory
 // latency in processor cycles): the designer-facing consequence of
 // trusting user-only traces.
-func F8EffectiveAccess() (*Report, error) {
-	full, err := standardMixTrace()
+func F8EffectiveAccess(opt Options) (*Report, error) {
+	fullSrc, userSrc, err := standardMixArena()
 	if err != nil {
 		return nil, err
 	}
-	user := trace.FilterUser(full)
 	const hit, penalty = 1.0, 12.0
 	opts := cache.RunOptions{IncludePTE: true}
 	tb := &analysis.Table{
 		Title:   "Average access time in cycles (1-cycle hit, 12-cycle miss)",
 		Headers: []string{"size", "user-only estimate", "full-system actual", "underestimate"},
 	}
-	for _, sz := range []uint32{512, 1 << 10, 2 << 10, 4 << 10} {
-		cfg := baseCacheCfg()
-		cfg.SizeBytes = sz
-		fres, err := cache.RunUnified(full, cfg, opts)
-		if err != nil {
-			return nil, err
+	sizes := []uint32{512, 1 << 10, 2 << 10, 4 << 10}
+	cfgs := cache.SizeConfigs(baseCacheCfg(), sizes)
+	res, err := sweep.Map(opt.Workers, 2*len(cfgs), func(i int) (cache.Result, error) {
+		src := trace.Source(fullSrc)
+		if i >= len(cfgs) {
+			src = userSrc
 		}
-		ures, err := cache.RunUnified(user, cfg, opts)
-		if err != nil {
-			return nil, err
-		}
-		uEAT := analysis.EffectiveAccess(ures.Stats.MissRate(), hit, penalty)
-		fEAT := analysis.EffectiveAccess(fres.Stats.MissRate(), hit, penalty)
+		return cache.RunUnifiedSource(src, cfgs[i%len(cfgs)], opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sz := range sizes {
+		uEAT := analysis.EffectiveAccess(res[len(cfgs)+i].Stats.MissRate(), hit, penalty)
+		fEAT := analysis.EffectiveAccess(res[i].Stats.MissRate(), hit, penalty)
 		label := fmt.Sprintf("%dB", sz)
 		if sz >= 1024 {
 			label = kb(sz)
@@ -654,7 +711,7 @@ func F8EffectiveAccess() (*Report, error) {
 // one process: the machine's own translation buffer keeps live counters
 // during the traced run, and the captured trace can be replayed through
 // internal/tlbsim configured with the hardware's geometry.
-func A5TraceDrivenFidelity() (*Report, error) {
+func A5TraceDrivenFidelity(Options) (*Report, error) {
 	tb := &analysis.Table{
 		Title: "Hardware TB vs trace-driven replay (same geometry)",
 		Headers: []string{"workload", "hw misses", "naive replay", "delta",
@@ -724,7 +781,7 @@ func A5TraceDrivenFidelity() (*Report, error) {
 // stealer and swap device carry more of the load and the system-
 // reference share of the trace climbs toward 100% — thrashing, as seen
 // from below the operating system.
-func F9Paging() (*Report, error) {
+func F9Paging(Options) (*Report, error) {
 	tb := &analysis.Table{
 		Title:   "Paging under memory pressure (pagestress: 100-page working set)",
 		Headers: []string{"frames offered", "swap out", "swap in", "page faults", "%system", "cycles"},
@@ -779,8 +836,8 @@ func F9Paging() (*Report, error) {
 // A4WritePolicy compares write-back and write-through bus traffic on the
 // full-system trace — the write-policy debate of the era, answerable
 // only with real write streams like ATUM's.
-func A4WritePolicy() (*Report, error) {
-	mix, err := standardMixTrace()
+func A4WritePolicy(opt Options) (*Report, error) {
+	mixSrc, _, err := standardMixArena()
 	if err != nil {
 		return nil, err
 	}
@@ -790,19 +847,28 @@ func A4WritePolicy() (*Report, error) {
 	}
 	opts := cache.RunOptions{IncludePTE: true}
 	var writes uint64
-	for _, r := range mix {
-		if r.Kind == trace.KindDWrite || r.Kind == trace.KindPTEWrite {
-			writes++
+	_ = mixSrc.EachChunk(func(chunk []trace.Record) error {
+		for _, r := range chunk {
+			if r.Kind == trace.KindDWrite || r.Kind == trace.KindPTEWrite {
+				writes++
+			}
 		}
-	}
-	for _, wp := range []cache.WritePolicy{cache.WriteBack, cache.WriteThrough} {
+		return nil
+	})
+	policies := []cache.WritePolicy{cache.WriteBack, cache.WriteThrough}
+	var cfgs []cache.Config
+	for _, wp := range policies {
 		cfg := baseCacheCfg()
 		cfg.WritePolicy = wp
 		cfg.WriteAllocate = wp == cache.WriteBack
-		res, err := cache.RunUnified(mix, cfg, opts)
-		if err != nil {
-			return nil, err
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := sweep.Caches(mixSrc, cfgs, opts, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	for i, wp := range policies {
+		res := results[i]
 		name := "write-back"
 		// Write-back bus traffic: block fills + dirty evictions.
 		bus := res.Stats.Misses + res.Stats.Writebacks
@@ -830,7 +896,7 @@ func A4WritePolicy() (*Report, error) {
 // T3Sampling studies the reserved-buffer size: records per sample, and
 // the error introduced by analysing samples with cold caches (the
 // discontinuity concern of trace sampling) versus the continuous trace.
-func T3Sampling() (*Report, error) {
+func T3Sampling(opt Options) (*Report, error) {
 	full, err := captureMix(sysConfig(), "sort", "sieve")
 	if err != nil {
 		return nil, err
@@ -849,20 +915,26 @@ func T3Sampling() (*Report, error) {
 	}
 	for _, buf := range []uint32{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20} {
 		per := int(buf / trace.RecordBytes)
-		var misses, accesses uint64
-		nsamples := 0
-		for off := 0; off < len(full); off += per {
+		// Each sample starts a cold cache, so the samples of one buffer
+		// size are independent simulations — fan them out; summing the
+		// ordered results is commutative anyway.
+		nsamples := (len(full) + per - 1) / per
+		stats, err := sweep.Map(opt.Workers, nsamples, func(i int) (cache.Stats, error) {
+			off := i * per
 			end := off + per
 			if end > len(full) {
 				end = len(full)
 			}
 			res, err := cache.RunUnified(full[off:end], ccfg, opts)
-			if err != nil {
-				return nil, err
-			}
-			misses += res.Stats.Misses
-			accesses += res.Stats.Accesses
-			nsamples++
+			return res.Stats, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		var misses, accesses uint64
+		for _, s := range stats {
+			misses += s.Misses
+			accesses += s.Accesses
 		}
 		sampled := float64(misses) / float64(accesses)
 		tb.AddRow(kb(buf), analysis.N(per), analysis.N(nsamples),
@@ -884,7 +956,7 @@ func T3Sampling() (*Report, error) {
 
 // A1PatchCost sweeps the per-record microcode cost and reports the
 // measured dilation — the design-space curve behind the paper's ~20x.
-func A1PatchCost() (*Report, error) {
+func A1PatchCost(Options) (*Report, error) {
 	tb := &analysis.Table{
 		Title:   "Measured dilation vs trace-store microcode cost (sieve)",
 		Headers: []string{"cycles/record", "dilation", "records"},
@@ -920,14 +992,43 @@ func A1PatchCost() (*Report, error) {
 // user-only trace, and cross-checks two points against the explicit
 // cache simulator. This is the trace-processing methodology the captured
 // traces fed in the paper's era: every cache size from one pass.
-func A3StackDistance() (*Report, error) {
-	mix, err := standardMixTrace()
+func A3StackDistance(opt Options) (*Report, error) {
+	mixSrc, _, err := standardMixArena()
 	if err != nil {
 		return nil, err
 	}
 	const blockBytes = 16
-	full := stackdist.FromTrace(mix, stackdist.Options{BlockBytes: blockBytes, PIDTag: true, IncludePTE: true})
-	user := stackdist.FromTrace(mix, stackdist.Options{BlockBytes: blockBytes, PIDTag: true, IncludePTE: true, UserOnly: true})
+	// The two Mattson passes and the two fully-associative simulator
+	// cross-checks are four independent replays of the shared arena —
+	// one fan-out covers them all.
+	checkBlocks := []int{256, 1024}
+	profiles := make([]*stackdist.Profile, 2)
+	checks := make([]cache.Result, len(checkBlocks))
+	_, err = sweep.Map(opt.Workers, 2+len(checkBlocks), func(i int) (struct{}, error) {
+		switch i {
+		case 0:
+			profiles[0] = stackdist.FromSource(mixSrc, stackdist.Options{BlockBytes: blockBytes, PIDTag: true, IncludePTE: true})
+		case 1:
+			profiles[1] = stackdist.FromSource(mixSrc, stackdist.Options{BlockBytes: blockBytes, PIDTag: true, IncludePTE: true, UserOnly: true})
+		default:
+			blocks := checkBlocks[i-2]
+			cfg := cache.Config{
+				Name: "fa", SizeBytes: uint32(blocks) * blockBytes,
+				BlockBytes: blockBytes, Assoc: uint32(blocks),
+				Replacement: cache.LRU, WriteAllocate: true, PIDTags: true,
+			}
+			res, err := cache.RunUnifiedSource(mixSrc, cfg, cache.RunOptions{IncludePTE: true})
+			if err != nil {
+				return struct{}{}, err
+			}
+			checks[i-2] = res
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	full, user := profiles[0], profiles[1]
 
 	tb := &analysis.Table{
 		Title:   "Fully-associative LRU miss rates from one stack-distance pass",
@@ -935,20 +1036,14 @@ func A3StackDistance() (*Report, error) {
 	}
 	for _, blocks := range []int{64, 256, 1024, 4096} {
 		check := "-"
-		if blocks == 256 || blocks == 1024 {
-			cfg := cache.Config{
-				Name: "fa", SizeBytes: uint32(blocks) * blockBytes,
-				BlockBytes: blockBytes, Assoc: uint32(blocks),
-				Replacement: cache.LRU, WriteAllocate: true, PIDTags: true,
+		for ci, cb := range checkBlocks {
+			if blocks != cb {
+				continue
 			}
-			res, err := cache.RunUnified(mix, cfg, cache.RunOptions{IncludePTE: true})
-			if err != nil {
-				return nil, err
-			}
-			if res.Stats.Misses == full.Misses(blocks) {
+			if m := checks[ci].Stats.Misses; m == full.Misses(blocks) {
 				check = "exact match"
 			} else {
-				check = fmt.Sprintf("MISMATCH (%d vs %d)", full.Misses(blocks), res.Stats.Misses)
+				check = fmt.Sprintf("MISMATCH (%d vs %d)", full.Misses(blocks), m)
 			}
 		}
 		tb.AddRow(kb(uint32(blocks)*blockBytes),
@@ -970,7 +1065,7 @@ func A3StackDistance() (*Report, error) {
 // ---- A2: record codec ablation ----
 
 // A2Codec measures on-disk encodings of a captured trace.
-func A2Codec() (*Report, error) {
+func A2Codec(Options) (*Report, error) {
 	mix, err := standardMixTrace()
 	if err != nil {
 		return nil, err

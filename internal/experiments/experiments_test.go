@@ -32,7 +32,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			rep, err := e.Run()
+			rep, err := e.Run(Options{})
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
@@ -91,7 +91,7 @@ func TestStandardMixTraceMemoized(t *testing.T) {
 // full-system miss rates exceed user-only, and the peak understatement
 // is large.
 func TestF1Shape(t *testing.T) {
-	r, err := F1OSImpact()
+	r, err := F1OSImpact(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestF1Shape(t *testing.T) {
 
 // TestA2Shape verifies the delta codec compresses the real mix trace.
 func TestA2Shape(t *testing.T) {
-	r, err := A2Codec()
+	r, err := A2Codec(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestA2Shape(t *testing.T) {
 
 // TestF6Shape verifies the working-set dominance property.
 func TestF6Shape(t *testing.T) {
-	r, err := F6WorkingSet()
+	r, err := F6WorkingSet(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestF6Shape(t *testing.T) {
 // replay must match the hardware TB within a few percent, while naive
 // replay understates substantially.
 func TestA5Fidelity(t *testing.T) {
-	r, err := A5TraceDrivenFidelity()
+	r, err := A5TraceDrivenFidelity(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestA5Fidelity(t *testing.T) {
 }
 
 func TestReportString(t *testing.T) {
-	r, err := A2Codec()
+	r, err := A2Codec(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -124,6 +124,12 @@ type Options struct {
 
 // Blocks converts a trace into the block-address stream Analyze expects.
 func Blocks(recs []trace.Record, opts Options) []uint64 {
+	return BlocksSource(trace.Records(recs), opts)
+}
+
+// BlocksSource is Blocks over any record source, built in one streaming
+// pass.
+func BlocksSource(src trace.Source, opts Options) []uint64 {
 	if opts.BlockBytes == 0 {
 		opts.BlockBytes = 16
 	}
@@ -131,30 +137,38 @@ func Blocks(recs []trace.Record, opts Options) []uint64 {
 	for opts.BlockBytes>>shift != 1 {
 		shift++
 	}
-	out := make([]uint64, 0, len(recs))
-	for _, r := range recs {
-		switch r.Kind {
-		case trace.KindIFetch, trace.KindDRead, trace.KindDWrite:
-		case trace.KindPTERead, trace.KindPTEWrite:
-			if !opts.IncludePTE {
+	out := make([]uint64, 0, src.NumRecords())
+	_ = src.EachChunk(func(chunk []trace.Record) error {
+		for _, r := range chunk {
+			switch r.Kind {
+			case trace.KindIFetch, trace.KindDRead, trace.KindDWrite:
+			case trace.KindPTERead, trace.KindPTEWrite:
+				if !opts.IncludePTE {
+					continue
+				}
+			default:
 				continue
 			}
-		default:
-			continue
+			if opts.UserOnly && !r.User {
+				continue
+			}
+			b := uint64(r.Addr) >> shift
+			if opts.PIDTag && !r.Phys && r.Addr>>30 != 2 {
+				b |= uint64(r.PID) << 40
+			}
+			out = append(out, b)
 		}
-		if opts.UserOnly && !r.User {
-			continue
-		}
-		b := uint64(r.Addr) >> shift
-		if opts.PIDTag && !r.Phys && r.Addr>>30 != 2 {
-			b |= uint64(r.PID) << 40
-		}
-		out = append(out, b)
-	}
+		return nil
+	})
 	return out
 }
 
 // FromTrace is the convenience composition of Blocks and Analyze.
 func FromTrace(recs []trace.Record, opts Options) *Profile {
 	return Analyze(Blocks(recs, opts))
+}
+
+// FromSource is FromTrace over any record source.
+func FromSource(src trace.Source, opts Options) *Profile {
+	return Analyze(BlocksSource(src, opts))
 }

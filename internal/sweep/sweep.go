@@ -1,0 +1,104 @@
+// Package sweep is the parallel sweep engine for trace-driven
+// simulation: it fans a set of independent simulator configurations out
+// over a bounded worker pool, all replaying one shared read-only record
+// source (trace.Arena), and aggregates results in configuration order.
+//
+// This is the one-pass-many-configs methodology of the era's trace
+// processing (Mattson-style size sweeps, the paper's F1-F5 figures)
+// mapped onto cores: the trace is decoded once, each worker owns its
+// simulator state, and because aggregation is ordered by index the
+// output is byte-identical to the serial path — workers == 1 *is* the
+// serial reference path, not a separate implementation.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"atum/internal/cache"
+	"atum/internal/tlbsim"
+	"atum/internal/trace"
+)
+
+// Resolve maps a workers argument to an actual pool size: values <= 0
+// mean "all available cores" (GOMAXPROCS).
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Map runs fn(0..n-1) over a pool of at most workers goroutines and
+// returns the results in index order. Every job runs to completion (no
+// mid-sweep cancellation), and the error returned is the lowest-index
+// one — so both results and errors are independent of scheduling, and
+// any workers value produces output identical to workers == 1.
+func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
+	if n == 0 {
+		return []T{}, nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := range out {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Caches replays src through every cache configuration concurrently and
+// returns the results in configuration order.
+func Caches(src trace.Source, cfgs []cache.Config, opts cache.RunOptions, workers int) ([]cache.Result, error) {
+	return Map(workers, len(cfgs), func(i int) (cache.Result, error) {
+		return cache.RunUnifiedSource(src, cfgs[i], opts)
+	})
+}
+
+// Hierarchies replays src through every two-level hierarchy
+// configuration concurrently, in order.
+func Hierarchies(src trace.Source, cfgs []cache.HierarchyConfig, opts cache.RunOptions, workers int) ([]cache.HierarchyResult, error) {
+	return Map(workers, len(cfgs), func(i int) (cache.HierarchyResult, error) {
+		return cache.RunHierarchySource(src, cfgs[i], opts)
+	})
+}
+
+// TBs replays src through every translation-buffer configuration
+// concurrently, in order.
+func TBs(src trace.Source, cfgs []tlbsim.Config, workers int) ([]tlbsim.Stats, error) {
+	return Map(workers, len(cfgs), func(i int) (tlbsim.Stats, error) {
+		return tlbsim.RunSource(src, cfgs[i])
+	})
+}

@@ -1,0 +1,83 @@
+package sweep
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d", got)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("Map over zero jobs: %v, %v", out, err)
+	}
+}
+
+// TestMapOrdering: results land at their job's index for every worker
+// count, including pools larger than the job count.
+func TestMapOrdering(t *testing.T) {
+	const n = 100
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8, n + 5} {
+		out, err := Map(workers, n, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(out, want) {
+			t.Errorf("workers=%d: results out of order", workers)
+		}
+	}
+}
+
+// TestMapLowestError: whichever worker fails first by wall clock, the
+// reported error is the lowest-index one — scheduling-independent, like
+// the serial path's fail-first behaviour.
+func TestMapLowestError(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Map(workers, 50, func(i int) (int, error) {
+			if i%2 == 1 {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 1 failed" {
+			t.Errorf("workers=%d: error = %v, want job 1's", workers, err)
+		}
+	}
+}
+
+// TestMapRunsEverything: parallel Map has no mid-sweep cancellation — an
+// early error must not stop later jobs (determinism of side effects).
+func TestMapRunsEverything(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(4, 20, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, fmt.Errorf("first job failed")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got != 20 {
+		t.Errorf("ran %d of 20 jobs after an early error", got)
+	}
+}

@@ -184,31 +184,43 @@ func (t *TB) FlushProcess() {
 // are the *product* of TB misses, not translated themselves in the same
 // way), as are physical references.
 func Run(recs []trace.Record, cfg Config) (Stats, error) {
+	return RunSource(trace.Records(recs), cfg)
+}
+
+// RunSource is Run over any record source (e.g. a shared trace.Arena
+// replayed by many configurations concurrently).
+func RunSource(src trace.Source, cfg Config) (Stats, error) {
 	t, err := New(cfg)
 	if err != nil {
 		return Stats{}, err
 	}
-	for _, r := range recs {
-		switch r.Kind {
-		case trace.KindCtxSwitch:
-			if cfg.FlushOnSwitch {
-				t.FlushProcess()
-			}
-			continue
-		case trace.KindIFetch, trace.KindDRead, trace.KindDWrite:
-			if r.Phys {
+	err = src.EachChunk(func(chunk []trace.Record) error {
+		for _, r := range chunk {
+			switch r.Kind {
+			case trace.KindCtxSwitch:
+				if cfg.FlushOnSwitch {
+					t.FlushProcess()
+				}
 				continue
+			case trace.KindIFetch, trace.KindDRead, trace.KindDWrite:
+				if r.Phys {
+					continue
+				}
+				if !cfg.IncludeSystem && !r.User {
+					continue
+				}
+				t.Access(r.Addr, r.PID)
+			case trace.KindPTERead, trace.KindPTEWrite:
+				if !cfg.WalkRefs || r.Phys {
+					continue
+				}
+				t.Touch(r.Addr, r.PID)
 			}
-			if !cfg.IncludeSystem && !r.User {
-				continue
-			}
-			t.Access(r.Addr, r.PID)
-		case trace.KindPTERead, trace.KindPTEWrite:
-			if !cfg.WalkRefs || r.Phys {
-				continue
-			}
-			t.Touch(r.Addr, r.PID)
 		}
+		return nil
+	})
+	if err != nil {
+		return Stats{}, err
 	}
 	return t.Stats, nil
 }

@@ -86,63 +86,143 @@ func ReadFile(r io.Reader) ([]Record, error) {
 	return recs, err
 }
 
-// ReadFileMeta decodes a trace stream and returns its provenance string.
+// ReadFileMeta decodes a trace stream into one contiguous slice and
+// returns its provenance string. For large traces prefer ReadArena,
+// which decodes in fixed-size chunks and never re-copies records while
+// the slice below grows.
 func ReadFileMeta(r io.Reader) ([]Record, string, error) {
-	br := bufio.NewReader(r)
-	var m [8]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, "", fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if m != magic {
-		return nil, "", fmt.Errorf("trace: bad magic %q", m)
-	}
-	var hdr [16]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, "", fmt.Errorf("trace: reading header: %w", err)
-	}
-	if v := binary.LittleEndian.Uint16(hdr[0:]); v != version {
-		return nil, "", fmt.Errorf("trace: unsupported version %d", v)
-	}
-	codec := binary.LittleEndian.Uint16(hdr[2:])
-	count := binary.LittleEndian.Uint64(hdr[4:])
-	metaLen := binary.LittleEndian.Uint32(hdr[12:])
-	if metaLen > maxMetaLen {
-		return nil, "", fmt.Errorf("trace: implausible metadata length %d", metaLen)
-	}
-	metaBuf := make([]byte, metaLen)
-	if _, err := io.ReadFull(br, metaBuf); err != nil {
-		return nil, "", fmt.Errorf("trace: reading metadata: %w", err)
-	}
-	meta := string(metaBuf)
-	if count > 1<<34 {
-		return nil, "", fmt.Errorf("trace: implausible record count %d", count)
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, "", err
 	}
 	// The count is untrusted input: cap the up-front allocation and let
 	// append grow the slice if the stream really is that long.
-	capHint := count
+	capHint := d.Remaining()
 	if capHint > 1<<20 {
 		capHint = 1 << 20
 	}
 	recs := make([]Record, 0, capHint)
-	switch codec {
-	case CodecRaw:
-		var b [RecordBytes]byte
-		for i := uint64(0); i < count; i++ {
-			if _, err := io.ReadFull(br, b[:]); err != nil {
-				return nil, "", fmt.Errorf("trace: record %d: %w", i, err)
-			}
-			recs = append(recs, DecodeRecord(b[:]))
+	for {
+		if len(recs) == cap(recs) {
+			recs = append(recs, Record{})[:len(recs)]
 		}
-	case CodecDelta:
-		var err error
-		recs, err = readDelta(br, count)
+		n, err := d.Next(recs[len(recs):cap(recs)])
+		recs = recs[:len(recs)+n]
+		if err == io.EOF {
+			return recs, d.Meta(), nil
+		}
 		if err != nil {
 			return nil, "", err
 		}
-	default:
-		return nil, "", fmt.Errorf("trace: unknown codec %d", codec)
 	}
-	return recs, meta, nil
+}
+
+// Decoder streams records out of a trace file without materialising the
+// whole payload: callers pull batches with Next into buffers they size
+// themselves. ReadFileMeta and ReadArena are both built on it.
+type Decoder struct {
+	br    *bufio.Reader
+	codec uint16
+	meta  string
+	count uint64 // total records per the header
+	read  uint64 // records decoded so far
+
+	// Delta-codec inter-record state.
+	lastAddr [NumKinds]uint32
+	lastPID  uint8
+}
+
+// NewDecoder reads and validates the stream header, leaving the decoder
+// positioned at the first record.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	d := &Decoder{
+		br:    br,
+		codec: binary.LittleEndian.Uint16(hdr[2:]),
+		count: binary.LittleEndian.Uint64(hdr[4:]),
+	}
+	if d.codec != CodecRaw && d.codec != CodecDelta {
+		return nil, fmt.Errorf("trace: unknown codec %d", d.codec)
+	}
+	metaLen := binary.LittleEndian.Uint32(hdr[12:])
+	if metaLen > maxMetaLen {
+		return nil, fmt.Errorf("trace: implausible metadata length %d", metaLen)
+	}
+	metaBuf := make([]byte, metaLen)
+	if _, err := io.ReadFull(br, metaBuf); err != nil {
+		return nil, fmt.Errorf("trace: reading metadata: %w", err)
+	}
+	d.meta = string(metaBuf)
+	if d.count > 1<<34 {
+		return nil, fmt.Errorf("trace: implausible record count %d", d.count)
+	}
+	return d, nil
+}
+
+// Meta returns the stream's provenance string.
+func (d *Decoder) Meta() string { return d.meta }
+
+// Remaining returns how many records are still undecoded. The value
+// comes from the (untrusted) header; a truncated stream errors from Next
+// before delivering that many.
+func (d *Decoder) Remaining() uint64 { return d.count - d.read }
+
+// Next decodes up to len(dst) records into dst and returns how many it
+// wrote. It returns io.EOF once the stream is exhausted (possibly
+// alongside the final batch).
+func (d *Decoder) Next(dst []Record) (int, error) {
+	want := uint64(len(dst))
+	if rem := d.Remaining(); want > rem {
+		want = rem
+	}
+	n := 0
+	for uint64(n) < want {
+		rec, err := d.decodeOne()
+		if err != nil {
+			return n, err
+		}
+		dst[n] = rec
+		n++
+	}
+	if d.Remaining() == 0 {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (d *Decoder) decodeOne() (Record, error) {
+	i := d.read
+	switch d.codec {
+	case CodecRaw:
+		var b [RecordBytes]byte
+		if _, err := io.ReadFull(d.br, b[:]); err != nil {
+			return Record{}, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		d.read++
+		return DecodeRecord(b[:]), nil
+	case CodecDelta:
+		rec, err := d.decodeDelta(i)
+		if err != nil {
+			return Record{}, err
+		}
+		d.read++
+		return rec, nil
+	}
+	return Record{}, fmt.Errorf("trace: unknown codec %d", d.codec)
 }
 
 // Delta codec header byte: kind(3) | widthLog2(2) | user(1) | phys(1) |
@@ -196,54 +276,44 @@ func writeDelta(w *bufio.Writer, recs []Record) error {
 	return nil
 }
 
-func readDelta(r *bufio.Reader, count uint64) ([]Record, error) {
-	capHint := count
-	if capHint > 1<<20 {
-		capHint = 1 << 20
+func (d *Decoder) decodeDelta(i uint64) (Record, error) {
+	h, err := d.br.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: record %d: %w", i, err)
 	}
-	recs := make([]Record, 0, capHint)
-	var lastAddr [NumKinds]uint32
-	lastPID := uint8(0)
-	for i := uint64(0); i < count; i++ {
-		h, err := r.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
-		}
-		k := Kind(h & 7)
-		if k >= NumKinds {
-			return nil, fmt.Errorf("trace: record %d: invalid kind %d", i, h&7)
-		}
-		rec := Record{
-			Kind: k,
-			User: h&flagUser != 0,
-			Phys: h&flagPhys != 0,
-		}
-		// Markers carry no reference width (see DecodeRecord).
-		if k.IsMemRef() {
-			rec.Width = 1 << (h >> 3 & 3)
-		}
-		if h&deltaPIDChanged != 0 {
-			p, err := r.ReadByte()
-			if err != nil {
-				return nil, fmt.Errorf("trace: record %d pid: %w", i, err)
-			}
-			lastPID = p
-		}
-		rec.PID = lastPID
-		delta, err := binary.ReadVarint(r)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
-		}
-		rec.Addr = uint32(int64(lastAddr[rec.Kind]) + delta)
-		lastAddr[rec.Kind] = rec.Addr
-		if rec.Kind == KindCtxSwitch || rec.Kind == KindException {
-			x, err := binary.ReadUvarint(r)
-			if err != nil {
-				return nil, fmt.Errorf("trace: record %d extra: %w", i, err)
-			}
-			rec.Extra = uint16(x)
-		}
-		recs = append(recs, rec)
+	k := Kind(h & 7)
+	if k >= NumKinds {
+		return Record{}, fmt.Errorf("trace: record %d: invalid kind %d", i, h&7)
 	}
-	return recs, nil
+	rec := Record{
+		Kind: k,
+		User: h&flagUser != 0,
+		Phys: h&flagPhys != 0,
+	}
+	// Markers carry no reference width (see DecodeRecord).
+	if k.IsMemRef() {
+		rec.Width = 1 << (h >> 3 & 3)
+	}
+	if h&deltaPIDChanged != 0 {
+		p, err := d.br.ReadByte()
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: record %d pid: %w", i, err)
+		}
+		d.lastPID = p
+	}
+	rec.PID = d.lastPID
+	delta, err := binary.ReadVarint(d.br)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: record %d addr: %w", i, err)
+	}
+	rec.Addr = uint32(int64(d.lastAddr[rec.Kind]) + delta)
+	d.lastAddr[rec.Kind] = rec.Addr
+	if rec.Kind == KindCtxSwitch || rec.Kind == KindException {
+		x, err := binary.ReadUvarint(d.br)
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: record %d extra: %w", i, err)
+		}
+		rec.Extra = uint16(x)
+	}
+	return rec, nil
 }

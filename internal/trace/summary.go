@@ -29,48 +29,59 @@ type Summary struct {
 }
 
 // Summarize scans a trace once and computes its Summary.
-func Summarize(recs []Record) Summary {
+func Summarize(recs []Record) Summary { return SummarizeSource(Records(recs)) }
+
+// SummarizeSource computes the Summary of any record source (e.g. an
+// Arena) in one streaming pass.
+func SummarizeSource(src Source) Summary {
 	var s Summary
 	pids := map[uint8]bool{}
 	pages := map[uint64]bool{}
-	for _, r := range recs {
-		s.Total++
-		s.ByKind[r.Kind]++
-		switch r.Kind {
-		case KindCtxSwitch:
-			s.CtxSwitches++
-			continue
-		case KindException:
-			s.Exceptions++
-			continue
+	_ = src.EachChunk(func(chunk []Record) error {
+		for _, r := range chunk {
+			s.add(r, pids, pages)
 		}
-		s.MemRefs++
-		if r.User {
-			s.UserRefs++
-		} else {
-			s.SystemRefs++
-		}
-		switch r.Kind {
-		case KindIFetch:
-			s.IFetches++
-		case KindDRead, KindPTERead:
-			s.Reads++
-		case KindDWrite, KindPTEWrite:
-			s.Writes++
-		}
-		pids[r.PID] = true
-		// Distinct pages are counted per PID per address space: tag the
-		// page with the PID for process-space addresses, not for system
-		// or physical ones.
-		key := uint64(r.Addr >> mem.PageShift)
-		if !r.Phys && r.Addr>>30 != 2 {
-			key |= uint64(r.PID) << 32
-		}
-		pages[key] = true
-	}
+		return nil
+	})
 	s.DistinctPIDs = len(pids)
 	s.DistinctPages = len(pages)
 	return s
+}
+
+func (s *Summary) add(r Record, pids map[uint8]bool, pages map[uint64]bool) {
+	s.Total++
+	s.ByKind[r.Kind]++
+	switch r.Kind {
+	case KindCtxSwitch:
+		s.CtxSwitches++
+		return
+	case KindException:
+		s.Exceptions++
+		return
+	}
+	s.MemRefs++
+	if r.User {
+		s.UserRefs++
+	} else {
+		s.SystemRefs++
+	}
+	switch r.Kind {
+	case KindIFetch:
+		s.IFetches++
+	case KindDRead, KindPTERead:
+		s.Reads++
+	case KindDWrite, KindPTEWrite:
+		s.Writes++
+	}
+	pids[r.PID] = true
+	// Distinct pages are counted per PID per address space: tag the
+	// page with the PID for process-space addresses, not for system
+	// or physical ones.
+	key := uint64(r.Addr >> mem.PageShift)
+	if !r.Phys && r.Addr>>30 != 2 {
+		key |= uint64(r.PID) << 32
+	}
+	pages[key] = true
 }
 
 // PercentUser returns user references as a percentage of memory refs.
