@@ -69,7 +69,7 @@ func benchTrace(b *testing.B) []trace.Record {
 
 func benchCacheCfg() cache.Config {
 	return cache.Config{
-		Name: "bench", SizeBytes: 8 << 10, BlockBytes: 16, Assoc: 1,
+		Label: "bench", SizeBytes: 8 << 10, BlockBytes: 16, Assoc: 1,
 		Replacement: cache.LRU, WritePolicy: cache.WriteBack,
 		WriteAllocate: true, PIDTags: true,
 	}
@@ -374,7 +374,7 @@ func BenchmarkSweepEngine(b *testing.B) {
 		t2 := time.Now()
 		for j := range serial {
 			if serial[j] != parallel[j] {
-				b.Fatalf("config %s: serial and parallel results differ", cfgs[j].Name)
+				b.Fatalf("config %s: serial and parallel results differ", cfgs[j].Name())
 			}
 		}
 		serialSec, parallelSec = t1.Sub(t0).Seconds(), t2.Sub(t1).Seconds()

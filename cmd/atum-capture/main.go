@@ -6,6 +6,15 @@
 //
 //	atum-capture -o mix.trc -workloads sort,sieve,list,strops
 //	atum-capture -o solo.trc -workloads matmul -codec raw -cost 72
+//
+// With -segment-bytes the capture streams to disk instead of buffering
+// in memory: every time the reserved region fills to the watermark the
+// kernel spill service appends one segment to the output file, so the
+// trace length is bounded by disk, not by the reserved region. If the
+// sink stalls mid-capture the collector degrades to counted-drop mode
+// and the stream stays valid up to the last complete segment.
+//
+//	atum-capture -o long.trc -segment-bytes 65536 -workloads sort,sieve
 package main
 
 import (
@@ -31,6 +40,7 @@ func main() {
 		memMB   = flag.Uint("mem", 8, "physical memory in MB")
 		resKB   = flag.Uint("reserved", 512, "reserved trace region in KB")
 		budget  = flag.Uint64("budget", 2_000_000_000, "instruction budget")
+		segment = flag.Uint("segment-bytes", 0, "stream segments of this buffer size to disk (0 = buffer whole trace in memory)")
 		list    = flag.Bool("list", false, "list available workloads and exit")
 		verbose = flag.Bool("v", false, "print run statistics")
 	)
@@ -66,7 +76,8 @@ func main() {
 
 	opts := atum.DefaultOptions()
 	opts.CostPerRecord = uint32(*cost)
-	cap, err := atum.Run(sys.M, opts, func() error {
+
+	runMix := func() error {
 		reason, err := sys.Run(*budget)
 		if err != nil {
 			return err
@@ -75,7 +86,21 @@ func main() {
 			return fmt.Errorf("run stopped early: %v", reason)
 		}
 		return nil
-	})
+	}
+	// Configuration provenance; the segmented path writes it at stream
+	// open (before the run), so final instruction/cycle counts appear
+	// only in monolithic captures.
+	cfgMeta := fmt.Sprintf("workloads=%s mem=%dMB reserved=%dKB icr=%d cost=%d",
+		*loads, *memMB, *resKB, *quantum, *cost)
+
+	if *segment > 0 {
+		captureSegmented(sys, opts, kernel.SpillConfig{
+			SegmentBytes: uint32(*segment), Codec: codecID, Meta: cfgMeta,
+		}, *out, runMix, *verbose)
+		return
+	}
+
+	cap, err := atum.Run(sys.M, opts, runMix)
 	if err != nil {
 		fatal(err)
 	}
@@ -86,8 +111,7 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	meta := fmt.Sprintf("workloads=%s mem=%dMB reserved=%dKB icr=%d cost=%d instrs=%d cycles=%d",
-		*loads, *memMB, *resKB, *quantum, *cost, sys.M.Instrs, sys.M.Cycles)
+	meta := fmt.Sprintf("%s instrs=%d cycles=%d", cfgMeta, sys.M.Instrs, sys.M.Cycles)
 	if err := trace.WriteFileMeta(f, recs, codecID, meta); err != nil {
 		fatal(err)
 	}
@@ -98,6 +122,43 @@ func main() {
 		fmt.Printf("instructions: %d  cycles: %d  console: %q\n",
 			sys.M.Instrs, sys.M.Cycles, sys.Console())
 		fmt.Print(trace.Summarize(recs))
+	}
+}
+
+// captureSegmented runs the mix under the kernel spill service,
+// streaming segments to the output file as the reserved buffer fills.
+func captureSegmented(sys *kernel.System, opts atum.Options, cfg kernel.SpillConfig, out string, runMix func() error, verbose bool) {
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	cfg.Options = opts
+	svc, err := kernel.StartSpill(sys, f, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	runErr := runMix()
+	if err := svc.Close(); err != nil {
+		// The stream up to the last complete segment is still valid;
+		// report the degradation rather than deleting the file.
+		fmt.Fprintf(os.Stderr, "atum-capture: sink failed mid-capture: %v (%d records lost)\n",
+			err, svc.LostRecords())
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+
+	col := svc.Collector()
+	fmt.Printf("captured %d records in %d segment(s) -> %s\n",
+		svc.SpilledRecords(), svc.Segments(), out)
+	if col.Dropped > 0 {
+		fmt.Printf("dropped %d records (buffer full while sink stalled)\n", col.Dropped)
+	}
+	if verbose {
+		fmt.Printf("instructions: %d  cycles: %d  console: %q\n",
+			sys.M.Instrs, sys.M.Cycles, sys.Console())
 	}
 }
 

@@ -45,12 +45,25 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	arena, meta, err := trace.ReadArena(f)
+	rd, err := trace.Open(f)
 	if err != nil {
 		fatal(err)
 	}
-	if meta != "" {
-		fmt.Println("capture:", meta)
+	arena, err := rd.Arena()
+	if err != nil {
+		fatal(err)
+	}
+	if rd.Meta() != "" {
+		fmt.Println("capture:", rd.Meta())
+	}
+	if rd.Segmented() {
+		var dropped, cycles uint64
+		for _, s := range rd.Segments() {
+			dropped += s.Dropped
+			cycles += s.DilationCycles
+		}
+		fmt.Printf("segments: %d (%d records dropped at capture, %d dilation cycles)\n",
+			len(rd.Segments()), dropped, cycles)
 	}
 
 	if *pid >= 0 {

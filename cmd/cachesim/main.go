@@ -52,7 +52,11 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	src, _, err := trace.ReadArena(f)
+	rd, err := trace.Open(f)
+	if err != nil {
+		fatal(err)
+	}
+	src, err := rd.Arena()
 	if err != nil {
 		fatal(err)
 	}
@@ -89,12 +93,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("TB %s: accesses=%d misses=%d miss-rate=%s flushes=%d\n",
-			cfg, st.Accesses, st.Misses, analysis.Pct(st.MissRate()), st.Flushes)
+			cfg.Name(), st.Accesses, st.Misses, analysis.Pct(st.MissRate()), st.Flushes)
 		return
 	}
 
 	cfg := cache.Config{
-		Name:          "cli",
 		SizeBytes:     parseSize(*size),
 		BlockBytes:    uint32(*block),
 		Assoc:         uint32(*assoc),
@@ -163,7 +166,7 @@ func report(results []cache.Result) {
 		Headers: []string{"config", "accesses", "misses", "miss rate", "cold", "writebacks"},
 	}
 	for _, r := range results {
-		tb.AddRow(r.Config.String(), analysis.N(r.Stats.Accesses), analysis.N(r.Stats.Misses),
+		tb.AddRow(r.Config.Name(), analysis.N(r.Stats.Accesses), analysis.N(r.Stats.Misses),
 			analysis.Pct(r.Stats.MissRate()), analysis.N(r.Stats.ColdMisses), analysis.N(r.Stats.Writebacks))
 	}
 	fmt.Print(tb)

@@ -37,7 +37,7 @@ func capture(icr uint32) ([]trace.Record, error) {
 
 func main() {
 	ccfg := cache.Config{
-		Name: "mp", SizeBytes: 64 << 10, BlockBytes: 16, Assoc: 1,
+		Label: "mp", SizeBytes: 64 << 10, BlockBytes: 16, Assoc: 1,
 		Replacement: cache.LRU, WritePolicy: cache.WriteBack,
 		WriteAllocate: true, FlushOnSwitch: true,
 	}

@@ -38,7 +38,7 @@ func main() {
 		len(full), len(userOnly))
 
 	base := cache.Config{
-		Name: "study", BlockBytes: 16, Assoc: 1,
+		Label: "study", BlockBytes: 16, Assoc: 1,
 		Replacement: cache.LRU, WritePolicy: cache.WriteBack,
 		WriteAllocate: true, PIDTags: true,
 	}

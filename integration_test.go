@@ -57,7 +57,11 @@ func TestFullPipeline(t *testing.T) {
 		if err := trace.WriteFile(&buf, recs, codec); err != nil {
 			t.Fatal(err)
 		}
-		back, err := trace.ReadFile(&buf)
+		rd, err := trace.Open(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := rd.Records()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +82,7 @@ func TestFullPipeline(t *testing.T) {
 	// Cache study: user-only understates the full-system miss rate in
 	// the band where the kernel rivals the cache.
 	cfg := cache.Config{
-		Name: "it", SizeBytes: 2 << 10, BlockBytes: 16, Assoc: 1,
+		Label: "it", SizeBytes: 2 << 10, BlockBytes: 16, Assoc: 1,
 		Replacement: cache.LRU, WriteAllocate: true, PIDTags: true,
 	}
 	fullRes, err := cache.RunUnified(recs, cfg, cache.RunOptions{IncludePTE: true})

@@ -65,7 +65,7 @@ func (f Finding) String() string {
 
 // All returns every registered analyzer.
 func All() []*Analyzer {
-	return []*Analyzer{TraceRecord, ReservedAccessor, PIDTrunc}
+	return []*Analyzer{TraceRecord, ReservedAccessor, PIDTrunc, TraceOpen}
 }
 
 // RunDir parses every non-test .go file under root (recursively, skipping

@@ -1,0 +1,14 @@
+// The analyzer resolves the local import name, so an aliased import
+// of internal/trace is still caught.
+package fixtures
+
+import (
+	"os"
+
+	trc "atum/internal/trace"
+)
+
+func badAliased(f *os.File) {
+	trc.ReadFile(f) // want "deprecated trace.ReadFile"
+	trc.Open(f)     // fine: the unified entry point
+}

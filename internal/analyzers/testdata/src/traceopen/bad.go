@@ -1,0 +1,16 @@
+// Fixtures for the traceopen analyzer: deprecated trace read entry
+// points called outside internal/trace.
+package fixtures
+
+import (
+	"os"
+
+	"atum/internal/trace"
+)
+
+func badReadFile(f *os.File) {
+	trace.ReadFile(f)     // want "deprecated trace.ReadFile"
+	trace.ReadFileMeta(f) // want "deprecated trace.ReadFileMeta"
+	trace.ReadArena(f)    // want "deprecated trace.ReadArena"
+	trace.NewDecoder(f)   // want "deprecated trace.NewDecoder"
+}

@@ -1,0 +1,9 @@
+// Without the trace import, the names alone prove nothing: some other
+// package's ReadFile is not our deprecated wrapper.
+package fixtures
+
+import "os"
+
+func okOtherPackage() {
+	os.ReadFile("x")
+}

@@ -1,0 +1,24 @@
+// Clean fixtures for the traceopen analyzer.
+package fixtures
+
+import (
+	"os"
+
+	"atum/internal/trace"
+)
+
+func okOpen(f *os.File) {
+	rd, _ := trace.Open(f)
+	rd.Arena()
+	rd.Records()
+}
+
+// A same-named method on an unrelated receiver is out of scope: only
+// selector calls through the trace import are flagged.
+type store struct{}
+
+func (store) ReadFile(string) {}
+
+func okNotTrace(s store) {
+	s.ReadFile("x")
+}

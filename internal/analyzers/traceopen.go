@@ -1,0 +1,75 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// TraceOpen flags calls to the deprecated trace read entry points —
+// ReadFile, ReadFileMeta, ReadArena, NewDecoder — outside
+// internal/trace itself. They survive as one-line wrappers for
+// compatibility, but every caller in this repository goes through
+// trace.Open, which serves both the monolithic and the segmented
+// container; a caller on a wrapper is a caller that silently predates
+// segmented streams.
+var TraceOpen = &Analyzer{
+	Name: "traceopen",
+	Doc:  "deprecated trace read entry points (ReadFile/ReadFileMeta/ReadArena/NewDecoder); use trace.Open",
+	Run:  runTraceOpen,
+}
+
+var deprecatedTraceReaders = map[string]bool{
+	"ReadFile":     true,
+	"ReadFileMeta": true,
+	"ReadArena":    true,
+	"NewDecoder":   true,
+}
+
+func runTraceOpen(p *Pass) {
+	// The wrappers themselves (and their direct tests) live here.
+	if p.Dir == "internal/trace" {
+		return
+	}
+	for _, f := range p.Files {
+		// Resolve the local name of the trace import; skip files that
+		// don't import it (the method names are too generic to flag
+		// unqualified).
+		alias := traceImportName(f)
+		if alias == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !deprecatedTraceReaders[sel.Sel.Name] {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != alias {
+				return true
+			}
+			p.Reportf(call.Pos(), "deprecated trace.%s; use trace.Open (reads segmented captures too)", sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// traceImportName returns the name the file refers to internal/trace
+// by ("trace" unless aliased), or "" if the file does not import it.
+func traceImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || !strings.HasSuffix(path, "internal/trace") {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return "trace"
+	}
+	return ""
+}

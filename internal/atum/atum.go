@@ -51,6 +51,21 @@ type Options struct {
 	// are counted as dropped. If nil, the collector simply pauses.
 	OnFull func(*Collector)
 
+	// Watermark, in (0, 1], arms a buffer-full early warning: when the
+	// write pointer crosses Watermark×capacity, OnWatermark fires once.
+	// Unlike OnFull, the collector is still recording when it fires, so
+	// a spill service can drain the buffer before anything is lost — a
+	// Watermark of 1.0 spills exactly at capacity, ahead of the OnFull
+	// pause/drop path. Zero disables the watermark.
+	Watermark float64
+
+	// OnWatermark, if non-nil, is called when the watermark is crossed
+	// (typically to ExtractSegment and stream the sample out). It is
+	// disarmed after firing and re-armed by Extract/ExtractSegment, so a
+	// callback that does not drain the buffer falls through to the
+	// OnFull behavior at capacity.
+	OnWatermark func(*Collector)
+
 	// KindMask selects which record kinds are captured; zero means all.
 	KindMask uint16
 
@@ -75,6 +90,9 @@ type Collector struct {
 	size uint32 // bytes
 	ptr  uint32 // next write offset
 
+	wmBytes uint32 // watermark write-pointer threshold (0 = disabled)
+	wmArmed bool
+
 	recording bool
 	installed bool
 
@@ -85,9 +103,15 @@ type Collector struct {
 	removes []func()
 
 	// Statistics.
-	Recorded uint64 // records written
-	Dropped  uint64 // events lost while paused/full
-	Samples  uint64 // times the buffer filled
+	Recorded       uint64 // records written
+	Dropped        uint64 // events lost while paused/full
+	Samples        uint64 // times the buffer filled
+	DilationCycles uint64 // total microcycles charged for trace stores
+
+	// Per-segment marks: the statistics values at the last extraction,
+	// so ExtractSegment can report deltas.
+	segDroppedMark uint64
+	segCyclesMark  uint64
 }
 
 // Install patches the machine. The machine's reserved region must be
@@ -106,6 +130,19 @@ func Install(m *micro.Machine, opts Options) (*Collector, error) {
 		return nil, fmt.Errorf("atum: reserved region too small (%d bytes)", size)
 	}
 	c := &Collector{m: m, opts: opts, base: base, size: size, recording: true, installed: true}
+	if opts.Watermark != 0 {
+		if opts.Watermark < 0 || opts.Watermark > 1 {
+			return nil, fmt.Errorf("atum: watermark %v out of (0, 1]", opts.Watermark)
+		}
+		// Record-align the threshold (floats only at install time; the
+		// per-record hot path compares integers).
+		c.wmBytes = uint32(opts.Watermark * float64(size))
+		c.wmBytes -= c.wmBytes % trace.RecordBytes
+		if c.wmBytes < trace.RecordBytes {
+			c.wmBytes = trace.RecordBytes
+		}
+		c.wmArmed = true
+	}
 	if opts.SampleOn > 0 && opts.SampleOff > 0 {
 		c.sampleOn = true
 		c.phaseLeft = opts.SampleOn
@@ -147,6 +184,7 @@ func (c *Collector) record(a micro.Access) {
 		}
 	}
 	c.m.ChargeCycles(c.opts.CostPerRecord)
+	c.DilationCycles += uint64(c.opts.CostPerRecord)
 	rec := toRecord(a)
 	var b [trace.RecordBytes]byte
 	rec.Encode(b[:])
@@ -160,6 +198,15 @@ func (c *Collector) record(a micro.Access) {
 	}
 	c.ptr += trace.RecordBytes
 	c.Recorded++
+	// The watermark interrupt fires before the full check so a spill
+	// service draining at Watermark = 1.0 runs ahead of the pause/drop
+	// path and loses nothing.
+	if c.wmArmed && c.ptr >= c.wmBytes {
+		c.wmArmed = false
+		if c.opts.OnWatermark != nil {
+			c.opts.OnWatermark(c)
+		}
+	}
 	if c.ptr >= c.size {
 		c.Samples++
 		c.recording = false
@@ -198,21 +245,47 @@ func toRecord(a micro.Access) trace.Record {
 	}
 }
 
+// SegmentStats carries the capture-side counters for one extracted
+// segment: what was lost and what tracing cost while it accumulated.
+// They are the per-segment metadata the segmented container stores.
+type SegmentStats struct {
+	Dropped        uint64 // events lost since the previous extraction
+	DilationCycles uint64 // trace-store microcycles charged since then
+}
+
 // Extract parses the records accumulated so far, resets the buffer
 // pointer, and resumes recording. It models the paper's procedure of
 // freezing the machine, dumping the reserved region, and continuing.
 func (c *Collector) Extract() ([]trace.Record, error) {
+	recs, _, err := c.ExtractSegment()
+	return recs, err
+}
+
+// ExtractSegment is Extract plus the per-segment accounting a spill
+// service stores alongside the records: drops and dilation cycles
+// accumulated since the previous extraction. It also re-arms the
+// watermark.
+func (c *Collector) ExtractSegment() ([]trace.Record, SegmentStats, error) {
 	raw, err := c.m.Mem.Bytes(c.base, c.ptr)
 	if err != nil {
-		return nil, err
+		return nil, SegmentStats{}, err
 	}
 	recs, err := trace.ParseBuffer(raw)
 	if err != nil {
-		return nil, err
+		return nil, SegmentStats{}, err
 	}
+	st := SegmentStats{
+		Dropped:        c.Dropped - c.segDroppedMark,
+		DilationCycles: c.DilationCycles - c.segCyclesMark,
+	}
+	c.segDroppedMark = c.Dropped
+	c.segCyclesMark = c.DilationCycles
 	c.ptr = 0
 	c.recording = true
-	return recs, nil
+	if c.wmBytes > 0 {
+		c.wmArmed = true
+	}
+	return recs, st, nil
 }
 
 // Pause suspends recording (references are counted as dropped).

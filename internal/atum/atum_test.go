@@ -1,7 +1,9 @@
-package atum
+package atum_test
 
 import (
 	"fmt"
+
+	"atum/internal/atum"
 	"testing"
 
 	"atum/internal/kernel"
@@ -56,7 +58,7 @@ func buildSystemCfg(t *testing.T, cfg kernel.Config, srcs ...string) *kernel.Sys
 
 func TestCaptureBasics(t *testing.T) {
 	sys := buildSystem(t, helloSrc)
-	cap, err := Run(sys.M, DefaultOptions(), func() error {
+	cap, err := atum.Run(sys.M, atum.DefaultOptions(), func() error {
 		_, err := sys.Run(50_000_000)
 		return err
 	})
@@ -104,7 +106,7 @@ func TestTracingIsTransparent(t *testing.T) {
 	}
 
 	sysB := buildSystemCfg(t, cfg, helloSrc)
-	_, err := Run(sysB.M, DefaultOptions(), func() error {
+	_, err := atum.Run(sysB.M, atum.DefaultOptions(), func() error {
 		_, err := sysB.Run(50_000_000)
 		return err
 	})
@@ -129,7 +131,7 @@ func TestTracingIsTransparent(t *testing.T) {
 		t.Fatal(err)
 	}
 	sysD := buildSystem(t, helloSrc)
-	if _, err := Run(sysD.M, DefaultOptions(), func() error {
+	if _, err := atum.Run(sysD.M, atum.DefaultOptions(), func() error {
 		_, err := sysD.Run(50_000_000)
 		return err
 	}); err != nil {
@@ -148,7 +150,7 @@ func TestDilationMeasurement(t *testing.T) {
 			return err
 		}, nil
 	}
-	res, err := MeasureDilation(factory, DefaultOptions())
+	res, err := atum.MeasureDilation(factory, atum.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,11 +168,11 @@ func TestDilationMeasurement(t *testing.T) {
 
 func TestBufferFullSampling(t *testing.T) {
 	sys := buildSystem(t, helloSrc)
-	opts := DefaultOptions()
+	opts := atum.DefaultOptions()
 	opts.BufBytes = 4096 // tiny buffer: 512 records per sample
 	fills := 0
-	opts.OnFull = func(c *Collector) { fills++ }
-	cap, err := Run(sys.M, opts, func() error {
+	opts.OnFull = func(c *atum.Collector) { fills++ }
+	cap, err := atum.Run(sys.M, opts, func() error {
 		_, err := sys.Run(50_000_000)
 		return err
 	})
@@ -195,7 +197,7 @@ func TestBufferFullSampling(t *testing.T) {
 
 func TestPauseDropsReferences(t *testing.T) {
 	sys := buildSystem(t, helloSrc)
-	col, err := Install(sys.M, DefaultOptions())
+	col, err := atum.Install(sys.M, atum.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +222,7 @@ func TestPauseDropsReferences(t *testing.T) {
 
 func TestUninstallStopsTracingAndCost(t *testing.T) {
 	sys := buildSystem(t, helloSrc)
-	col, err := Install(sys.M, DefaultOptions())
+	col, err := atum.Install(sys.M, atum.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,9 +253,9 @@ func TestUninstallStopsTracingAndCost(t *testing.T) {
 
 func TestKindMaskFiltering(t *testing.T) {
 	sys := buildSystem(t, helloSrc)
-	opts := DefaultOptions()
+	opts := atum.DefaultOptions()
 	opts.KindMask = 1 << uint(micro.EvDWrite) // writes only
-	cap, err := Run(sys.M, opts, func() error {
+	cap, err := atum.Run(sys.M, opts, func() error {
 		_, err := sys.Run(50_000_000)
 		return err
 	})
@@ -292,7 +294,7 @@ ok:	.ascii	"OK"
 `
 	sys := buildSystem(t, src)
 	reserved := sys.M.Mem.ReservedBase()
-	cap, err := Run(sys.M, DefaultOptions(), func() error {
+	cap, err := atum.Run(sys.M, atum.DefaultOptions(), func() error {
 		_, err := sys.Run(50_000_000)
 		return err
 	})
@@ -312,7 +314,7 @@ ok:	.ascii	"OK"
 func TestTimeSampling(t *testing.T) {
 	// Full capture for reference.
 	sysA := buildSystem(t, helloSrc)
-	capA, err := Run(sysA.M, DefaultOptions(), func() error {
+	capA, err := atum.Run(sysA.M, atum.DefaultOptions(), func() error {
 		_, err := sysA.Run(50_000_000)
 		return err
 	})
@@ -324,10 +326,10 @@ func TestTimeSampling(t *testing.T) {
 
 	// 1-in-4 time sampling.
 	sysB := buildSystem(t, helloSrc)
-	opts := DefaultOptions()
+	opts := atum.DefaultOptions()
 	opts.SampleOn = 1000
 	opts.SampleOff = 3000
-	capB, err := Run(sysB.M, opts, func() error {
+	capB, err := atum.Run(sysB.M, opts, func() error {
 		_, err := sysB.Run(50_000_000)
 		return err
 	})
@@ -369,7 +371,7 @@ func TestDilationVisibleFromInside(t *testing.T) {
 			return err
 		}
 		if traced {
-			if _, err := Run(sys.M, DefaultOptions(), run); err != nil {
+			if _, err := atum.Run(sys.M, atum.DefaultOptions(), run); err != nil {
 				t.Fatal(err)
 			}
 		} else if err := run(); err != nil {
@@ -398,7 +400,7 @@ func TestInstallErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Install(m, DefaultOptions()); err == nil {
+	if _, err := atum.Install(m, atum.DefaultOptions()); err == nil {
 		t.Error("install with no reserved region should fail")
 	}
 }
@@ -420,7 +422,7 @@ func TestCapturedTracesAreWellFormed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cap, err := Run(sys.M, DefaultOptions(), func() error {
+		cap, err := atum.Run(sys.M, atum.DefaultOptions(), func() error {
 			_, err := sys.Run(500_000_000)
 			return err
 		})
@@ -436,7 +438,7 @@ func TestCapturedTracesAreWellFormed(t *testing.T) {
 func TestDeterministicCapture(t *testing.T) {
 	run := func() []trace.Record {
 		sys := buildSystem(t, helloSrc)
-		cap, err := Run(sys.M, DefaultOptions(), func() error {
+		cap, err := atum.Run(sys.M, atum.DefaultOptions(), func() error {
 			_, err := sys.Run(50_000_000)
 			return err
 		})

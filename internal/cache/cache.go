@@ -43,7 +43,9 @@ const (
 
 // Config parameterises one cache.
 type Config struct {
-	Name string
+	// Label is an optional experiment-assigned tag; Name derives the
+	// reported configuration name from it.
+	Label string
 
 	SizeBytes  uint32 // total capacity
 	BlockBytes uint32 // line size (power of two)
@@ -64,6 +66,16 @@ type Config struct {
 
 func (c Config) String() string {
 	return fmt.Sprintf("%dKB/%dB/%d-way", c.SizeBytes>>10, c.BlockBytes, c.Assoc)
+}
+
+// Name returns the configuration's reporting name — the label when one
+// is set, the geometry otherwise. It implements sweep.Config, the
+// naming contract all simulator configurations share.
+func (c Config) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return c.String()
 }
 
 // Validate checks structural parameters.

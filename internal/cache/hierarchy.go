@@ -29,14 +29,20 @@ type HierarchyConfig struct {
 	L2 Config
 }
 
+// Name returns the hierarchy's reporting name (sweep.Config contract):
+// the two levels' names joined level-by-level.
+func (c HierarchyConfig) Name() string {
+	return c.L1.Name() + "+" + c.L2.Name()
+}
+
 // NewHierarchy builds the three caches.
 func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	i := cfg.L1
-	i.Name = cfg.L1.Name + "-l1i"
+	i.Label = cfg.L1.Name() + "-l1i"
 	d := cfg.L1
-	d.Name = cfg.L1.Name + "-l1d"
+	d.Label = cfg.L1.Name() + "-l1d"
 	l2 := cfg.L2
-	l2.Name = cfg.L2.Name + "-l2"
+	l2.Label = cfg.L2.Name() + "-l2"
 	ic, err := New(i)
 	if err != nil {
 		return nil, fmt.Errorf("cache: L1I: %w", err)

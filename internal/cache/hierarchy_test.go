@@ -8,9 +8,9 @@ import (
 
 func hierCfg() HierarchyConfig {
 	return HierarchyConfig{
-		L1: Config{Name: "h", SizeBytes: 1 << 10, BlockBytes: 16, Assoc: 1,
+		L1: Config{Label: "h", SizeBytes: 1 << 10, BlockBytes: 16, Assoc: 1,
 			Replacement: LRU, WriteAllocate: true, PIDTags: true},
-		L2: Config{Name: "h", SizeBytes: 16 << 10, BlockBytes: 16, Assoc: 4,
+		L2: Config{Label: "h", SizeBytes: 16 << 10, BlockBytes: 16, Assoc: 4,
 			Replacement: LRU, WriteAllocate: true, PIDTags: true},
 	}
 }

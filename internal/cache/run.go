@@ -134,7 +134,11 @@ func SizeConfigs(base Config, sizes []uint32) []Config {
 	for _, sz := range sizes {
 		cfg := base
 		cfg.SizeBytes = sz
-		cfg.Name = fmt.Sprintf("%s-%dKB", base.Name, sz>>10)
+		// An unlabelled base stays unlabelled: Name() then reports the
+		// geometry, which already encodes the swept parameter.
+		if base.Label != "" {
+			cfg.Label = fmt.Sprintf("%s-%dKB", base.Label, sz>>10)
+		}
 		out = append(out, cfg)
 	}
 	return out
@@ -146,7 +150,9 @@ func BlockConfigs(base Config, blocks []uint32) []Config {
 	for _, b := range blocks {
 		cfg := base
 		cfg.BlockBytes = b
-		cfg.Name = fmt.Sprintf("%s-%dB", base.Name, b)
+		if base.Label != "" {
+			cfg.Label = fmt.Sprintf("%s-%dB", base.Label, b)
+		}
 		out = append(out, cfg)
 	}
 	return out
@@ -158,7 +164,9 @@ func AssocConfigs(base Config, ways []uint32) []Config {
 	for _, w := range ways {
 		cfg := base
 		cfg.Assoc = w
-		cfg.Name = fmt.Sprintf("%s-%dway", base.Name, w)
+		if base.Label != "" {
+			cfg.Label = fmt.Sprintf("%s-%dway", base.Label, w)
+		}
 		out = append(out, cfg)
 	}
 	return out

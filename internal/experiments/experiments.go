@@ -90,6 +90,7 @@ func All() []struct {
 		{"a3", A3StackDistance},
 		{"a4", A4WritePolicy},
 		{"a5", A5TraceDrivenFidelity},
+		{"a6", A6SegmentedCapture},
 	}
 }
 
@@ -124,6 +125,37 @@ func captureMix(cfg kernel.Config, names ...string) ([]trace.Record, error) {
 		return nil, err
 	}
 	return cap.All(), nil
+}
+
+// captureMixSegmented boots the named workloads and captures the run
+// through the kernel spill service: the reserved buffer is bounded to
+// segBytes and every watermark crossing appends one segment to the
+// returned stream. The stream is a complete segmented trace file image.
+func captureMixSegmented(cfg kernel.Config, segBytes uint32, codec uint16, names ...string) (*bytes.Buffer, *kernel.SpillService, error) {
+	sys, err := workload.BootMix(cfg, names...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var stream bytes.Buffer
+	svc, err := kernel.StartSpill(sys, &stream, kernel.SpillConfig{
+		SegmentBytes: segBytes,
+		Codec:        codec,
+		Meta:         "experiment=A6",
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	reason, runErr := sys.Run(2_000_000_000)
+	if err := svc.Close(); err != nil {
+		return nil, nil, err
+	}
+	if runErr != nil {
+		return nil, nil, runErr
+	}
+	if reason != micro.StopHalt {
+		return nil, nil, fmt.Errorf("experiments: workload did not finish: %v", reason)
+	}
+	return &stream, svc, nil
 }
 
 // The standard-mix capture is memoized across experiments within one
@@ -170,7 +202,7 @@ func standardMixArena() (*trace.Arena, *trace.Arena, error) {
 // the interesting size range scales down with them; see EXPERIMENTS.md.
 func baseCacheCfg() cache.Config {
 	return cache.Config{
-		Name:          "std",
+		Label:         "std",
 		SizeBytes:     8 << 10,
 		BlockBytes:    16,
 		Assoc:         1,
@@ -615,9 +647,9 @@ func F7Hierarchy(opt Options) (*Report, error) {
 	var cfgs []cache.HierarchyConfig
 	for _, l2 := range l2s {
 		cfgs = append(cfgs, cache.HierarchyConfig{
-			L1: cache.Config{Name: "f7", SizeBytes: 1 << 10, BlockBytes: 16, Assoc: 1,
+			L1: cache.Config{Label: "f7", SizeBytes: 1 << 10, BlockBytes: 16, Assoc: 1,
 				Replacement: cache.LRU, WriteAllocate: true, PIDTags: true},
-			L2: cache.Config{Name: "f7", SizeBytes: l2, BlockBytes: 16, Assoc: 4,
+			L2: cache.Config{Label: "f7", SizeBytes: l2, BlockBytes: 16, Assoc: 4,
 				Replacement: cache.LRU, WriteAllocate: true, PIDTags: true},
 		})
 	}
@@ -1013,7 +1045,7 @@ func A3StackDistance(opt Options) (*Report, error) {
 		default:
 			blocks := checkBlocks[i-2]
 			cfg := cache.Config{
-				Name: "fa", SizeBytes: uint32(blocks) * blockBytes,
+				Label: "fa", SizeBytes: uint32(blocks) * blockBytes,
 				BlockBytes: blockBytes, Assoc: uint32(blocks),
 				Replacement: cache.LRU, WriteAllocate: true, PIDTags: true,
 			}
@@ -1089,5 +1121,61 @@ func A2Codec(Options) (*Report, error) {
 		ID:     "A2",
 		Title:  "Ablation: trace record encodings",
 		Tables: []*analysis.Table{tb},
+	}, nil
+}
+
+// ---- A6: segmented capture (extension) ----
+
+// A6SegmentedCapture validates the buffer-full protocol end to end: the
+// kernel spill service bounds the reserved buffer, extracts a segment
+// at every watermark crossing and appends it to a segmented stream.
+// Because the freeze/dump/resume takes no machine time (the paper's
+// dump pauses the traced system entirely), the stitched stream must be
+// record-identical to a monolithic capture whatever the segment size —
+// the segment buffer is an I/O knob, never a result knob.
+func A6SegmentedCapture(Options) (*Report, error) {
+	mixNames := []string{"sieve", "hash"}
+	ref, err := captureMix(sysConfig(), mixNames...)
+	if err != nil {
+		return nil, err
+	}
+	tb := &analysis.Table{
+		Title:   "Segmented capture vs one oversized buffer (sieve+hash, delta codec)",
+		Headers: []string{"segment buffer", "segments", "records", "dropped", "stream bytes", "identical"},
+	}
+	for _, kb := range []uint32{16, 64, 512} {
+		stream, svc, err := captureMixSegmented(sysConfig(), kb<<10, trace.CodecDelta, mixNames...)
+		if err != nil {
+			return nil, err
+		}
+		rd, err := trace.Open(bytes.NewReader(stream.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		recs, err := rd.Records()
+		if err != nil {
+			return nil, err
+		}
+		identical := len(recs) == len(ref)
+		for i := 0; identical && i < len(recs); i++ {
+			identical = recs[i] == ref[i]
+		}
+		if !identical {
+			return nil, fmt.Errorf("A6: %dKB segments diverged from the monolithic capture (%d vs %d records)",
+				kb, len(recs), len(ref))
+		}
+		tb.AddRow(fmt.Sprintf("%dKB", kb), analysis.N(svc.Segments()),
+			analysis.N(svc.SpilledRecords()), analysis.N(svc.Collector().Dropped),
+			analysis.N(stream.Len()), "yes")
+	}
+	return &Report{
+		ID:     "A6",
+		Title:  "Ablation: segmented capture with spill-to-disk",
+		Tables: []*analysis.Table{tb},
+		Notes: []string{
+			"every segment size replays byte-identically to the single oversized buffer:",
+			"the spill service turns half a megabyte of reserved memory into traces bounded",
+			"only by disk, which is how the paper captured half-billion-reference traces.",
+		},
 	}, nil
 }

@@ -1,0 +1,164 @@
+// Spill service: the OS half of long captures. The real ATUM system
+// paired the microcode patches with an operating-system procedure that
+// fielded the buffer-full condition, froze the machine, dumped the
+// reserved region to stable storage and resumed — turning a few
+// megabytes of reserved memory into arbitrarily long traces. StartSpill
+// is that procedure: it installs a collector with a watermark armed,
+// and every time the watermark interrupt fires it extracts the segment
+// and appends it to a segmented trace stream (internal/trace
+// SegmentWriter). If the sink stalls, capture degrades gracefully to
+// counted-drop mode instead of corrupting the stream.
+package kernel
+
+import (
+	"fmt"
+	"io"
+
+	"atum/internal/atum"
+	"atum/internal/trace"
+)
+
+// SpillConfig parameterises a streaming capture.
+type SpillConfig struct {
+	// Options configures the underlying collector. OnWatermark and
+	// OnFull are owned by the spill service and must be nil.
+	Options atum.Options
+
+	// SegmentBytes bounds the reserved buffer used per segment (the
+	// collector's BufBytes). Zero uses Options.BufBytes, or the whole
+	// reserved region.
+	SegmentBytes uint32
+
+	// Watermark overrides the spill threshold; zero defaults to 1.0 —
+	// spill exactly at capacity, which is loss-free because extraction
+	// (like the paper's freeze/dump) takes no machine time.
+	Watermark float64
+
+	// Codec selects the stream codec (trace.CodecRaw or CodecDelta).
+	Codec uint16
+
+	// Meta is the stream's provenance string.
+	Meta string
+}
+
+// SpillService owns an installed collector streaming to a sink.
+type SpillService struct {
+	col     *atum.Collector
+	sw      *trace.SegmentWriter
+	spilled uint64
+	lost    uint64 // records extracted but never written (sink failure)
+	sinkErr error
+	closed  bool
+}
+
+// StartSpill installs ATUM on the system's machine and arranges for
+// every watermark crossing to append one segment to w. The caller runs
+// the workload, then calls Close to flush the final partial segment and
+// uninstall the patches.
+func StartSpill(sys *System, w io.Writer, cfg SpillConfig) (*SpillService, error) {
+	if cfg.Options.OnWatermark != nil || cfg.Options.OnFull != nil {
+		return nil, fmt.Errorf("kernel: spill service owns the collector callbacks")
+	}
+	sw, err := trace.NewSegmentWriter(w, cfg.Codec, cfg.Meta)
+	if err != nil {
+		return nil, err
+	}
+	s := &SpillService{sw: sw}
+	opts := cfg.Options
+	if cfg.SegmentBytes != 0 {
+		opts.BufBytes = cfg.SegmentBytes
+	}
+	opts.Watermark = cfg.Watermark
+	if opts.Watermark == 0 {
+		opts.Watermark = 1.0
+	}
+	opts.OnWatermark = func(c *atum.Collector) { s.spill(c) }
+	// If the sink has stalled the watermark spill stops draining; the
+	// buffer then runs to capacity and OnFull keeps the collector
+	// paused, counting drops — the degraded mode the stream's
+	// per-segment Dropped field reports once the sink recovers.
+	opts.OnFull = func(c *atum.Collector) {
+		if s.sinkErr == nil {
+			s.spill(c)
+		}
+	}
+	col, err := atum.Install(sys.M, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.col = col
+	return s, nil
+}
+
+// spill extracts the buffered segment and appends it to the stream.
+// On a sink error the records are abandoned (counted via the service's
+// accounting, not silently) and the collector is left paused so
+// subsequent events are counted as dropped rather than half-written.
+func (s *SpillService) spill(c *atum.Collector) {
+	recs, st, err := c.ExtractSegment()
+	if err != nil {
+		// Extraction reads simulated RAM; failure means the machine is
+		// torn down — treat it like a sink failure.
+		s.fail(c, err)
+		return
+	}
+	if s.sinkErr != nil {
+		s.lost += uint64(len(recs))
+		s.fail(c, s.sinkErr)
+		return
+	}
+	if len(recs) == 0 && st == (atum.SegmentStats{}) {
+		// Nothing happened since the last spill (a capture ending exactly
+		// on a watermark boundary): no segment to write.
+		return
+	}
+	if err := s.sw.WriteSegment(recs, st.Dropped, st.DilationCycles); err != nil {
+		s.lost += uint64(len(recs))
+		s.fail(c, err)
+		return
+	}
+	s.spilled += uint64(len(recs))
+}
+
+func (s *SpillService) fail(c *atum.Collector, err error) {
+	if s.sinkErr == nil {
+		s.sinkErr = err
+	}
+	c.Pause()
+}
+
+// Close flushes the final partial segment, closes the stream and
+// uninstalls the patches. The stream on disk is complete and valid
+// whether or not the sink ever failed; SinkErr reports if capture
+// degraded along the way.
+func (s *SpillService) Close() error {
+	if s.closed {
+		return s.sinkErr
+	}
+	s.closed = true
+	if s.sinkErr == nil {
+		s.spill(s.col)
+	}
+	s.col.Uninstall()
+	if err := s.sw.Close(); err != nil && s.sinkErr == nil {
+		s.sinkErr = err
+	}
+	return s.sinkErr
+}
+
+// Collector exposes the underlying collector (statistics, pause/resume).
+func (s *SpillService) Collector() *atum.Collector { return s.col }
+
+// Segments returns how many segments have been written to the sink.
+func (s *SpillService) Segments() uint32 { return s.sw.Segments() }
+
+// SpilledRecords returns how many records reached the sink.
+func (s *SpillService) SpilledRecords() uint64 { return s.spilled }
+
+// LostRecords returns how many extracted records a failed sink
+// swallowed (distinct from the collector's Dropped, which counts events
+// never captured at all).
+func (s *SpillService) LostRecords() uint64 { return s.lost }
+
+// SinkErr returns the first sink failure, if any.
+func (s *SpillService) SinkErr() error { return s.sinkErr }

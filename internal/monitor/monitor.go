@@ -29,6 +29,9 @@ type Monitor struct {
 
 	collector *atum.Collector
 	captured  []trace.Record
+	// spills counts watermark extractions since tracing started: the
+	// number of times the live buffer filled and was drained in place.
+	spills int
 
 	// consoleMark tracks how much simulated-console output has already
 	// been echoed to the user.
@@ -117,7 +120,9 @@ func (m *Monitor) help() {
   watch <a> [n]     run (up to n instructions) until the longword at the
                     address/symbol changes
   procs             process table
-  trace on|off      install/remove the ATUM collector
+  trace on [bufKB]  install the ATUM collector; with bufKB, use a small
+                    buffer that spills (segmented) whenever it fills
+  trace off         remove the collector, keeping captured records
   records [n]       show the last n captured trace records (default 10)
   lint              check captured records for structural violations
   stats             machine and trace statistics
@@ -451,8 +456,8 @@ func (m *Monitor) trace(args []string) {
 	if len(args) == 0 {
 		state := "off"
 		if m.collector != nil {
-			state = fmt.Sprintf("on (%d buffered, %d captured)",
-				m.collector.BufferedRecords(), len(m.captured))
+			state = fmt.Sprintf("on (%d buffered, %d captured, %d spills)",
+				m.collector.BufferedRecords(), len(m.captured), m.spills)
 		}
 		fmt.Fprintf(m.out, "trace: %s\n", state)
 		return
@@ -464,10 +469,24 @@ func (m *Monitor) trace(args []string) {
 			return
 		}
 		opts := atum.DefaultOptions()
-		opts.OnFull = func(c *atum.Collector) {
-			recs, err := c.Extract()
+		if len(args) > 1 {
+			kb, err := strconv.ParseUint(args[1], 0, 32)
+			if err != nil || kb == 0 {
+				fmt.Fprintf(m.out, "bad buffer size %q (KB)\n", args[1])
+				return
+			}
+			opts.BufBytes = uint32(kb) << 10
+		}
+		// Segmented live tracing: spill the buffer into the monitor's
+		// capture log every time it reaches capacity, exactly like the
+		// kernel spill service — extraction takes no machine time, so
+		// the watermark crossing is loss-free and the run resumes.
+		opts.Watermark = 1.0
+		opts.OnWatermark = func(c *atum.Collector) {
+			recs, _, err := c.ExtractSegment()
 			if err == nil {
 				m.captured = append(m.captured, recs...)
+				m.spills++
 			}
 		}
 		col, err := atum.Install(m.sys.M, opts)
@@ -486,9 +505,11 @@ func (m *Monitor) trace(args []string) {
 		if err == nil {
 			m.captured = append(m.captured, recs...)
 		}
+		dropped := m.collector.Dropped
 		m.collector.Uninstall()
 		m.collector = nil
-		fmt.Fprintf(m.out, "ATUM removed; %d records captured in total\n", len(m.captured))
+		fmt.Fprintf(m.out, "ATUM removed; %d records captured in total (%d spills, %d dropped)\n",
+			len(m.captured), m.spills, dropped)
 	default:
 		fmt.Fprintln(m.out, "usage: trace on|off")
 	}

@@ -59,7 +59,7 @@ func TestProfileMatchesSimulator(t *testing.T) {
 				})
 				for _, capBlocks := range capacities {
 					cfg := cache.Config{
-						Name:        "fa",
+						Label:       "fa",
 						SizeBytes:   uint32(capBlocks) * blockBytes,
 						BlockBytes:  blockBytes,
 						Assoc:       uint32(capBlocks),

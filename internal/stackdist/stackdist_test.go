@@ -110,7 +110,7 @@ func TestAgreesWithCacheSimulator(t *testing.T) {
 
 	for _, capacity := range []int{4, 16, 64, 256, 1024} {
 		cfg := cache.Config{
-			Name:          "fa",
+			Label:         "fa",
 			SizeBytes:     uint32(capacity) * blockBytes,
 			BlockBytes:    blockBytes,
 			Assoc:         uint32(capacity), // fully associative

@@ -65,7 +65,7 @@ func TestStressSharedArena(t *testing.T) {
 	opts := cache.RunOptions{IncludePTE: true}
 
 	base := cache.Config{
-		Name: "stress", SizeBytes: 4 << 10, BlockBytes: 16, Assoc: 2,
+		Label: "stress", SizeBytes: 4 << 10, BlockBytes: 16, Assoc: 2,
 		Replacement: cache.LRU, WritePolicy: cache.WriteBack,
 		WriteAllocate: true, PIDTags: true,
 	}
@@ -75,11 +75,11 @@ func TestStressSharedArena(t *testing.T) {
 	}
 	rnd := base
 	rnd.Replacement = cache.Random
-	rnd.Name = "stress-random"
+	rnd.Label = "stress-random"
 	flush := base
 	flush.PIDTags = false
 	flush.FlushOnSwitch = true
-	flush.Name = "stress-flush"
+	flush.Label = "stress-flush"
 	cfgs = append(cfgs, rnd, flush) // 14 cache configs
 
 	serial, err := Caches(src, cfgs, opts, 1)
@@ -95,9 +95,9 @@ func TestStressSharedArena(t *testing.T) {
 	}
 
 	hcfgs := []cache.HierarchyConfig{
-		{L1: base, L2: cache.Config{Name: "l2", SizeBytes: 32 << 10, BlockBytes: 16, Assoc: 4,
+		{L1: base, L2: cache.Config{Label: "l2", SizeBytes: 32 << 10, BlockBytes: 16, Assoc: 4,
 			Replacement: cache.LRU, WritePolicy: cache.WriteBack, WriteAllocate: true, PIDTags: true}},
-		{L1: base, L2: cache.Config{Name: "l2", SizeBytes: 64 << 10, BlockBytes: 16, Assoc: 4,
+		{L1: base, L2: cache.Config{Label: "l2", SizeBytes: 64 << 10, BlockBytes: 16, Assoc: 4,
 			Replacement: cache.LRU, WritePolicy: cache.WriteBack, WriteAllocate: true, PIDTags: true}},
 	}
 	hs, err := Hierarchies(src, hcfgs, opts, 8)

@@ -79,26 +79,50 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 	return out, nil
 }
 
+// Config is the naming contract every simulator configuration shares:
+// experiment reports, CLI tables and sweep diagnostics all name a
+// configuration through this one method, whichever simulator it drives.
+// cache.Config, cache.HierarchyConfig and tlbsim.Config implement it.
+type Config interface {
+	Name() string
+}
+
+// Compile-time checks that every simulator configuration satisfies the
+// naming contract.
+var (
+	_ Config = cache.Config{}
+	_ Config = cache.HierarchyConfig{}
+	_ Config = tlbsim.Config{}
+)
+
+// Run replays src through every configuration concurrently and returns
+// the results in configuration order: the one generic entry point the
+// per-simulator helpers below are built on. run is typically a closure
+// over simulator options (e.g. cache.RunOptions).
+func Run[C Config, R any](src trace.Source, cfgs []C, workers int, run func(trace.Source, C) (R, error)) ([]R, error) {
+	return Map(workers, len(cfgs), func(i int) (R, error) {
+		return run(src, cfgs[i])
+	})
+}
+
 // Caches replays src through every cache configuration concurrently and
 // returns the results in configuration order.
 func Caches(src trace.Source, cfgs []cache.Config, opts cache.RunOptions, workers int) ([]cache.Result, error) {
-	return Map(workers, len(cfgs), func(i int) (cache.Result, error) {
-		return cache.RunUnifiedSource(src, cfgs[i], opts)
+	return Run(src, cfgs, workers, func(src trace.Source, cfg cache.Config) (cache.Result, error) {
+		return cache.RunUnifiedSource(src, cfg, opts)
 	})
 }
 
 // Hierarchies replays src through every two-level hierarchy
 // configuration concurrently, in order.
 func Hierarchies(src trace.Source, cfgs []cache.HierarchyConfig, opts cache.RunOptions, workers int) ([]cache.HierarchyResult, error) {
-	return Map(workers, len(cfgs), func(i int) (cache.HierarchyResult, error) {
-		return cache.RunHierarchySource(src, cfgs[i], opts)
+	return Run(src, cfgs, workers, func(src trace.Source, cfg cache.HierarchyConfig) (cache.HierarchyResult, error) {
+		return cache.RunHierarchySource(src, cfg, opts)
 	})
 }
 
 // TBs replays src through every translation-buffer configuration
 // concurrently, in order.
 func TBs(src trace.Source, cfgs []tlbsim.Config, workers int) ([]tlbsim.Stats, error) {
-	return Map(workers, len(cfgs), func(i int) (tlbsim.Stats, error) {
-		return tlbsim.RunSource(src, cfgs[i])
-	})
+	return Run(src, cfgs, workers, tlbsim.RunSource)
 }

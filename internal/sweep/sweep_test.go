@@ -6,6 +6,10 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"atum/internal/cache"
+	"atum/internal/tlbsim"
+	"atum/internal/trace"
 )
 
 func TestResolve(t *testing.T) {
@@ -79,5 +83,51 @@ func TestMapRunsEverything(t *testing.T) {
 	}
 	if got := ran.Load(); got != 20 {
 		t.Errorf("ran %d of 20 jobs after an early error", got)
+	}
+}
+
+func TestConfigNaming(t *testing.T) {
+	// Every simulator configuration names itself through the one
+	// sweep.Config contract: label when set, geometry otherwise.
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{cache.Config{SizeBytes: 8 << 10, BlockBytes: 16, Assoc: 2}, "8KB/16B/2-way"},
+		{cache.Config{Label: "std", SizeBytes: 8 << 10, BlockBytes: 16, Assoc: 2}, "std"},
+		{tlbsim.Config{Entries: 256, Assoc: 2}, "256-entry/2-way"},
+		{tlbsim.Config{Label: "tb", Entries: 256, Assoc: 2}, "tb"},
+		{cache.HierarchyConfig{
+			L1: cache.Config{SizeBytes: 1 << 10, BlockBytes: 16, Assoc: 1},
+			L2: cache.Config{SizeBytes: 16 << 10, BlockBytes: 16, Assoc: 4},
+		}, "1KB/16B/1-way+16KB/16B/4-way"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRunGeneric(t *testing.T) {
+	// Run is the generic engine the per-simulator helpers wrap: results
+	// come back in configuration order for any worker count.
+	src := trace.Records(nil)
+	cfgs := []cache.Config{
+		{SizeBytes: 1 << 10, BlockBytes: 16, Assoc: 1},
+		{SizeBytes: 2 << 10, BlockBytes: 16, Assoc: 1},
+		{SizeBytes: 4 << 10, BlockBytes: 16, Assoc: 1},
+	}
+	for _, workers := range []int{1, 2, 8} {
+		names, err := Run(src, cfgs, workers, func(_ trace.Source, cfg cache.Config) (string, error) {
+			return cfg.Name(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"1KB/16B/1-way", "2KB/16B/1-way", "4KB/16B/1-way"}
+		if !reflect.DeepEqual(names, want) {
+			t.Errorf("workers=%d: %v", workers, names)
+		}
 	}
 }

@@ -18,7 +18,9 @@ import (
 
 // Config parameterises a simulated TB.
 type Config struct {
-	Name    string
+	// Label is an optional experiment-assigned tag; Name derives the
+	// reported configuration name from it.
+	Label   string
 	Entries uint32 // total entries (power of two)
 	Assoc   uint32 // ways
 	// SplitSystem reserves half the TB for system addresses (VA bit 31),
@@ -42,6 +44,16 @@ type Config struct {
 
 func (c Config) String() string {
 	return fmt.Sprintf("%d-entry/%d-way", c.Entries, c.Assoc)
+}
+
+// Name returns the configuration's reporting name — the label when one
+// is set, the geometry otherwise. It implements sweep.Config, the
+// naming contract all simulator configurations share.
+func (c Config) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return c.String()
 }
 
 // Validate checks structural parameters.

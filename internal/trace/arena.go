@@ -62,26 +62,24 @@ func NewArena(recs []Record) *Arena {
 	return a
 }
 
-// ReadArena decodes a trace stream (see WriteFile) directly into arena
-// chunks and returns it with the stream's provenance string. Unlike
-// ReadFile it never holds the trace twice: each chunk is decoded in
-// place and kept, with no growing contiguous slice behind it.
-func ReadArena(r io.Reader) (*Arena, string, error) {
-	d, err := NewDecoder(r)
-	if err != nil {
-		return nil, "", err
-	}
+// Arena decodes the remainder of the stream directly into arena chunks.
+// Unlike Records it never holds the trace twice: each chunk is decoded
+// in place and kept, with no growing contiguous slice behind it.
+func (r *Reader) Arena() (*Arena, error) {
 	a := &Arena{}
 	for {
-		size := d.Remaining() // untrusted: cap each allocation at one chunk
-		if size == 0 {
+		size := r.d.Remaining() // untrusted: cap each allocation at one chunk
+		if size == 0 && !r.d.segmented {
 			break
 		}
-		if size > arenaChunkRecords {
+		if size == 0 || size > arenaChunkRecords {
+			// Segmented streams read segment headers lazily, so Remaining
+			// is 0 at every segment boundary even when records remain;
+			// allocate a full chunk and let Decode right-size it.
 			size = arenaChunkRecords
 		}
 		chunk := make([]Record, size)
-		n, err := d.Next(chunk)
+		n, err := r.d.Next(chunk)
 		if n > 0 {
 			a.chunks = append(a.chunks, chunk[:n:n])
 			a.n += n
@@ -90,10 +88,27 @@ func ReadArena(r io.Reader) (*Arena, string, error) {
 			break
 		}
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
 	}
-	return a, d.Meta(), nil
+	return a, nil
+}
+
+// ReadArena decodes a trace stream directly into arena chunks and
+// returns it with the stream's provenance string.
+//
+// Deprecated: Use Open; Reader.Arena and Reader.Meta replace the two
+// results.
+func ReadArena(r io.Reader) (*Arena, string, error) {
+	rd, err := Open(r)
+	if err != nil {
+		return nil, "", err
+	}
+	a, err := rd.Arena()
+	if err != nil {
+		return nil, "", err
+	}
+	return a, rd.Meta(), nil
 }
 
 // NumRecords implements Source.

@@ -7,7 +7,9 @@ import (
 	"io"
 )
 
-// Stream file format:
+// Stream file formats. Two on-disk containers share the record codecs:
+//
+// Monolithic ("ATUMTRC"), one contiguous payload:
 //
 //	magic   [8]byte  "ATUMTRC\x00"
 //	version uint16   (2)
@@ -17,22 +19,46 @@ import (
 //	meta    [metaLen]byte   free-form capture provenance (UTF-8)
 //	payload
 //
-// CodecRaw stores RecordBytes per record. CodecDelta stores, per record,
-// a header byte (kind/user/phys/width), the PID only when it changes, and
-// the address as a zigzag varint delta against the previous address of
-// the same kind — instruction fetches and stack references are highly
-// sequential, so this typically compresses 3-4x.
+// Segmented ("ATUMSEG"), an append-only stream of length-prefixed
+// segments written as the reserved buffer spills (see SegmentWriter):
+//
+//	magic   [8]byte  "ATUMSEG\x00"
+//	version uint16   (1)
+//	codec   uint16
+//	metaLen uint32
+//	meta    [metaLen]byte
+//	segment*   (see segment.go for the per-segment header)
+//
+// Open reads either container through one Reader; a segmented stream
+// decodes to the exact concatenation of its segments' records, so
+// consumers never see the difference. CodecRaw stores RecordBytes per
+// record. CodecDelta stores, per record, a header byte
+// (kind/user/phys/width), the PID only when it changes, and the address
+// as a zigzag varint delta against the previous address of the same
+// kind — instruction fetches and stack references are highly
+// sequential, so this typically compresses 3-4x. Delta state resets at
+// every segment boundary: each segment is independently decodable.
 const (
 	CodecRaw uint16 = iota
 	CodecDelta
 )
 
-var magic = [8]byte{'A', 'T', 'U', 'M', 'T', 'R', 'C', 0}
+var (
+	magic    = [8]byte{'A', 'T', 'U', 'M', 'T', 'R', 'C', 0}
+	segMagic = [8]byte{'A', 'T', 'U', 'M', 'S', 'E', 'G', 0}
+)
 
-const version = 2
+const (
+	version    = 2
+	segVersion = 1
+)
 
 // maxMetaLen bounds the provenance string (untrusted input on read).
 const maxMetaLen = 1 << 16
+
+// maxRecordCount bounds a (per-stream or per-segment) record count from
+// an untrusted header.
+const maxRecordCount = 1 << 34
 
 // WriteFile encodes recs to w using the given codec, with no metadata.
 func WriteFile(w io.Writer, recs []Record, codec uint16) error {
@@ -62,12 +88,8 @@ func WriteFileMeta(w io.Writer, recs []Record, codec uint16, meta string) error 
 	}
 	switch codec {
 	case CodecRaw:
-		var b [RecordBytes]byte
-		for _, r := range recs {
-			r.Encode(b[:])
-			if _, err := bw.Write(b[:]); err != nil {
-				return err
-			}
+		if err := writeRaw(bw, recs); err != nil {
+			return err
 		}
 	case CodecDelta:
 		if err := writeDelta(bw, recs); err != nil {
@@ -79,25 +101,58 @@ func WriteFileMeta(w io.Writer, recs []Record, codec uint16, meta string) error 
 	return bw.Flush()
 }
 
-// ReadFile decodes a trace stream written by WriteFile, discarding any
-// metadata.
-func ReadFile(r io.Reader) ([]Record, error) {
-	recs, _, err := ReadFileMeta(r)
-	return recs, err
+// Reader is the single read handle for trace streams: Open validates
+// the header of either container format and the Reader then serves
+// whichever access pattern the caller needs — streaming batches
+// (Decode), a chunked shared arena (Arena), or one contiguous slice
+// (Records). The three are alternatives over one underlying stream
+// position, not independent views: pick one, or mix Decode with a final
+// Arena/Records call for the remainder.
+type Reader struct {
+	d *Decoder
 }
 
-// ReadFileMeta decodes a trace stream into one contiguous slice and
-// returns its provenance string. For large traces prefer ReadArena,
-// which decodes in fixed-size chunks and never re-copies records while
-// the slice below grows.
-func ReadFileMeta(r io.Reader) ([]Record, string, error) {
-	d, err := NewDecoder(r)
+// Open reads and validates a trace stream header (monolithic or
+// segmented) and returns the read handle positioned at the first
+// record.
+func Open(r io.Reader) (*Reader, error) {
+	d, err := newDecoder(r)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
-	// The count is untrusted input: cap the up-front allocation and let
-	// append grow the slice if the stream really is that long.
-	capHint := d.Remaining()
+	return &Reader{d: d}, nil
+}
+
+// Meta returns the stream's provenance string.
+func (r *Reader) Meta() string { return r.d.meta }
+
+// Segmented reports whether the underlying stream is a segment
+// container (written by SegmentWriter) rather than a monolithic file.
+func (r *Reader) Segmented() bool { return r.d.segmented }
+
+// Segments returns the per-segment metadata encountered so far; after a
+// full decode it covers the whole stream. Monolithic streams have none.
+func (r *Reader) Segments() []SegmentInfo { return r.d.Segments() }
+
+// Remaining returns how many records are still undecoded according to
+// the headers read so far. For segmented streams this only counts the
+// current segment (later segment headers are read lazily), so treat it
+// as a lower bound and rely on Decode's io.EOF for termination.
+func (r *Reader) Remaining() uint64 { return r.d.Remaining() }
+
+// Decode streams up to len(dst) records into dst and returns how many
+// it wrote. It returns io.EOF once the stream is exhausted (possibly
+// alongside the final batch). Truncated streams fail with a wrapped
+// io.ErrUnexpectedEOF naming the record index.
+func (r *Reader) Decode(dst []Record) (int, error) { return r.d.Next(dst) }
+
+// Records decodes the remainder of the stream into one contiguous
+// slice. For large traces prefer Arena, which decodes in fixed-size
+// chunks and never re-copies records while a contiguous slice grows.
+func (r *Reader) Records() ([]Record, error) {
+	// Header counts are untrusted input: cap the up-front allocation and
+	// let append grow the slice if the stream really is that long.
+	capHint := r.d.Remaining()
 	if capHint > 1<<20 {
 		capHint = 1 << 20
 	}
@@ -106,43 +161,83 @@ func ReadFileMeta(r io.Reader) ([]Record, string, error) {
 		if len(recs) == cap(recs) {
 			recs = append(recs, Record{})[:len(recs)]
 		}
-		n, err := d.Next(recs[len(recs):cap(recs)])
+		n, err := r.d.Next(recs[len(recs):cap(recs)])
 		recs = recs[:len(recs)+n]
 		if err == io.EOF {
-			return recs, d.Meta(), nil
+			return recs, nil
 		}
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
 	}
 }
 
-// Decoder streams records out of a trace file without materialising the
-// whole payload: callers pull batches with Next into buffers they size
-// themselves. ReadFileMeta and ReadArena are both built on it.
+// ReadFile decodes a trace stream, discarding any metadata.
+//
+// Deprecated: Use Open and Reader.Records.
+func ReadFile(r io.Reader) ([]Record, error) {
+	recs, _, err := ReadFileMeta(r)
+	return recs, err
+}
+
+// ReadFileMeta decodes a trace stream into one contiguous slice and
+// returns its provenance string.
+//
+// Deprecated: Use Open; Reader.Records and Reader.Meta replace the two
+// results.
+func ReadFileMeta(r io.Reader) ([]Record, string, error) {
+	rd, err := Open(r)
+	if err != nil {
+		return nil, "", err
+	}
+	recs, err := rd.Records()
+	if err != nil {
+		return nil, "", err
+	}
+	return recs, rd.Meta(), nil
+}
+
+// Decoder streams records out of a trace stream without materialising
+// the whole payload: callers pull batches with Next into buffers they
+// size themselves. Reader is built on it.
 type Decoder struct {
 	br    *bufio.Reader
 	codec uint16
 	meta  string
-	count uint64 // total records per the header
+	count uint64 // total records promised by headers read so far
 	read  uint64 // records decoded so far
 
-	// Delta-codec inter-record state.
+	// Segment-container state.
+	segmented bool
+	segs      []SegmentInfo
+
+	// Delta-codec inter-record state (reset at segment boundaries).
 	lastAddr [NumKinds]uint32
 	lastPID  uint8
 }
 
 // NewDecoder reads and validates the stream header, leaving the decoder
 // positioned at the first record.
-func NewDecoder(r io.Reader) (*Decoder, error) {
+//
+// Deprecated: Use Open; Reader.Decode streams batches the same way.
+func NewDecoder(r io.Reader) (*Decoder, error) { return newDecoder(r) }
+
+func newDecoder(r io.Reader) (*Decoder, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if m != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", m)
+	switch m {
+	case magic:
+		return newMonolithicDecoder(br)
+	case segMagic:
+		return newSegmentedDecoder(br)
 	}
+	return nil, fmt.Errorf("trace: bad magic %q", m)
+}
+
+func newMonolithicDecoder(br *bufio.Reader) (*Decoder, error) {
 	var hdr [16]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
@@ -158,39 +253,79 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	if d.codec != CodecRaw && d.codec != CodecDelta {
 		return nil, fmt.Errorf("trace: unknown codec %d", d.codec)
 	}
-	metaLen := binary.LittleEndian.Uint32(hdr[12:])
-	if metaLen > maxMetaLen {
-		return nil, fmt.Errorf("trace: implausible metadata length %d", metaLen)
+	if err := d.readMeta(binary.LittleEndian.Uint32(hdr[12:])); err != nil {
+		return nil, err
 	}
-	metaBuf := make([]byte, metaLen)
-	if _, err := io.ReadFull(br, metaBuf); err != nil {
-		return nil, fmt.Errorf("trace: reading metadata: %w", err)
-	}
-	d.meta = string(metaBuf)
-	if d.count > 1<<34 {
+	if d.count > maxRecordCount {
 		return nil, fmt.Errorf("trace: implausible record count %d", d.count)
 	}
 	return d, nil
 }
 
+func newSegmentedDecoder(br *bufio.Reader) (*Decoder, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading segment-stream header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != segVersion {
+		return nil, fmt.Errorf("trace: unsupported segment-stream version %d", v)
+	}
+	d := &Decoder{
+		br:        br,
+		codec:     binary.LittleEndian.Uint16(hdr[2:]),
+		segmented: true,
+	}
+	if d.codec != CodecRaw && d.codec != CodecDelta {
+		return nil, fmt.Errorf("trace: unknown codec %d", d.codec)
+	}
+	if err := d.readMeta(binary.LittleEndian.Uint32(hdr[4:])); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Decoder) readMeta(metaLen uint32) error {
+	if metaLen > maxMetaLen {
+		return fmt.Errorf("trace: implausible metadata length %d", metaLen)
+	}
+	metaBuf := make([]byte, metaLen)
+	if _, err := io.ReadFull(d.br, metaBuf); err != nil {
+		return fmt.Errorf("trace: reading metadata: %w", err)
+	}
+	d.meta = string(metaBuf)
+	return nil
+}
+
 // Meta returns the stream's provenance string.
 func (d *Decoder) Meta() string { return d.meta }
 
-// Remaining returns how many records are still undecoded. The value
-// comes from the (untrusted) header; a truncated stream errors from Next
-// before delivering that many.
+// Segments returns the per-segment metadata read so far (nil for
+// monolithic streams).
+func (d *Decoder) Segments() []SegmentInfo { return d.segs }
+
+// Remaining returns how many records are still undecoded according to
+// the (untrusted) headers read so far; a truncated stream errors from
+// Next before delivering that many. Segmented streams read segment
+// headers lazily, so Remaining only counts the current segment.
 func (d *Decoder) Remaining() uint64 { return d.count - d.read }
 
 // Next decodes up to len(dst) records into dst and returns how many it
 // wrote. It returns io.EOF once the stream is exhausted (possibly
-// alongside the final batch).
+// alongside the final batch). A stream that ends before delivering the
+// records its headers promised fails with a wrapped io.ErrUnexpectedEOF
+// identifying the record index.
 func (d *Decoder) Next(dst []Record) (int, error) {
-	want := uint64(len(dst))
-	if rem := d.Remaining(); want > rem {
-		want = rem
-	}
 	n := 0
-	for uint64(n) < want {
+	for n < len(dst) {
+		if d.Remaining() == 0 {
+			if !d.segmented {
+				return n, io.EOF
+			}
+			if err := d.nextSegment(); err != nil {
+				return n, err
+			}
+			continue // the new segment may itself be empty
+		}
 		rec, err := d.decodeOne()
 		if err != nil {
 			return n, err
@@ -198,10 +333,19 @@ func (d *Decoder) Next(dst []Record) (int, error) {
 		dst[n] = rec
 		n++
 	}
-	if d.Remaining() == 0 {
+	if !d.segmented && d.Remaining() == 0 {
 		return n, io.EOF
 	}
 	return n, nil
+}
+
+// promisedEOF upgrades a clean EOF to ErrUnexpectedEOF: the stream
+// header promised data the reader did not deliver.
+func promisedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 func (d *Decoder) decodeOne() (Record, error) {
@@ -210,7 +354,7 @@ func (d *Decoder) decodeOne() (Record, error) {
 	case CodecRaw:
 		var b [RecordBytes]byte
 		if _, err := io.ReadFull(d.br, b[:]); err != nil {
-			return Record{}, fmt.Errorf("trace: record %d: %w", i, err)
+			return Record{}, fmt.Errorf("trace: record %d: %w", i, promisedEOF(err))
 		}
 		d.read++
 		return DecodeRecord(b[:]), nil
@@ -225,11 +369,29 @@ func (d *Decoder) decodeOne() (Record, error) {
 	return Record{}, fmt.Errorf("trace: unknown codec %d", d.codec)
 }
 
+// byteWriter is the sink the codec encoders write to; both bufio.Writer
+// and bytes.Buffer satisfy it.
+type byteWriter interface {
+	io.Writer
+	WriteByte(byte) error
+}
+
+func writeRaw(w byteWriter, recs []Record) error {
+	var b [RecordBytes]byte
+	for _, r := range recs {
+		r.Encode(b[:])
+		if _, err := w.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Delta codec header byte: kind(3) | widthLog2(2) | user(1) | phys(1) |
 // pidChanged(1).
 const deltaPIDChanged = 1 << 7
 
-func writeDelta(w *bufio.Writer, recs []Record) error {
+func writeDelta(w byteWriter, recs []Record) error {
 	var lastAddr [NumKinds]uint32
 	lastPID := uint8(0)
 	var buf [binary.MaxVarintLen64]byte
@@ -279,7 +441,7 @@ func writeDelta(w *bufio.Writer, recs []Record) error {
 func (d *Decoder) decodeDelta(i uint64) (Record, error) {
 	h, err := d.br.ReadByte()
 	if err != nil {
-		return Record{}, fmt.Errorf("trace: record %d: %w", i, err)
+		return Record{}, fmt.Errorf("trace: record %d: %w", i, promisedEOF(err))
 	}
 	k := Kind(h & 7)
 	if k >= NumKinds {
@@ -297,21 +459,21 @@ func (d *Decoder) decodeDelta(i uint64) (Record, error) {
 	if h&deltaPIDChanged != 0 {
 		p, err := d.br.ReadByte()
 		if err != nil {
-			return Record{}, fmt.Errorf("trace: record %d pid: %w", i, err)
+			return Record{}, fmt.Errorf("trace: record %d pid: %w", i, promisedEOF(err))
 		}
 		d.lastPID = p
 	}
 	rec.PID = d.lastPID
 	delta, err := binary.ReadVarint(d.br)
 	if err != nil {
-		return Record{}, fmt.Errorf("trace: record %d addr: %w", i, err)
+		return Record{}, fmt.Errorf("trace: record %d addr: %w", i, promisedEOF(err))
 	}
 	rec.Addr = uint32(int64(d.lastAddr[rec.Kind]) + delta)
 	d.lastAddr[rec.Kind] = rec.Addr
 	if rec.Kind == KindCtxSwitch || rec.Kind == KindException {
 		x, err := binary.ReadUvarint(d.br)
 		if err != nil {
-			return Record{}, fmt.Errorf("trace: record %d extra: %w", i, err)
+			return Record{}, fmt.Errorf("trace: record %d extra: %w", i, promisedEOF(err))
 		}
 		rec.Extra = uint16(x)
 	}

@@ -16,6 +16,22 @@ func FuzzReadFile(f *testing.F) {
 	f.Add(raw.Bytes())
 	f.Add([]byte("ATUMTRC\x00garbage"))
 	f.Add([]byte{})
+	// Segmented container seeds: a valid two-segment stream, plus
+	// truncations cutting a segment header and a record in half — the
+	// mid-record truncation regression.
+	var seg bytes.Buffer
+	if sw, err := NewSegmentWriter(&seg, CodecDelta, "fuzz"); err == nil {
+		_ = sw.WriteSegment(makeTrace(30, 3), 1, 100)
+		_ = sw.WriteSegment(makeTrace(30, 4), 0, 90)
+		_ = sw.Close()
+	}
+	f.Add(seg.Bytes())
+	f.Add(seg.Bytes()[:len(seg.Bytes())/2])
+	f.Add(seg.Bytes()[:8+8+4+10]) // cut inside the first segment header
+	f.Add([]byte("ATUMSEG\x00garbage"))
+	var rawMono bytes.Buffer
+	_ = WriteFile(&rawMono, makeTrace(10, 5), CodecRaw)
+	f.Add(rawMono.Bytes()[:len(rawMono.Bytes())-3]) // mid-record truncation
 	f.Fuzz(func(t *testing.T, b []byte) {
 		recs, err := ReadFile(bytes.NewReader(b))
 		if err != nil {

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Segment container. ATUM's reserved buffer holds a few seconds of
+// execution; long traces are an append-only stream of buffer dumps. The
+// segmented container mirrors that: after the stream header (see
+// file.go) come zero or more length-prefixed segments, each one
+// buffer's worth of records plus the capture-side metadata the OS knew
+// at spill time:
+//
+//	marker  [4]byte  "ASEG"
+//	index   uint32   0, 1, 2, ... (strictly sequential)
+//	count   uint64   records in this segment
+//	dropped uint64   records lost while this segment was being captured
+//	cycles  uint64   dilation cycles charged during this segment
+//	payLen  uint64   payload bytes that follow
+//	payload [payLen]byte   count records in the stream's codec
+//
+// Every field is little endian. The delta codec's inter-record state
+// resets at each segment boundary, so any segment can be decoded
+// knowing only the stream codec — and the concatenation of all
+// segments' records is byte-identical to the same capture written
+// monolithically.
+
+// segMarker guards each segment header; a payload/payLen mismatch (or
+// corrupt payload) desynchronises the stream and is caught here rather
+// than silently decoding garbage.
+var segMarker = [4]byte{'A', 'S', 'E', 'G'}
+
+// segHeaderBytes is the fixed header size after the marker.
+const segHeaderBytes = 36
+
+// maxSegPayload bounds one segment's payload length from an untrusted
+// header.
+const maxSegPayload = maxRecordCount * RecordBytes
+
+// SegmentInfo is the per-segment metadata carried by the segmented
+// container.
+type SegmentInfo struct {
+	Index          uint32
+	Records        uint64 // records stored in the segment
+	Dropped        uint64 // records lost during the segment's capture interval
+	DilationCycles uint64 // dilation cycles charged while capturing it
+	PayloadBytes   uint64 // encoded payload size
+}
+
+func (s SegmentInfo) String() string {
+	return fmt.Sprintf("segment %d: %d records, %d dropped, %d dilation cycles, %d bytes",
+		s.Index, s.Records, s.Dropped, s.DilationCycles, s.PayloadBytes)
+}
+
+// SegmentWriter appends buffer dumps to a segmented trace stream. The
+// stream header is written immediately; each WriteSegment appends one
+// length-prefixed segment and flushes, so the output file is a valid
+// (if still growing) trace after every spill — a capture killed
+// mid-run loses at most the records still in the reserved buffer.
+type SegmentWriter struct {
+	w      *bufio.Writer
+	codec  uint16
+	next   uint32
+	pay    bytes.Buffer // per-segment encode buffer, reused
+	closed bool
+	err    error // first write error; sticky
+}
+
+// NewSegmentWriter writes the segmented stream header to w and returns
+// the writer positioned for the first segment.
+func NewSegmentWriter(w io.Writer, codec uint16, meta string) (*SegmentWriter, error) {
+	if codec != CodecRaw && codec != CodecDelta {
+		return nil, fmt.Errorf("trace: unknown codec %d", codec)
+	}
+	if len(meta) > maxMetaLen {
+		return nil, fmt.Errorf("trace: metadata too long (%d bytes)", len(meta))
+	}
+	sw := &SegmentWriter{w: bufio.NewWriter(w), codec: codec}
+	if _, err := sw.w.Write(segMagic[:]); err != nil {
+		return nil, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint16(hdr[0:], segVersion)
+	binary.LittleEndian.PutUint16(hdr[2:], codec)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(meta)))
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if _, err := sw.w.WriteString(meta); err != nil {
+		return nil, err
+	}
+	if err := sw.w.Flush(); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// WriteSegment appends one buffer dump with its capture-side counters
+// and flushes it to the sink. Empty segments are legal (a spill can
+// race an already-drained buffer). Errors are sticky: once the sink
+// fails, every later call reports the same error so a capture loop can
+// fall back to counted-drop mode.
+func (sw *SegmentWriter) WriteSegment(recs []Record, dropped, dilationCycles uint64) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.closed {
+		return fmt.Errorf("trace: segment writer closed")
+	}
+	// Encode to memory first: payLen must precede the payload, and a
+	// sink error mid-segment must not leave a half-written segment
+	// unaccounted for.
+	sw.pay.Reset()
+	var encErr error
+	switch sw.codec {
+	case CodecRaw:
+		encErr = writeRaw(&sw.pay, recs)
+	case CodecDelta:
+		encErr = writeDelta(&sw.pay, recs)
+	}
+	if encErr != nil {
+		return encErr
+	}
+	var hdr [4 + segHeaderBytes]byte
+	copy(hdr[:4], segMarker[:])
+	binary.LittleEndian.PutUint32(hdr[4:], sw.next)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(recs)))
+	binary.LittleEndian.PutUint64(hdr[16:], dropped)
+	binary.LittleEndian.PutUint64(hdr[24:], dilationCycles)
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(sw.pay.Len()))
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		return sw.fail(err)
+	}
+	if _, err := sw.w.Write(sw.pay.Bytes()); err != nil {
+		return sw.fail(err)
+	}
+	if err := sw.w.Flush(); err != nil {
+		return sw.fail(err)
+	}
+	sw.next++
+	return nil
+}
+
+func (sw *SegmentWriter) fail(err error) error {
+	sw.err = err
+	return err
+}
+
+// Segments returns how many segments have been written.
+func (sw *SegmentWriter) Segments() uint32 { return sw.next }
+
+// Err returns the sticky sink error, if any.
+func (sw *SegmentWriter) Err() error { return sw.err }
+
+// Close flushes the stream. The container is append-only, so there is
+// no trailer to write; Close exists to surface buffered sink errors and
+// to fence off further writes.
+func (sw *SegmentWriter) Close() error {
+	if sw.closed {
+		return sw.err
+	}
+	sw.closed = true
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.w.Flush()
+}
+
+// nextSegment reads the next segment header, appends its metadata to
+// d.segs and credits its record count to d.count. A clean EOF at the
+// marker is the normal end of stream (io.EOF); anything shorter is a
+// truncated stream.
+func (d *Decoder) nextSegment() error {
+	var mk [4]byte
+	if _, err := io.ReadFull(d.br, mk[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("trace: segment %d header: %w", len(d.segs), promisedEOF(err))
+	}
+	if mk != segMarker {
+		return fmt.Errorf("trace: segment %d: bad marker %q", len(d.segs), mk)
+	}
+	var hdr [segHeaderBytes]byte
+	if _, err := io.ReadFull(d.br, hdr[:]); err != nil {
+		return fmt.Errorf("trace: segment %d header: %w", len(d.segs), promisedEOF(err))
+	}
+	info := SegmentInfo{
+		Index:          binary.LittleEndian.Uint32(hdr[0:]),
+		Records:        binary.LittleEndian.Uint64(hdr[4:]),
+		Dropped:        binary.LittleEndian.Uint64(hdr[12:]),
+		DilationCycles: binary.LittleEndian.Uint64(hdr[20:]),
+		PayloadBytes:   binary.LittleEndian.Uint64(hdr[28:]),
+	}
+	if info.Index != uint32(len(d.segs)) {
+		return fmt.Errorf("trace: segment %d: out-of-order index %d", len(d.segs), info.Index)
+	}
+	if info.Records > maxRecordCount {
+		return fmt.Errorf("trace: segment %d: implausible record count %d", info.Index, info.Records)
+	}
+	if info.PayloadBytes > maxSegPayload {
+		return fmt.Errorf("trace: segment %d: implausible payload length %d", info.Index, info.PayloadBytes)
+	}
+	if d.codec == CodecRaw && info.PayloadBytes != info.Records*RecordBytes {
+		return fmt.Errorf("trace: segment %d: payload length %d does not match %d raw records",
+			info.Index, info.PayloadBytes, info.Records)
+	}
+	d.segs = append(d.segs, info)
+	d.count += info.Records
+	// Segments are independently encoded: reset the delta codec state.
+	d.lastAddr = [NumKinds]uint32{}
+	d.lastPID = 0
+	return nil
+}

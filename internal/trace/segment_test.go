@@ -1,0 +1,372 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// writeSegmented splits recs into n roughly equal segments and writes
+// them through a SegmentWriter.
+func writeSegmented(t *testing.T, recs []Record, n int, codec uint16, meta string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw, err := NewSegmentWriter(&buf, codec, meta)
+	if err != nil {
+		t.Fatalf("NewSegmentWriter: %v", err)
+	}
+	per := (len(recs) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo > len(recs) {
+			lo = len(recs)
+		}
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		if err := sw.WriteSegment(recs[lo:hi], uint64(i), uint64(i)*1000); err != nil {
+			t.Fatalf("WriteSegment %d: %v", i, err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSegmentStitchingDeterminism: the same records written as N
+// segments must decode identically to the monolithic container, for
+// both codecs — the container-level half of the stitching guarantee.
+func TestSegmentStitchingDeterminism(t *testing.T) {
+	recs := makeTrace(5000, 7)
+	for _, codec := range []uint16{CodecRaw, CodecDelta} {
+		var mono bytes.Buffer
+		if err := WriteFileMeta(&mono, recs, codec, "stitch-test"); err != nil {
+			t.Fatalf("WriteFileMeta: %v", err)
+		}
+		want, wantMeta, err := ReadFileMeta(bytes.NewReader(mono.Bytes()))
+		if err != nil {
+			t.Fatalf("monolithic decode: %v", err)
+		}
+		for _, n := range []int{1, 3, 8} {
+			b := writeSegmented(t, recs, n, codec, "stitch-test")
+			rd, err := Open(bytes.NewReader(b))
+			if err != nil {
+				t.Fatalf("codec %d n=%d: Open: %v", codec, n, err)
+			}
+			if !rd.Segmented() {
+				t.Fatalf("codec %d n=%d: stream not recognised as segmented", codec, n)
+			}
+			got, err := rd.Records()
+			if err != nil {
+				t.Fatalf("codec %d n=%d: Records: %v", codec, n, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("codec %d n=%d: segmented decode differs from monolithic", codec, n)
+			}
+			if rd.Meta() != wantMeta {
+				t.Fatalf("codec %d n=%d: meta %q != %q", codec, n, rd.Meta(), wantMeta)
+			}
+			segs := rd.Segments()
+			if len(segs) != n {
+				t.Fatalf("codec %d n=%d: %d segments reported", codec, n, len(segs))
+			}
+			var total uint64
+			for i, s := range segs {
+				if s.Index != uint32(i) {
+					t.Fatalf("segment %d has index %d", i, s.Index)
+				}
+				if s.Dropped != uint64(i) || s.DilationCycles != uint64(i)*1000 {
+					t.Fatalf("segment %d metadata not preserved: %+v", i, s)
+				}
+				total += s.Records
+			}
+			if total != uint64(len(recs)) {
+				t.Fatalf("codec %d n=%d: segment counts sum to %d, want %d", codec, n, total, len(recs))
+			}
+		}
+	}
+}
+
+// TestSegmentedArena: Reader.Arena must terminate and return every
+// record for segmented streams, where Remaining is 0 at each segment
+// boundary.
+func TestSegmentedArena(t *testing.T) {
+	recs := makeTrace(3000, 9)
+	b := writeSegmented(t, recs, 4, CodecDelta, "")
+	rd, err := Open(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := rd.Arena()
+	if err != nil {
+		t.Fatalf("Arena: %v", err)
+	}
+	if a.NumRecords() != len(recs) {
+		t.Fatalf("arena has %d records, want %d", a.NumRecords(), len(recs))
+	}
+	if !reflect.DeepEqual(a.Flatten(), recs) {
+		t.Fatal("arena records differ from input")
+	}
+}
+
+// TestSegmentedStreamingDecode: Decode batches that straddle segment
+// boundaries must come back seamless, and the stream must end with a
+// clean io.EOF.
+func TestSegmentedStreamingDecode(t *testing.T) {
+	recs := makeTrace(1000, 3)
+	b := writeSegmented(t, recs, 8, CodecDelta, "")
+	rd, err := Open(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	buf := make([]Record, 77) // deliberately coprime with the segment size
+	for {
+		n, err := rd.Decode(buf)
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Decode after %d records: %v", len(got), err)
+		}
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("streamed %d records, want %d identical", len(got), len(recs))
+	}
+	// Further decodes keep reporting a clean EOF.
+	if n, err := rd.Decode(buf); n != 0 || err != io.EOF {
+		t.Fatalf("post-EOF Decode = (%d, %v), want (0, io.EOF)", n, err)
+	}
+}
+
+// TestSegmentEmptySegments: zero-record segments (a spill racing an
+// already-drained buffer) are legal and skipped transparently.
+func TestSegmentEmptySegments(t *testing.T) {
+	recs := makeTrace(10, 1)
+	var buf bytes.Buffer
+	sw, err := NewSegmentWriter(&buf, CodecRaw, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range [][]Record{nil, recs[:4], nil, recs[4:], nil} {
+		if err := sw.WriteSegment(seg, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("got %d records through empty segments, want %d", len(got), len(recs))
+	}
+}
+
+// TestTruncatedMonolithic: a monolithic stream cut mid-payload must
+// fail with a wrapped io.ErrUnexpectedEOF naming the record index —
+// including the boundary case where the cut lands exactly between
+// records, which io.ReadFull reports as a bare io.EOF.
+func TestTruncatedMonolithic(t *testing.T) {
+	recs := makeTrace(100, 5)
+	for _, codec := range []uint16{CodecRaw, CodecDelta} {
+		var buf bytes.Buffer
+		if err := WriteFile(&buf, recs, codec); err != nil {
+			t.Fatal(err)
+		}
+		full := buf.Bytes()
+		payloadStart := len(full)
+		switch codec {
+		case CodecRaw:
+			payloadStart = len(full) - len(recs)*RecordBytes
+		case CodecDelta:
+			payloadStart = 8 + 16 // magic + fixed header, no meta
+		}
+		for _, cut := range []int{payloadStart, payloadStart + 1, payloadStart + RecordBytes, len(full) - 1} {
+			rd, err := Open(bytes.NewReader(full[:cut]))
+			if err != nil {
+				t.Fatalf("codec %d cut=%d: header rejected: %v", codec, cut, err)
+			}
+			_, err = rd.Records()
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("codec %d cut=%d: err = %v, want io.ErrUnexpectedEOF", codec, cut, err)
+			}
+		}
+	}
+}
+
+// TestTruncatedErrorNamesRecordIndex: the truncation error must
+// identify which record the stream died in.
+func TestTruncatedErrorNamesRecordIndex(t *testing.T) {
+	recs := makeTrace(100, 5)
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, recs, CodecRaw); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	payloadStart := len(full) - len(recs)*RecordBytes
+	// Cut mid-way through record 3.
+	rd, err := Open(bytes.NewReader(full[:payloadStart+3*RecordBytes+2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rd.Records()
+	if err == nil || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if want := "record 3"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("err %q does not name %q", err, want)
+	}
+}
+
+// TestTruncatedSegmented: cuts inside a segment header, at a record
+// boundary inside a payload, and mid-record must all surface
+// io.ErrUnexpectedEOF; a cut exactly at the start of a would-be next
+// segment is a clean EOF (the container is append-only, so that is a
+// complete stream).
+func TestTruncatedSegmented(t *testing.T) {
+	recs := makeTrace(64, 11)
+	b := writeSegmented(t, recs, 2, CodecRaw, "")
+	hdrLen := 8 + 8 // segMagic + stream header, no meta
+	seg0 := hdrLen + 4 + segHeaderBytes + 32*RecordBytes
+	cuts := map[int]bool{ // cut offset -> want clean records up to there
+		hdrLen + 2:                                false, // inside segment 0's marker
+		hdrLen + 4 + 10:                           false, // inside segment 0's header
+		hdrLen + 4 + segHeaderBytes + 12:          false, // mid-record in segment 0
+		seg0 + 4 + segHeaderBytes - 1:             false, // inside segment 1's header
+		seg0 + 4 + segHeaderBytes + 8*RecordBytes: false, // record boundary, count unmet
+	}
+	for cut, wantClean := range cuts {
+		rd, err := Open(bytes.NewReader(b[:cut]))
+		if err != nil {
+			t.Fatalf("cut=%d: header rejected: %v", cut, err)
+		}
+		_, err = rd.Records()
+		if wantClean {
+			if err != nil {
+				t.Fatalf("cut=%d: err = %v, want nil", cut, err)
+			}
+		} else if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut=%d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// Cut exactly at the end of segment 0: a valid, complete stream.
+	rd, err := Open(bytes.NewReader(b[:seg0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rd.Records()
+	if err != nil {
+		t.Fatalf("clean one-segment prefix: %v", err)
+	}
+	if !reflect.DeepEqual(got, recs[:32]) {
+		t.Fatalf("one-segment prefix decoded %d records, want 32", len(got))
+	}
+}
+
+// TestSegmentHeaderValidation: corrupt segment headers error rather
+// than desync or over-allocate.
+func TestSegmentHeaderValidation(t *testing.T) {
+	recs := makeTrace(16, 2)
+	base := writeSegmented(t, recs, 1, CodecRaw, "")
+	hdrLen := 8 + 8
+	corrupt := func(mutate func(b []byte)) error {
+		b := append([]byte(nil), base...)
+		mutate(b)
+		rd, err := Open(bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		_, err = rd.Records()
+		return err
+	}
+	cases := map[string]func(b []byte){
+		"bad marker":    func(b []byte) { b[hdrLen] = 'X' },
+		"bad index":     func(b []byte) { b[hdrLen+4] = 9 },
+		"huge count":    func(b []byte) { b[hdrLen+8+4] = 0xFF; b[hdrLen+8+5] = 0xFF },
+		"count too big": func(b []byte) { b[hdrLen+8] = 17 }, // 17 raw records in a 16-record payload
+	}
+	for name, mutate := range cases {
+		if err := corrupt(mutate); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+// TestSegmentWriterStickyError: a failing sink poisons the writer so a
+// capture loop can detect it once and fall back to counted-drop mode.
+func TestSegmentWriterStickyError(t *testing.T) {
+	recs := makeTrace(32, 4)
+	sink := &failAfter{n: 64}
+	sw, err := NewSegmentWriter(sink, CodecRaw, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteSegment(recs, 0, 0); err == nil {
+		t.Fatal("write into failing sink succeeded")
+	}
+	if sw.Err() == nil {
+		t.Fatal("Err() nil after sink failure")
+	}
+	if err := sw.WriteSegment(recs, 0, 0); err == nil {
+		t.Fatal("sticky error not reported on retry")
+	}
+	if err := sw.Close(); err == nil {
+		t.Fatal("Close did not surface the sink error")
+	}
+}
+
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, fmt.Errorf("sink stalled")
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, fmt.Errorf("sink stalled")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+// TestOpenMonolithic: the unified Reader serves the legacy container.
+func TestOpenMonolithic(t *testing.T) {
+	recs := makeTrace(500, 6)
+	var buf bytes.Buffer
+	if err := WriteFileMeta(&buf, recs, CodecDelta, "mono"); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Open(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Segmented() {
+		t.Fatal("monolithic stream reported as segmented")
+	}
+	if rd.Meta() != "mono" {
+		t.Fatalf("meta %q", rd.Meta())
+	}
+	if rd.Remaining() != 500 {
+		t.Fatalf("Remaining = %d", rd.Remaining())
+	}
+	if len(rd.Segments()) != 0 {
+		t.Fatal("monolithic stream reported segments")
+	}
+	got, err := rd.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatal("Records differ from input")
+	}
+}

@@ -15,7 +15,7 @@ func synthBase() SynthConfig {
 func runCache(t *testing.T, recs []trace.Record, size uint32) cache.Stats {
 	t.Helper()
 	cfg := cache.Config{
-		Name: "synth", SizeBytes: size, BlockBytes: 16, Assoc: 2,
+		Label: "synth", SizeBytes: size, BlockBytes: 16, Assoc: 2,
 		Replacement: cache.LRU, WriteAllocate: true, PIDTags: true,
 	}
 	res, err := cache.RunUnified(recs, cfg, cache.RunOptions{})
@@ -34,7 +34,7 @@ func TestSequentialSpatialLocality(t *testing.T) {
 		t.Errorf("sequential miss rate %.3f, want ~0.25", mr)
 	}
 	// Larger blocks cut it proportionally.
-	cfg := cache.Config{Name: "b64", SizeBytes: 4 << 10, BlockBytes: 64, Assoc: 2,
+	cfg := cache.Config{Label: "b64", SizeBytes: 4 << 10, BlockBytes: 64, Assoc: 2,
 		Replacement: cache.LRU, WriteAllocate: true}
 	res, err := cache.RunUnified(recs, cfg, cache.RunOptions{})
 	if err != nil {
