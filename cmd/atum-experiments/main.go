@@ -22,6 +22,7 @@ func main() {
 	md := flag.Bool("md", false, "render tables as markdown")
 	csv := flag.Bool("csv", false, "render tables as CSV")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores, 1 = serial reference path)")
+	decodeW := flag.Int("decode-workers", 0, "segment decode goroutines (0 = all cores, 1 = serial reference path)")
 	flag.Parse()
 
 	registry := experiments.All()
@@ -42,7 +43,7 @@ func main() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		rep, err := e.Run(experiments.Options{Workers: *workers})
+		rep, err := e.Run(experiments.Options{Workers: *workers, DecodeWorkers: *decodeW})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "atum-experiments: %s: %v\n", e.ID, err)
 			os.Exit(1)

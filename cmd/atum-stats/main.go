@@ -2,15 +2,18 @@
 // reference mix, user/system split, context switches, distinct pages —
 // the per-trace columns of the paper's trace table.
 //
-// The trace is decoded once, streaming, into a shared read-only arena
-// (internal/trace.Arena); independent report sections then run
-// concurrently over it and print in a fixed order, so the output is
-// identical for any -workers value.
+// The trace is decoded once into a shared read-only arena
+// (internal/trace.Arena) with segments fanned out over -decode-workers
+// goroutines; independent report sections then run concurrently over it
+// and print in a fixed order, so the output is identical for any worker
+// count. -meta-only answers from the segment index alone, without
+// decoding a single record payload.
 //
 // Usage:
 //
 //	atum-stats mix.trc
 //	atum-stats -pid 2 -dump 20 mix.trc
+//	atum-stats -meta-only long.trc
 package main
 
 import (
@@ -26,13 +29,15 @@ import (
 
 func main() {
 	var (
-		pid     = flag.Int("pid", -1, "restrict to one process id")
-		user    = flag.Bool("user", false, "restrict to user-mode references")
-		dump    = flag.Int("dump", 0, "also print the first N records")
-		wset    = flag.Bool("wset", false, "compute working-set curve")
-		byPID   = flag.Bool("by-pid", false, "per-process breakdown table")
-		check   = flag.Bool("check", false, "lint the trace for structural violations")
-		workers = flag.Int("workers", 0, "section worker goroutines (0 = all cores, 1 = serial reference path)")
+		pid      = flag.Int("pid", -1, "restrict to one process id")
+		user     = flag.Bool("user", false, "restrict to user-mode references")
+		dump     = flag.Int("dump", 0, "also print the first N records")
+		wset     = flag.Bool("wset", false, "compute working-set curve")
+		byPID    = flag.Bool("by-pid", false, "per-process breakdown table")
+		check    = flag.Bool("check", false, "lint the trace for structural violations")
+		workers  = flag.Int("workers", 0, "section worker goroutines (0 = all cores, 1 = serial reference path)")
+		decodeW  = flag.Int("decode-workers", 0, "segment decode goroutines (0 = all cores, 1 = serial reference path)")
+		metaOnly = flag.Bool("meta-only", false, "print capture metadata and the segment index without decoding records")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -40,19 +45,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	rd, err := trace.OpenFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
-	rd, err := trace.Open(f)
-	if err != nil {
-		fatal(err)
-	}
-	arena, err := rd.Arena()
-	if err != nil {
-		fatal(err)
-	}
+	defer rd.Close()
 	if rd.Meta() != "" {
 		fmt.Println("capture:", rd.Meta())
 	}
@@ -64,6 +61,20 @@ func main() {
 		}
 		fmt.Printf("segments: %d (%d records dropped at capture, %d dilation cycles)\n",
 			len(rd.Segments()), dropped, cycles)
+	}
+	if *metaOnly {
+		// The segment index was built from headers alone; no payload has
+		// been read, which is the point of this mode on huge captures.
+		fmt.Printf("records: %d (per stream headers; payloads not decoded)\n", rd.NumRecords())
+		for _, s := range rd.Segments() {
+			fmt.Printf("  segment %d: %d records, %d bytes, %d dropped, %d dilation cycles\n",
+				s.Index, s.Records, s.PayloadBytes, s.Dropped, s.DilationCycles)
+		}
+		return
+	}
+	arena, err := rd.Arena(*decodeW)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *pid >= 0 {

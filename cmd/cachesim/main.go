@@ -40,6 +40,7 @@ func main() {
 		mattson  = flag.Bool("mattson", false, "one-pass stack-distance analysis: print the fully-associative LRU miss curve")
 		l2       = flag.String("l2", "", "two-level mode: unified L2 of this size behind split L1s of -size")
 		workers  = flag.Int("workers", 0, "sweep worker goroutines (0 = all cores, 1 = serial reference path)")
+		decodeW  = flag.Int("decode-workers", 0, "segment decode goroutines (0 = all cores, 1 = serial reference path)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -47,16 +48,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	rd, err := trace.OpenFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
-	rd, err := trace.Open(f)
-	if err != nil {
-		fatal(err)
-	}
-	src, err := rd.Arena()
+	defer rd.Close()
+	src, err := rd.Arena(*decodeW)
 	if err != nil {
 		fatal(err)
 	}

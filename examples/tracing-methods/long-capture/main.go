@@ -7,8 +7,9 @@
 // half-billion-reference traces.
 //
 // The example captures the same mix twice (segmented to disk, then
-// monolithic in memory), replays the stream through trace.Open, and
-// checks that the stitched records are identical — segmenting is an I/O
+// monolithic in memory), replays the file through trace.OpenFile —
+// which indexes the segments and decodes them in parallel — and checks
+// that the stitched records are identical: segmenting is an I/O
 // decision, invisible in the data.
 package main
 
@@ -76,17 +77,15 @@ func main() {
 	fmt.Printf("in-memory:  %d records in %d sample(s) from the %d KB region\n",
 		len(mono), len(cap.Samples), ref.M.Mem.ReservedSize()>>10)
 
-	// --- Replay the stream; trace.Open hides the segmentation. ---
-	in, err := os.Open(path)
+	// --- Replay through the random-access fast path: OpenFile indexes
+	// the segment headers without touching payloads, then decodes the
+	// segments on a worker pool (0 = all cores). ---
+	rd, err := trace.OpenFile(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer in.Close()
-	rd, err := trace.Open(in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	recs, err := rd.Records()
+	defer rd.Close()
+	recs, err := rd.Records(0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -132,7 +132,7 @@ type Cache struct {
 	clock    uint64
 	rng      uint32
 
-	seen map[uint64]bool // block addresses ever touched (cold-miss accounting)
+	seen *u64Set // block addresses ever touched (cold-miss accounting)
 
 	Stats Stats
 }
@@ -147,7 +147,10 @@ func New(cfg Config) (*Cache, error) {
 		cfg:  cfg,
 		sets: sets,
 		rng:  0x9E3779B9,
-		seen: make(map[uint64]bool),
+		// A trace that misses at all touches at least as many distinct
+		// blocks as the cache holds; presize for that so early misses
+		// don't rehash.
+		seen: newU64Set(int(sets * cfg.Assoc)),
 	}
 	for cfg.BlockBytes>>c.blkShift != 1 {
 		c.blkShift++
@@ -191,8 +194,7 @@ func (c *Cache) Access(addr uint32, write bool, pid uint8) bool {
 	if c.cfg.PIDTags {
 		key |= uint64(pid) << 40
 	}
-	if !c.seen[key] {
-		c.seen[key] = true
+	if c.seen.Add(key) {
 		c.Stats.ColdMisses++
 	}
 

@@ -1,0 +1,75 @@
+package cache
+
+// u64Set is an open-addressing set of uint64 keys, used for cold-miss
+// accounting on the simulator's hottest path. A Go map paid a hash call,
+// a bucket walk and (on insert) a write barrier per cache miss; this set
+// is a flat power-of-two slice probed linearly with a Fibonacci-mixed
+// hash, so the common case — key already present — is one multiply and
+// one or two slot loads. Zero is a valid key, tracked out of band so
+// slot 0 can mean "empty".
+type u64Set struct {
+	slots   []uint64
+	mask    uint64
+	n       int  // keys stored in slots (excludes the zero key)
+	hasZero bool // the zero key is present
+}
+
+// newU64Set returns a set presized to hold hint keys before growing.
+func newU64Set(hint int) *u64Set {
+	size := 16
+	for size*3/4 < hint {
+		size *= 2
+	}
+	return &u64Set{slots: make([]uint64, size), mask: uint64(size - 1)}
+}
+
+// Add inserts k and reports whether it was absent.
+func (s *u64Set) Add(k uint64) bool {
+	if k == 0 {
+		if s.hasZero {
+			return false
+		}
+		s.hasZero = true
+		return true
+	}
+	i := (k * 0x9E3779B97F4A7C15) >> 32 & s.mask
+	for {
+		switch s.slots[i] {
+		case k:
+			return false
+		case 0:
+			s.slots[i] = k
+			s.n++
+			if s.n*4 > len(s.slots)*3 {
+				s.grow()
+			}
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// Len returns the number of distinct keys added.
+func (s *u64Set) Len() int {
+	n := s.n
+	if s.hasZero {
+		n++
+	}
+	return n
+}
+
+func (s *u64Set) grow() {
+	old := s.slots
+	s.slots = make([]uint64, 2*len(old))
+	s.mask = uint64(len(s.slots) - 1)
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		i := (k * 0x9E3779B97F4A7C15) >> 32 & s.mask
+		for s.slots[i] != 0 {
+			i = (i + 1) & s.mask
+		}
+		s.slots[i] = k
+	}
+}

@@ -59,6 +59,12 @@ type Options struct {
 	// stay serial (the simulated machine is single-threaded state);
 	// only trace *consumption* fans out.
 	Workers int
+
+	// DecodeWorkers bounds the segment-decode fan-out when an experiment
+	// reads a segmented capture back (trace.OpenReaderAt); <= 0 means
+	// all available cores, 1 is the serial reference path. Like Workers,
+	// every value produces byte-identical reports.
+	DecodeWorkers int
 }
 
 // Runner produces a report.
@@ -1133,7 +1139,7 @@ func A2Codec(Options) (*Report, error) {
 // dump pauses the traced system entirely), the stitched stream must be
 // record-identical to a monolithic capture whatever the segment size —
 // the segment buffer is an I/O knob, never a result knob.
-func A6SegmentedCapture(Options) (*Report, error) {
+func A6SegmentedCapture(opt Options) (*Report, error) {
 	mixNames := []string{"sieve", "hash"}
 	ref, err := captureMix(sysConfig(), mixNames...)
 	if err != nil {
@@ -1148,11 +1154,11 @@ func A6SegmentedCapture(Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rd, err := trace.Open(bytes.NewReader(stream.Bytes()))
+		rd, err := trace.OpenReaderAt(bytes.NewReader(stream.Bytes()), int64(stream.Len()))
 		if err != nil {
 			return nil, err
 		}
-		recs, err := rd.Records()
+		recs, err := rd.Records(opt.DecodeWorkers)
 		if err != nil {
 			return nil, err
 		}

@@ -124,11 +124,14 @@ func TestSpillStitchingDeterminism(t *testing.T) {
 					t.Fatalf("wrote %d segments, want %d", svc.Segments(), n)
 				}
 
-				rd, err := trace.Open(bytes.NewReader(sink.Bytes()))
+				// Read the spill output back through the random-access
+				// fast path: the kernel's own stream exercises the
+				// parallel segment decode end to end.
+				rd, err := trace.OpenReaderAt(bytes.NewReader(sink.Bytes()), int64(sink.Len()))
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, err := rd.Records()
+				got, err := rd.Records(4)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -204,11 +207,11 @@ func TestSpillSinkStallDegradesToCountedDrops(t *testing.T) {
 	}
 	// The bytes that did reach the sink form a valid stream: every
 	// complete segment before the stall decodes.
-	rd, err := trace.Open(bytes.NewReader(sink.data.Bytes()))
+	rd, err := trace.OpenReaderAt(bytes.NewReader(sink.data.Bytes()), int64(sink.data.Len()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := rd.Records()
+	got, err := rd.Records(2)
 	if err != nil {
 		t.Fatalf("pre-stall stream does not decode cleanly: %v", err)
 	}

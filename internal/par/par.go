@@ -1,0 +1,76 @@
+// Package par is the ordered worker pool underneath both ends of the
+// replay pipeline: the sweep engine fans simulator configurations out
+// over it (internal/sweep) and the trace reader fans segment decodes
+// out over it (internal/trace). It is a leaf package — no imports
+// beyond the runtime — precisely so both layers can share it without a
+// dependency cycle.
+//
+// The contract is determinism: every job runs to completion, results
+// come back in index order, and the error reported is the lowest-index
+// one, so any workers value produces output identical to workers == 1.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a workers argument to an actual pool size: values <= 0
+// mean "all available cores" (GOMAXPROCS).
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Map runs fn(0..n-1) over a pool of at most workers goroutines and
+// returns the results in index order. Every job runs to completion (no
+// mid-run cancellation), and the error returned is the lowest-index
+// one — so both results and errors are independent of scheduling, and
+// any workers value produces output identical to workers == 1 (which
+// runs inline, no goroutines: the serial reference path).
+func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
+	if n == 0 {
+		return []T{}, nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := range out {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d", got)
+	}
+}
+
+func TestMapOrderedAcrossWorkerCounts(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 8, 200} {
+		out, err := Map(workers, n, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	// Jobs 3, 7 and 40 fail; whatever the scheduling, the reported
+	// error must be job 3's, and every job must still have run.
+	var ran atomic.Int64
+	_, err := Map(8, 50, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 3 || i == 7 || i == 40 {
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "job 3 failed" {
+		t.Fatalf("error = %v, want job 3's", err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("%d jobs ran, want all 50", ran.Load())
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map over zero jobs: %v, %v", out, err)
+	}
+}

@@ -50,7 +50,15 @@ func (f *fenwick) sum(i int) uint64 {
 // Analyze computes the profile of a block-address stream.
 func Analyze(blocks []uint64) *Profile {
 	p := &Profile{}
-	last := make(map[uint64]int, 1024)
+	// Presized proportionally to the stream: real streams reuse blocks
+	// heavily, so a quarter of the references is a generous bound on the
+	// distinct-block count and spares the map most of its incremental
+	// rehashes (which dominated Analyze on long traces).
+	size := len(blocks) / 4
+	if size < 1024 {
+		size = 1024
+	}
+	last := make(map[uint64]int, size)
 	fw := newFenwick(len(blocks))
 	marked := 0 // live marks in the tree == current distinct-block count
 

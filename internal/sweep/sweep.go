@@ -12,71 +12,26 @@
 package sweep
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"atum/internal/cache"
+	"atum/internal/par"
 	"atum/internal/tlbsim"
 	"atum/internal/trace"
 )
 
 // Resolve maps a workers argument to an actual pool size: values <= 0
 // mean "all available cores" (GOMAXPROCS).
-func Resolve(workers int) int {
-	if workers <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return workers
-}
+func Resolve(workers int) int { return par.Resolve(workers) }
 
 // Map runs fn(0..n-1) over a pool of at most workers goroutines and
 // returns the results in index order. Every job runs to completion (no
 // mid-sweep cancellation), and the error returned is the lowest-index
 // one — so both results and errors are independent of scheduling, and
 // any workers value produces output identical to workers == 1.
+//
+// The pool itself lives in internal/par, where the trace decoder's
+// segment fan-out shares it; this wrapper keeps the sweep API stable.
 func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
-	if n == 0 {
-		return []T{}, nil
-	}
-	workers = Resolve(workers)
-	if workers > n {
-		workers = n
-	}
-	out := make([]T, n)
-	if workers <= 1 {
-		for i := range out {
-			v, err := fn(i)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = v
-		}
-		return out, nil
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				out[i], errs[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return par.Map(workers, n, fn)
 }
 
 // Config is the naming contract every simulator configuration shares:

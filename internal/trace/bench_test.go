@@ -2,8 +2,13 @@ package trace
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
 	"io"
+	"os"
+	"runtime"
 	"testing"
+	"time"
 )
 
 func BenchmarkEncodeRaw(b *testing.B) {
@@ -28,20 +33,204 @@ func BenchmarkEncodeDelta(b *testing.B) {
 	b.SetBytes(int64(len(recs) * RecordBytes))
 }
 
-func BenchmarkDecodeDelta(b *testing.B) {
-	recs := makeTrace(100_000, 5)
+// benchSegmented encodes n records as a segmented stream of nseg
+// segments (the shape the spill service writes).
+func benchSegmented(b *testing.B, n, nseg int, codec uint16) []byte {
+	b.Helper()
+	recs := makeTrace(n, 5)
 	var buf bytes.Buffer
-	if err := WriteFile(&buf, recs, CodecDelta); err != nil {
+	sw, err := NewSegmentWriter(&buf, codec, "bench")
+	if err != nil {
 		b.Fatal(err)
 	}
-	data := buf.Bytes()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := ReadFile(bytes.NewReader(data)); err != nil {
+	per := (n + nseg - 1) / nseg
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if err := sw.WriteSegment(recs[lo:hi], 0, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.SetBytes(int64(len(recs) * RecordBytes))
+	if err := sw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// benchDecodeMonolithic times the batch streaming path on a monolithic
+// container against the preserved per-record reference decoder.
+func benchDecodeMonolithic(b *testing.B, codec uint16) {
+	recs := makeTrace(100_000, 5)
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, recs, codec); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Run("reference-pr3", func(b *testing.B) {
+		b.SetBytes(int64(len(recs) * RecordBytes))
+		for i := 0; i < b.N; i++ {
+			if _, err := referenceReadAll(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.SetBytes(int64(len(recs) * RecordBytes))
+		for i := 0; i < b.N; i++ {
+			rd, err := Open(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rd.Records(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkDecodeRaw(b *testing.B)   { benchDecodeMonolithic(b, CodecRaw) }
+func BenchmarkDecodeDelta(b *testing.B) { benchDecodeMonolithic(b, CodecDelta) }
+
+// decodeJSON, when set, makes BenchmarkDecodeSegmented record its
+// reference / serial-batch / parallel lane numbers (BENCH_decode.json).
+// From the repo root:
+//
+//	go test -C internal/trace -bench=DecodeSegmented -benchtime=10x -run '^$' -decode-json=../../BENCH_decode.json
+var decodeJSON = flag.String("decode-json", "", "write decode benchmark results to this JSON file")
+
+// decodeLane runs one full-stream decode and reports wall time plus
+// heap allocations.
+func decodeLane(b *testing.B, fn func() int) (sec float64, allocs uint64, nrec int) {
+	b.Helper()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	nrec = fn()
+	sec = time.Since(t0).Seconds()
+	runtime.ReadMemStats(&m1)
+	return sec, m1.Mallocs - m0.Mallocs, nrec
+}
+
+// BenchmarkDecodeSegmented measures the segmented delta decode three
+// ways on the same stream — the preserved PR 3 per-record path, the
+// serial batch path (workers == 1) and the parallel batch path (4
+// workers) — verifying record-identical output while timing, and
+// optionally records the lanes to BENCH_decode.json.
+func BenchmarkDecodeSegmented(b *testing.B) {
+	const nrec = 400_000
+	const nseg = 32
+	data := benchSegmented(b, nrec, nseg, CodecDelta)
+	b.SetBytes(int64(nrec * RecordBytes))
+	b.ResetTimer()
+
+	var refSec, serialSec, parSec float64
+	var refAllocs, serialAllocs, parAllocs uint64
+	// batchLane times one random-access decode to the Arena — the
+	// chunked form the consumers (atum-stats, cachesim, the sweep
+	// engine) iterate — so the lane measures decode work, not a
+	// flattening copy the real pipeline never performs. The equality
+	// check against the reference runs outside the clock, and the lane's
+	// results are dropped before the next lane so no lane pays GC for a
+	// predecessor's live set.
+	batchLane := func(workers int, ref []Record) (float64, uint64) {
+		var a *Arena
+		sec, allocs, n := decodeLane(b, func() int {
+			f, err := OpenReaderAt(bytes.NewReader(data), int64(len(data)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err = f.Arena(workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return a.NumRecords()
+		})
+		if n != nrec {
+			b.Fatalf("workers=%d decoded %d records, want %d", workers, n, nrec)
+		}
+		got := a.Flatten()
+		for j := range ref {
+			if got[j] != ref[j] {
+				b.Fatalf("workers=%d record %d: %v, want %v", workers, j, got[j], ref[j])
+			}
+		}
+		return sec, allocs
+	}
+	for i := 0; i < b.N; i++ {
+		var ref []Record
+		sec, allocs, n := decodeLane(b, func() int {
+			var err error
+			ref, err = referenceReadAll(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return len(ref)
+		})
+		if n != nrec {
+			b.Fatalf("reference decoded %d records, want %d", n, nrec)
+		}
+		refSec += sec
+		refAllocs = allocs
+		sec, serialAllocs = batchLane(1, ref)
+		serialSec += sec
+		sec, parAllocs = batchLane(4, ref)
+		parSec += sec
+	}
+	total := float64(nrec) * float64(b.N)
+	b.ReportMetric(total/refSec, "reference-recs/s")
+	b.ReportMetric(total/serialSec, "serial-recs/s")
+	b.ReportMetric(total/parSec, "parallel4-recs/s")
+	b.ReportMetric(refSec/parSec, "speedup-x")
+
+	if *decodeJSON == "" {
+		return
+	}
+	type lane struct {
+		Workers         int     `json:"workers"`
+		Seconds         float64 `json:"seconds"`
+		RecordsPerSec   float64 `json:"records_per_sec"`
+		AllocsPerRecord float64 `json:"allocs_per_record"`
+	}
+	out := struct {
+		GeneratedBy     string  `json:"generated_by"`
+		Cores           int     `json:"cores"`
+		GOMAXPROCS      int     `json:"gomaxprocs"`
+		TraceRecords    int     `json:"trace_records"`
+		Segments        int     `json:"segments"`
+		Codec           string  `json:"codec"`
+		StreamBytes     int     `json:"stream_bytes"`
+		ReferencePR3    lane    `json:"reference_pr3"`
+		SerialBatch     lane    `json:"serial_batch"`
+		Parallel        lane    `json:"parallel"`
+		SpeedupSerialX  float64 `json:"speedup_serial_vs_reference_x"`
+		SpeedupParallel float64 `json:"speedup_parallel_vs_reference_x"`
+	}{
+		GeneratedBy:  "go test -C internal/trace -bench=DecodeSegmented -benchtime=10x -run '^$' -decode-json=" + *decodeJSON,
+		Cores:        runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		TraceRecords: nrec,
+		Segments:     nseg,
+		Codec:        "delta",
+		StreamBytes:  len(data),
+		ReferencePR3: lane{Workers: 1, Seconds: refSec / float64(b.N),
+			RecordsPerSec: total / refSec, AllocsPerRecord: float64(refAllocs) / nrec},
+		SerialBatch: lane{Workers: 1, Seconds: serialSec / float64(b.N),
+			RecordsPerSec: total / serialSec, AllocsPerRecord: float64(serialAllocs) / nrec},
+		Parallel: lane{Workers: 4, Seconds: parSec / float64(b.N),
+			RecordsPerSec: total / parSec, AllocsPerRecord: float64(parAllocs) / nrec},
+		SpeedupSerialX:  refSec / serialSec,
+		SpeedupParallel: refSec / parSec,
+	}
+	data2, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(*decodeJSON, append(data2, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }
 
 func BenchmarkSummarize(b *testing.B) {

@@ -197,9 +197,20 @@ func ReadFileMeta(r io.Reader) ([]Record, string, error) {
 	return recs, rd.Meta(), nil
 }
 
+// decodeBufBytes sizes the streaming decoder's read buffer. Batches
+// decode from Peek windows of up to this size, so it is also the unit
+// of work between refills; 64KB keeps the window well above the largest
+// encoded record while staying cache-resident.
+const decodeBufBytes = 64 << 10
+
 // Decoder streams records out of a trace stream without materialising
 // the whole payload: callers pull batches with Next into buffers they
 // size themselves. Reader is built on it.
+//
+// Decoding is batched: Next peeks a buffered window, hands it to the
+// batch codec layer (batch.go) which scans it with index arithmetic,
+// then discards the consumed bytes — no per-byte reads, no per-record
+// error wrapping on the happy path.
 type Decoder struct {
 	br    *bufio.Reader
 	codec uint16
@@ -207,13 +218,15 @@ type Decoder struct {
 	count uint64 // total records promised by headers read so far
 	read  uint64 // records decoded so far
 
-	// Segment-container state.
+	// Segment-container state. segPay counts the current segment's
+	// undecoded payload bytes so a batch window never crosses the
+	// segment framing.
 	segmented bool
 	segs      []SegmentInfo
+	segPay    uint64
 
 	// Delta-codec inter-record state (reset at segment boundaries).
-	lastAddr [NumKinds]uint32
-	lastPID  uint8
+	st deltaState
 }
 
 // NewDecoder reads and validates the stream header, leaving the decoder
@@ -223,7 +236,7 @@ type Decoder struct {
 func NewDecoder(r io.Reader) (*Decoder, error) { return newDecoder(r) }
 
 func newDecoder(r io.Reader) (*Decoder, error) {
-	br := bufio.NewReader(r)
+	br := bufio.NewReaderSize(r, decodeBufBytes)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
@@ -321,17 +334,22 @@ func (d *Decoder) Next(dst []Record) (int, error) {
 			if !d.segmented {
 				return n, io.EOF
 			}
+			// A segment's payload may legally outlast its record count
+			// (framing is length-prefixed); skip to the boundary before
+			// reading the next header.
+			if err := d.discardSegmentTail(); err != nil {
+				return n, err
+			}
 			if err := d.nextSegment(); err != nil {
 				return n, err
 			}
 			continue // the new segment may itself be empty
 		}
-		rec, err := d.decodeOne()
+		k, err := d.decodeBatch(dst[n:])
+		n += k
 		if err != nil {
 			return n, err
 		}
-		dst[n] = rec
-		n++
 	}
 	if !d.segmented && d.Remaining() == 0 {
 		return n, io.EOF
@@ -348,25 +366,111 @@ func promisedEOF(err error) error {
 	return err
 }
 
-func (d *Decoder) decodeOne() (Record, error) {
-	i := d.read
-	switch d.codec {
-	case CodecRaw:
-		var b [RecordBytes]byte
-		if _, err := io.ReadFull(d.br, b[:]); err != nil {
-			return Record{}, fmt.Errorf("trace: record %d: %w", i, promisedEOF(err))
-		}
-		d.read++
-		return DecodeRecord(b[:]), nil
-	case CodecDelta:
-		rec, err := d.decodeDelta(i)
-		if err != nil {
-			return Record{}, err
-		}
-		d.read++
-		return rec, nil
+// decodeBatch decodes one window's worth of records into dst (at least
+// one, unless dst is empty or the stream fails). It refills the buffer
+// only when the window is too short to finish a record, so the common
+// path is pure in-memory scanning.
+func (d *Decoder) decodeBatch(dst []Record) (int, error) {
+	if rem := d.Remaining(); uint64(len(dst)) > rem {
+		dst = dst[:rem]
 	}
-	return Record{}, fmt.Errorf("trace: unknown codec %d", d.codec)
+	for {
+		window, readErr := d.peekWindow()
+		// hard: the window cannot grow — it already spans the rest of
+		// the segment payload, or the underlying stream is done. A
+		// record truncated at a hard edge is a real error; at a soft
+		// edge it just waits for the next refill.
+		hard := readErr != nil
+		if d.segmented && uint64(len(window)) >= d.segPay {
+			window = window[:d.segPay]
+			hard = true
+		}
+
+		if d.codec == CodecRaw {
+			nrec, consumed := decodeRawBatch(dst, window)
+			if nrec == 0 {
+				if hard {
+					return 0, d.windowError(&batchError{truncated: true}, readErr)
+				}
+				continue
+			}
+			d.consume(consumed)
+			d.read += uint64(nrec)
+			return nrec, nil
+		}
+
+		nrec, consumed, derr := decodeDeltaBatch(dst, window, &d.st)
+		d.consume(consumed)
+		d.read += uint64(nrec)
+		if derr == nil {
+			return nrec, nil
+		}
+		if derr.truncated && !hard {
+			if nrec > 0 {
+				return nrec, nil // deliver; the next call refills
+			}
+			continue
+		}
+		if derr.truncated {
+			return nrec, d.windowError(derr, readErr)
+		}
+		return nrec, recordError(derr, d.read)
+	}
+}
+
+// windowError reports a record cut off at a hard window edge. A real
+// read error (not EOF) takes precedence over the truncation diagnosis.
+func (d *Decoder) windowError(derr *batchError, readErr error) error {
+	if readErr != nil && readErr != io.EOF {
+		return fmt.Errorf("trace: record %d%s: %w", d.read, derr.field, readErr)
+	}
+	return recordError(derr, d.read)
+}
+
+// peekWindow returns the buffered bytes, refilling from the underlying
+// reader only when fewer than one maximal record's worth are on hand.
+// A non-nil error (io.EOF included) means the window cannot grow.
+func (d *Decoder) peekWindow() ([]byte, error) {
+	if d.br.Buffered() >= maxEncRecordBytes {
+		return d.br.Peek(d.br.Buffered())
+	}
+	w, err := d.br.Peek(decodeBufBytes)
+	if len(w) >= maxEncRecordBytes {
+		// A full record is available; whether the stream ends after it
+		// is the next iteration's question.
+		return w, nil
+	}
+	return w, err
+}
+
+// consume discards decoded payload bytes from the buffer (all of them
+// just peeked, so Discard cannot fail) and charges them to the current
+// segment.
+func (d *Decoder) consume(n int) {
+	if n == 0 {
+		return
+	}
+	d.br.Discard(n)
+	if d.segmented {
+		d.segPay -= uint64(n)
+	}
+}
+
+// discardSegmentTail skips payload bytes left after the current
+// segment's records were all decoded.
+func (d *Decoder) discardSegmentTail() error {
+	for d.segPay > 0 {
+		n := d.segPay
+		if n > decodeBufBytes {
+			n = decodeBufBytes
+		}
+		k, err := d.br.Discard(int(n))
+		d.segPay -= uint64(k)
+		if err != nil {
+			return fmt.Errorf("trace: segment %d payload: %w", len(d.segs)-1, promisedEOF(err))
+		}
+	}
+	return nil
 }
 
 // byteWriter is the sink the codec encoders write to; both bufio.Writer
@@ -436,46 +540,4 @@ func writeDelta(w byteWriter, recs []Record) error {
 		}
 	}
 	return nil
-}
-
-func (d *Decoder) decodeDelta(i uint64) (Record, error) {
-	h, err := d.br.ReadByte()
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: record %d: %w", i, promisedEOF(err))
-	}
-	k := Kind(h & 7)
-	if k >= NumKinds {
-		return Record{}, fmt.Errorf("trace: record %d: invalid kind %d", i, h&7)
-	}
-	rec := Record{
-		Kind: k,
-		User: h&flagUser != 0,
-		Phys: h&flagPhys != 0,
-	}
-	// Markers carry no reference width (see DecodeRecord).
-	if k.IsMemRef() {
-		rec.Width = 1 << (h >> 3 & 3)
-	}
-	if h&deltaPIDChanged != 0 {
-		p, err := d.br.ReadByte()
-		if err != nil {
-			return Record{}, fmt.Errorf("trace: record %d pid: %w", i, promisedEOF(err))
-		}
-		d.lastPID = p
-	}
-	rec.PID = d.lastPID
-	delta, err := binary.ReadVarint(d.br)
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: record %d addr: %w", i, promisedEOF(err))
-	}
-	rec.Addr = uint32(int64(d.lastAddr[rec.Kind]) + delta)
-	d.lastAddr[rec.Kind] = rec.Addr
-	if rec.Kind == KindCtxSwitch || rec.Kind == KindException {
-		x, err := binary.ReadUvarint(d.br)
-		if err != nil {
-			return Record{}, fmt.Errorf("trace: record %d extra: %w", i, promisedEOF(err))
-		}
-		rec.Extra = uint16(x)
-	}
-	return rec, nil
 }

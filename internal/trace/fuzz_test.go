@@ -32,10 +32,45 @@ func FuzzReadFile(f *testing.F) {
 	var rawMono bytes.Buffer
 	_ = WriteFile(&rawMono, makeTrace(10, 5), CodecRaw)
 	f.Add(rawMono.Bytes()[:len(rawMono.Bytes())-3]) // mid-record truncation
+	// Batch/parallel decode path seeds: a segmented raw stream, a delta
+	// stream cut inside a record's address varint, and a segment whose
+	// payLen field overruns the stream (records intact).
+	var segRaw bytes.Buffer
+	if sw, err := NewSegmentWriter(&segRaw, CodecRaw, ""); err == nil {
+		_ = sw.WriteSegment(makeTrace(20, 6), 0, 10)
+		_ = sw.WriteSegment(makeTrace(20, 7), 0, 20)
+		_ = sw.Close()
+	}
+	f.Add(segRaw.Bytes())
+	f.Add(seg.Bytes()[:len(seg.Bytes())-1]) // cut mid-varint in the last record
+	overrun := bytes.Clone(seg.Bytes())
+	// payLen sits after magic(8) hdr(8) meta(4) marker(4) index(4)
+	// count(8) dropped(8) cycles(8).
+	overrun[8+8+4+4+4+8+8+8] ^= 0x40
+	f.Add(overrun)
 	f.Fuzz(func(t *testing.T, b []byte) {
 		recs, err := ReadFile(bytes.NewReader(b))
+		// The random-access pipeline must agree with the streaming one
+		// on every input: both succeed with identical records, or both
+		// fail.
+		fl, ferr := OpenReaderAt(bytes.NewReader(b), int64(len(b)))
+		var frecs []Record
+		if ferr == nil {
+			frecs, ferr = fl.Records(2)
+		}
+		if (err == nil) != (ferr == nil) {
+			t.Fatalf("pipelines disagree: streaming err %v, random-access err %v", err, ferr)
+		}
 		if err != nil {
 			return
+		}
+		if len(frecs) != len(recs) {
+			t.Fatalf("random-access decoded %d records, streaming %d", len(frecs), len(recs))
+		}
+		for i := range recs {
+			if frecs[i] != recs[i] {
+				t.Fatalf("record %d: random-access %v, streaming %v", i, frecs[i], recs[i])
+			}
 		}
 		// A successful parse must round-trip through the raw codec.
 		var out bytes.Buffer

@@ -1,0 +1,334 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"atum/internal/par"
+)
+
+// Random-access read path. Open (file.go) streams: it reads segment
+// headers lazily and decodes records in order, which is the right shape
+// for pipes and network streams but serialises the whole decode. When
+// the container sits in a file (or any io.ReaderAt), OpenFile /
+// OpenReaderAt instead walk the length-prefixed "ASEG" framing once —
+// headers only, no payload reads — to build a segment index, and then
+// decode segments concurrently: the delta codec resets at every segment
+// boundary, so each segment is an independent decode job. The result is
+// byte-identical to the streaming path (test-enforced, including
+// truncation errors), because both feed the same batch codec layer.
+
+// File is a random-access trace handle: the stream header plus a
+// segment index built without touching record payloads. Metadata
+// queries (Meta, Segments, NumRecords) are free; Arena decodes the
+// payloads, fanning segments out over a worker pool.
+type File struct {
+	ra     io.ReaderAt
+	size   int64
+	closer io.Closer
+
+	codec     uint16
+	meta      string
+	segmented bool
+	count     uint64 // records promised by every header in the index
+
+	segs    []SegmentInfo // segmented: per-segment metadata
+	segOff  []int64       // file offset of each segment's payload
+	segBase []uint64      // record index of each segment's first record
+}
+
+// OpenFile opens path and builds its segment index; Close releases the
+// underlying file.
+func OpenFile(path string) (*File, error) {
+	osf, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := osf.Stat()
+	if err != nil {
+		osf.Close()
+		return nil, err
+	}
+	f, err := OpenReaderAt(osf, st.Size())
+	if err != nil {
+		osf.Close()
+		return nil, err
+	}
+	f.closer = osf
+	return f, nil
+}
+
+// OpenReaderAt validates the stream header of either container and
+// builds the segment index from ra, which must serve size bytes.
+// bytes.Reader and os.File both satisfy io.ReaderAt, so in-memory
+// captures get the same fast path as on-disk ones.
+func OpenReaderAt(ra io.ReaderAt, size int64) (*File, error) {
+	f := &File{ra: ra, size: size}
+	var m [8]byte
+	if err := f.readAt(m[:], 0, "trace: reading magic"); err != nil {
+		return nil, err
+	}
+	switch m {
+	case magic:
+		return f, f.openMonolithic()
+	case segMagic:
+		return f, f.openSegmented()
+	}
+	return nil, fmt.Errorf("trace: bad magic %q", m)
+}
+
+// readAt fills buf from offset off, mapping short reads to the same
+// errors the streaming header reads produce.
+func (f *File) readAt(buf []byte, off int64, what string) error {
+	n, err := f.ra.ReadAt(buf, off)
+	if n == len(buf) {
+		return nil
+	}
+	if err == nil || err == io.EOF {
+		if n == 0 && off >= f.size {
+			err = io.EOF
+		} else {
+			err = io.ErrUnexpectedEOF
+		}
+	}
+	return fmt.Errorf("%s: %w", what, err)
+}
+
+func (f *File) openMonolithic() error {
+	var hdr [16]byte
+	if err := f.readAt(hdr[:], 8, "trace: reading header"); err != nil {
+		return err
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != version {
+		return fmt.Errorf("trace: unsupported version %d", v)
+	}
+	f.codec = binary.LittleEndian.Uint16(hdr[2:])
+	f.count = binary.LittleEndian.Uint64(hdr[4:])
+	if f.codec != CodecRaw && f.codec != CodecDelta {
+		return fmt.Errorf("trace: unknown codec %d", f.codec)
+	}
+	metaLen := binary.LittleEndian.Uint32(hdr[12:])
+	if err := f.readMetaAt(metaLen, 8+16); err != nil {
+		return err
+	}
+	if f.count > maxRecordCount {
+		return fmt.Errorf("trace: implausible record count %d", f.count)
+	}
+	return nil
+}
+
+func (f *File) openSegmented() error {
+	var hdr [8]byte
+	if err := f.readAt(hdr[:], 8, "trace: reading segment-stream header"); err != nil {
+		return err
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != segVersion {
+		return fmt.Errorf("trace: unsupported segment-stream version %d", v)
+	}
+	f.codec = binary.LittleEndian.Uint16(hdr[2:])
+	f.segmented = true
+	if f.codec != CodecRaw && f.codec != CodecDelta {
+		return fmt.Errorf("trace: unknown codec %d", f.codec)
+	}
+	metaLen := binary.LittleEndian.Uint32(hdr[4:])
+	if err := f.readMetaAt(metaLen, 8+8); err != nil {
+		return err
+	}
+	return f.walkSegments(8 + 8 + int64(metaLen))
+}
+
+func (f *File) readMetaAt(metaLen uint32, off int64) error {
+	if metaLen > maxMetaLen {
+		return fmt.Errorf("trace: implausible metadata length %d", metaLen)
+	}
+	buf := make([]byte, metaLen)
+	if err := f.readAt(buf, off, "trace: reading metadata"); err != nil {
+		return err
+	}
+	f.meta = string(buf)
+	return nil
+}
+
+// walkSegments builds the segment index by hopping header to header:
+// each hop reads 40 bytes and skips PayloadBytes, so indexing cost is
+// per segment, not per record — cheap enough that metadata-only tools
+// (atum-stats -meta-only) never touch a payload. A final segment whose
+// payload overruns the file stays in the index; the truncation
+// surfaces, with its record position, when that segment is decoded.
+func (f *File) walkSegments(off int64) error {
+	var hdr [4 + segHeaderBytes]byte
+	for off < f.size {
+		n, err := f.ra.ReadAt(hdr[:], off)
+		if n < len(hdr) {
+			if err == nil || err == io.EOF {
+				return fmt.Errorf("trace: segment %d header: %w", len(f.segs), io.ErrUnexpectedEOF)
+			}
+			return fmt.Errorf("trace: segment %d header: %w", len(f.segs), err)
+		}
+		if [4]byte(hdr[:4]) != segMarker {
+			return fmt.Errorf("trace: segment %d: bad marker %q", len(f.segs), hdr[:4])
+		}
+		info, err := parseSegmentHeader(hdr[4:], len(f.segs), f.codec)
+		if err != nil {
+			return err
+		}
+		f.segBase = append(f.segBase, f.count)
+		f.segOff = append(f.segOff, off+int64(len(hdr)))
+		f.segs = append(f.segs, info)
+		f.count += info.Records
+		off += int64(len(hdr)) + int64(info.PayloadBytes)
+	}
+	return nil
+}
+
+// Meta returns the stream's provenance string.
+func (f *File) Meta() string { return f.meta }
+
+// Segmented reports whether the underlying stream is a segment
+// container rather than a monolithic file.
+func (f *File) Segmented() bool { return f.segmented }
+
+// Segments returns the full per-segment metadata index (nil for
+// monolithic streams). Unlike the streaming Reader, the index is
+// complete before any record is decoded.
+func (f *File) Segments() []SegmentInfo { return f.segs }
+
+// NumRecords returns the record count promised by the stream's headers.
+// The count is untrusted until a decode succeeds: a truncated stream
+// errors from Arena before delivering it.
+func (f *File) NumRecords() uint64 { return f.count }
+
+// Close releases the underlying file when the handle came from
+// OpenFile; it is a no-op for OpenReaderAt handles.
+func (f *File) Close() error {
+	if f.closer == nil {
+		return nil
+	}
+	return f.closer.Close()
+}
+
+// payBufPool recycles segment payload buffers across decode jobs (and
+// across Arena calls): a worker checks a buffer out, reads one
+// segment's payload into it, decodes, and returns it.
+var payBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// Arena decodes the whole stream into a chunked read-only arena.
+// Segmented streams decode one segment per worker-pool job (workers <=
+// 0 means all cores; 1 is the serial reference path) with results
+// stitched in segment order, so every workers value yields identical
+// records and — on a truncated or corrupt stream — the identical
+// lowest-index error the streaming path reports.
+func (f *File) Arena(workers int) (*Arena, error) {
+	if !f.segmented {
+		// A monolithic payload has no reset points to fan out over;
+		// delegate to the streaming batch decoder.
+		rd, err := Open(io.NewSectionReader(f.ra, 0, f.size))
+		if err != nil {
+			return nil, err
+		}
+		return rd.Arena()
+	}
+	chunks, err := par.Map(workers, len(f.segs), f.decodeSegment)
+	if err != nil {
+		return nil, err
+	}
+	a := &Arena{}
+	for _, c := range chunks {
+		if len(c) > 0 {
+			a.chunks = append(a.chunks, c)
+			a.n += len(c)
+		}
+	}
+	return a, nil
+}
+
+// Records decodes the whole stream into one contiguous slice; Arena
+// does the work, Flatten stitches.
+func (f *File) Records(workers int) ([]Record, error) {
+	a, err := f.Arena(workers)
+	if err != nil {
+		return nil, err
+	}
+	return a.Flatten(), nil
+}
+
+// minEncRecordBytes is the smallest possible encoded record (delta:
+// header byte + 1-byte varint); it bounds how many records a payload of
+// known length can hold, so a forged count cannot force a giant
+// allocation.
+const minEncRecordBytes = 2
+
+// decodeSegment decodes segment i into a fresh arena chunk, reporting
+// errors exactly as the streaming decoder would: truncation wraps
+// io.ErrUnexpectedEOF and names the absolute record index.
+func (f *File) decodeSegment(i int) ([]Record, error) {
+	info := f.segs[i]
+	// avail is what the file actually holds of the promised payload;
+	// only the final segment can come up short (walkSegments stops
+	// there).
+	avail := f.size - f.segOff[i]
+	if avail < 0 {
+		avail = 0
+	}
+	want := int64(info.PayloadBytes)
+	short := want > avail
+	if short {
+		want = avail
+	}
+	if info.Records == 0 {
+		if short {
+			return nil, fmt.Errorf("trace: segment %d payload: %w", info.Index, io.ErrUnexpectedEOF)
+		}
+		return nil, nil
+	}
+
+	pb := payBufPool.Get().(*[]byte)
+	defer payBufPool.Put(pb)
+	if int64(cap(*pb)) < want {
+		*pb = make([]byte, want)
+	}
+	payload := (*pb)[:want]
+	if err := f.readAt(payload, f.segOff[i], fmt.Sprintf("trace: segment %d payload", info.Index)); err != nil {
+		return nil, err
+	}
+
+	// The header's record count sizes the chunk, clamped by what the
+	// payload could possibly encode (counts are untrusted input).
+	alloc := info.Records
+	if max := uint64(want)/minEncRecordBytes + 1; alloc > max {
+		alloc = max
+	}
+	dst := make([]Record, alloc)
+	base := f.segBase[i]
+
+	var nrec int
+	var derr *batchError
+	if f.codec == CodecRaw {
+		nrec, _ = decodeRawBatch(dst, payload)
+	} else {
+		var st deltaState
+		nrec, _, derr = decodeDeltaBatch(dst, payload, &st)
+	}
+	if derr != nil && !derr.truncated {
+		return nil, recordError(derr, base+uint64(nrec))
+	}
+	if uint64(nrec) < info.Records {
+		// The payload ran out before the count was met — the same
+		// record-indexed truncation the streaming window reports.
+		field := ""
+		if derr != nil {
+			field = derr.field
+		}
+		return nil, recordError(&batchError{field: field, truncated: true}, base+uint64(nrec))
+	}
+	if short {
+		// All records decoded but the framing promised more payload
+		// than the file holds; the streaming path fails discarding the
+		// tail, and so do we.
+		return nil, fmt.Errorf("trace: segment %d payload: %w", info.Index, io.ErrUnexpectedEOF)
+	}
+	return dst[:nrec:nrec], nil
+}

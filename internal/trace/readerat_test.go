@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// decodeStreaming runs the full streaming pipeline (Open + Records) and
+// returns its outcome; the random-access pipeline must match it bit for
+// bit, error strings included.
+func decodeStreaming(b []byte) ([]Record, error) {
+	rd, err := Open(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	return rd.Records()
+}
+
+// decodeRandomAccess runs the full random-access pipeline (OpenReaderAt
+// + parallel Arena + Flatten).
+func decodeRandomAccess(b []byte, workers int) ([]Record, error) {
+	f, err := OpenReaderAt(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		return nil, err
+	}
+	return f.Records(workers)
+}
+
+// TestOpenReaderAtMatchesOpen: the same stream served through io.Reader
+// and io.ReaderAt must yield identical records, metadata and segment
+// index, for both codecs in both containers.
+func TestOpenReaderAtMatchesOpen(t *testing.T) {
+	recs := makeTrace(4000, 11)
+	for _, codec := range []uint16{CodecRaw, CodecDelta} {
+		var mono bytes.Buffer
+		if err := WriteFileMeta(&mono, recs, codec, "readerat-test"); err != nil {
+			t.Fatalf("WriteFileMeta: %v", err)
+		}
+		streams := map[string][]byte{
+			"monolithic": mono.Bytes(),
+			"segmented":  writeSegmented(t, recs, 5, codec, "readerat-test"),
+		}
+		for name, b := range streams {
+			rd, err := Open(bytes.NewReader(b))
+			if err != nil {
+				t.Fatalf("codec %d %s: Open: %v", codec, name, err)
+			}
+			want, err := rd.Records()
+			if err != nil {
+				t.Fatalf("codec %d %s: Records: %v", codec, name, err)
+			}
+			f, err := OpenReaderAt(bytes.NewReader(b), int64(len(b)))
+			if err != nil {
+				t.Fatalf("codec %d %s: OpenReaderAt: %v", codec, name, err)
+			}
+			if f.Meta() != rd.Meta() {
+				t.Errorf("codec %d %s: meta %q vs %q", codec, name, f.Meta(), rd.Meta())
+			}
+			if f.Segmented() != rd.Segmented() {
+				t.Errorf("codec %d %s: segmented %v vs %v", codec, name, f.Segmented(), rd.Segmented())
+			}
+			if f.NumRecords() != uint64(len(want)) {
+				t.Errorf("codec %d %s: NumRecords %d, want %d", codec, name, f.NumRecords(), len(want))
+			}
+			// The streaming reader's index is complete after the full
+			// decode; the random-access index is complete at Open.
+			if len(f.Segments()) != len(rd.Segments()) {
+				t.Fatalf("codec %d %s: %d segments vs %d", codec, name, len(f.Segments()), len(rd.Segments()))
+			}
+			for i, s := range f.Segments() {
+				if s != rd.Segments()[i] {
+					t.Errorf("codec %d %s: segment %d: %+v vs %+v", codec, name, i, s, rd.Segments()[i])
+				}
+			}
+			got, err := f.Records(4)
+			if err != nil {
+				t.Fatalf("codec %d %s: File.Records: %v", codec, name, err)
+			}
+			compareRecords(t, got, want)
+		}
+	}
+}
+
+func compareRecords(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDecodeParallelVsSerialByteIdentical: every worker count must
+// produce the records the serial reference path (workers == 1, inline,
+// no goroutines) produces.
+func TestDecodeParallelVsSerialByteIdentical(t *testing.T) {
+	recs := makeTrace(9000, 23)
+	for _, codec := range []uint16{CodecRaw, CodecDelta} {
+		b := writeSegmented(t, recs, 8, codec, "parallel-test")
+		want, err := decodeRandomAccess(b, 1)
+		if err != nil {
+			t.Fatalf("codec %d: serial decode: %v", codec, err)
+		}
+		compareRecords(t, want, recs)
+		for _, workers := range []int{0, 2, 4, 8} {
+			got, err := decodeRandomAccess(b, workers)
+			if err != nil {
+				t.Fatalf("codec %d workers=%d: %v", codec, workers, err)
+			}
+			compareRecords(t, got, want)
+		}
+	}
+}
+
+// TestDecodeTruncationEquivalence cuts a segmented stream at every
+// possible byte offset and checks that the streaming and random-access
+// pipelines agree exactly: same records on success, same error string
+// on failure — including the wrapped io.ErrUnexpectedEOF with the
+// record index for mid-segment truncation.
+func TestDecodeTruncationEquivalence(t *testing.T) {
+	for _, codec := range []uint16{CodecRaw, CodecDelta} {
+		full := writeSegmented(t, makeTrace(120, 31), 3, codec, "cut")
+		for cut := 0; cut <= len(full); cut++ {
+			b := full[:cut]
+			sRecs, sErr := decodeStreaming(b)
+			for _, workers := range []int{1, 4} {
+				rRecs, rErr := decodeRandomAccess(b, workers)
+				switch {
+				case sErr == nil && rErr == nil:
+					compareRecords(t, rRecs, sRecs)
+				case sErr == nil || rErr == nil:
+					t.Fatalf("codec %d cut %d workers %d: streaming err %v, random-access err %v",
+						codec, cut, workers, sErr, rErr)
+				case sErr.Error() != rErr.Error():
+					t.Fatalf("codec %d cut %d workers %d: error mismatch:\n  streaming:     %v\n  random-access: %v",
+						codec, cut, workers, sErr, rErr)
+				}
+			}
+			if cut < len(full) && sErr != nil && !errors.Is(sErr, io.ErrUnexpectedEOF) &&
+				cut > 16 { // container headers fail with their own messages
+				t.Fatalf("codec %d cut %d: error %v does not wrap io.ErrUnexpectedEOF", codec, cut, sErr)
+			}
+		}
+	}
+}
+
+// TestOpenFileRoundTrip: the path-based entry point serves the same
+// data and owns the file handle.
+func TestOpenFileRoundTrip(t *testing.T) {
+	recs := makeTrace(2000, 47)
+	b := writeSegmented(t, recs, 4, CodecDelta, "openfile-test")
+	path := filepath.Join(t.TempDir(), "t.trc")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	got, err := f.Records(0)
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	compareRecords(t, got, recs)
+	if f.Meta() != "openfile-test" || len(f.Segments()) != 4 {
+		t.Errorf("meta %q, %d segments", f.Meta(), len(f.Segments()))
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing.trc")); err == nil {
+		t.Error("OpenFile on a missing path did not error")
+	}
+}
+
+// TestDecodeBatchAllocs: the streaming batch path must stay
+// allocation-free per decoded chunk once warm (the ISSUE gate is <= 1
+// alloc per chunk; the occasional segment-index append is amortised).
+func TestDecodeBatchAllocs(t *testing.T) {
+	recs := makeTrace(200_000, 3)
+	b := writeSegmented(t, recs, 16, CodecDelta, "")
+	rd, err := Open(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]Record, 4096)
+	if _, err := rd.Decode(dst); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := rd.Decode(dst); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("streaming batch decode: %.1f allocs per %d-record chunk, want <= 1", allocs, len(dst))
+	}
+}
+
+// TestSegmentPayloadOverrunEquivalence: a segment header promising more
+// payload than the file holds — with a record count the truncated
+// payload still satisfies — must fail identically from both pipelines
+// (the streaming path trips discarding the tail).
+func TestSegmentPayloadOverrunEquivalence(t *testing.T) {
+	recs := makeTrace(64, 9)
+	full := writeSegmented(t, recs, 1, CodecDelta, "")
+	// Inflate the lone segment's payLen beyond the file end; the
+	// records themselves remain intact. Field layout after the 16-byte
+	// stream header (no meta): marker(4) index(4) count(8) dropped(8)
+	// cycles(8) payLen(8).
+	b := bytes.Clone(full)
+	const payLenOff = 16 + 4 + 4 + 8 + 8 + 8
+	pay := uint64(len(b) - (16 + 4 + segHeaderBytes))
+	binary.LittleEndian.PutUint64(b[payLenOff:], pay+1000)
+	sRecs, sErr := decodeStreaming(b)
+	rRecs, rErr := decodeRandomAccess(b, 1)
+	if sErr == nil || rErr == nil {
+		t.Fatalf("overrun stream decoded cleanly: streaming (%d recs, %v), random-access (%d recs, %v)",
+			len(sRecs), sErr, len(rRecs), rErr)
+	}
+	if sErr.Error() != rErr.Error() {
+		t.Fatalf("error mismatch:\n  streaming:     %v\n  random-access: %v", sErr, rErr)
+	}
+	if !errors.Is(sErr, io.ErrUnexpectedEOF) {
+		t.Fatalf("overrun error %v does not wrap io.ErrUnexpectedEOF", sErr)
+	}
+}

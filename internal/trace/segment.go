@@ -189,6 +189,23 @@ func (d *Decoder) nextSegment() error {
 	if _, err := io.ReadFull(d.br, hdr[:]); err != nil {
 		return fmt.Errorf("trace: segment %d header: %w", len(d.segs), promisedEOF(err))
 	}
+	info, err := parseSegmentHeader(hdr[:], len(d.segs), d.codec)
+	if err != nil {
+		return err
+	}
+	d.segs = append(d.segs, info)
+	d.count += info.Records
+	d.segPay = info.PayloadBytes
+	// Segments are independently encoded: reset the delta codec state.
+	d.st = deltaState{}
+	return nil
+}
+
+// parseSegmentHeader decodes and validates the fixed fields after the
+// "ASEG" marker. Both readers share it — the streaming decoder above
+// and the random-access index walk (readerat.go) — so a malformed
+// header fails with the same message from either entry point.
+func parseSegmentHeader(hdr []byte, at int, codec uint16) (SegmentInfo, error) {
 	info := SegmentInfo{
 		Index:          binary.LittleEndian.Uint32(hdr[0:]),
 		Records:        binary.LittleEndian.Uint64(hdr[4:]),
@@ -196,23 +213,18 @@ func (d *Decoder) nextSegment() error {
 		DilationCycles: binary.LittleEndian.Uint64(hdr[20:]),
 		PayloadBytes:   binary.LittleEndian.Uint64(hdr[28:]),
 	}
-	if info.Index != uint32(len(d.segs)) {
-		return fmt.Errorf("trace: segment %d: out-of-order index %d", len(d.segs), info.Index)
+	if info.Index != uint32(at) {
+		return info, fmt.Errorf("trace: segment %d: out-of-order index %d", at, info.Index)
 	}
 	if info.Records > maxRecordCount {
-		return fmt.Errorf("trace: segment %d: implausible record count %d", info.Index, info.Records)
+		return info, fmt.Errorf("trace: segment %d: implausible record count %d", info.Index, info.Records)
 	}
 	if info.PayloadBytes > maxSegPayload {
-		return fmt.Errorf("trace: segment %d: implausible payload length %d", info.Index, info.PayloadBytes)
+		return info, fmt.Errorf("trace: segment %d: implausible payload length %d", info.Index, info.PayloadBytes)
 	}
-	if d.codec == CodecRaw && info.PayloadBytes != info.Records*RecordBytes {
-		return fmt.Errorf("trace: segment %d: payload length %d does not match %d raw records",
+	if codec == CodecRaw && info.PayloadBytes != info.Records*RecordBytes {
+		return info, fmt.Errorf("trace: segment %d: payload length %d does not match %d raw records",
 			info.Index, info.PayloadBytes, info.Records)
 	}
-	d.segs = append(d.segs, info)
-	d.count += info.Records
-	// Segments are independently encoded: reset the delta codec state.
-	d.lastAddr = [NumKinds]uint32{}
-	d.lastPID = 0
-	return nil
+	return info, nil
 }
