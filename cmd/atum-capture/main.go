@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"atum/internal/atum"
+	"atum/internal/cliutil"
 	"atum/internal/kernel"
 	"atum/internal/micro"
 	"atum/internal/trace"
@@ -43,8 +44,15 @@ func main() {
 		segment = flag.Uint("segment-bytes", 0, "stream segments of this buffer size to disk (0 = buffer whole trace in memory)")
 		list    = flag.Bool("list", false, "list available workloads and exit")
 		verbose = flag.Bool("v", false, "print run statistics")
+		metrics cliutil.Metrics
 	)
+	metrics.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	segBytes, err := cliutil.SegmentBytes("segment-bytes", *segment)
+	if err != nil {
+		usage(err)
+	}
 
 	if *list {
 		for _, w := range workload.All {
@@ -73,6 +81,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := metrics.Start(os.Stderr); err != nil {
+		fatal(err)
+	}
 
 	opts := atum.DefaultOptions()
 	opts.CostPerRecord = uint32(*cost)
@@ -93,10 +104,11 @@ func main() {
 	cfgMeta := fmt.Sprintf("workloads=%s mem=%dMB reserved=%dKB icr=%d cost=%d",
 		*loads, *memMB, *resKB, *quantum, *cost)
 
-	if *segment > 0 {
+	if segBytes > 0 {
 		captureSegmented(sys, opts, kernel.SpillConfig{
-			SegmentBytes: uint32(*segment), Codec: codecID, Meta: cfgMeta,
+			SegmentBytes: segBytes, Codec: codecID, Meta: cfgMeta,
 		}, *out, runMix, *verbose)
+		metrics.Finish(os.Stdout)
 		return
 	}
 
@@ -123,6 +135,7 @@ func main() {
 			sys.M.Instrs, sys.M.Cycles, sys.Console())
 		fmt.Print(trace.Summarize(recs))
 	}
+	metrics.Finish(os.Stdout)
 }
 
 // captureSegmented runs the mix under the kernel spill service,
@@ -165,4 +178,11 @@ func captureSegmented(sys *kernel.System, opts atum.Options, cfg kernel.SpillCon
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "atum-capture:", err)
 	os.Exit(1)
+}
+
+// usage reports a flag-validation error with the conventional usage
+// exit code, distinct from runtime failures.
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "atum-capture:", err)
+	os.Exit(2)
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"atum/internal/cliutil"
 	"atum/internal/experiments"
 )
 
@@ -23,7 +24,22 @@ func main() {
 	csv := flag.Bool("csv", false, "render tables as CSV")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores, 1 = serial reference path)")
 	decodeW := flag.Int("decode-workers", 0, "segment decode goroutines (0 = all cores, 1 = serial reference path)")
+	var metrics cliutil.Metrics
+	metrics.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if _, err := cliutil.Workers("workers", *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "atum-experiments:", err)
+		os.Exit(2)
+	}
+	if _, err := cliutil.Workers("decode-workers", *decodeW); err != nil {
+		fmt.Fprintln(os.Stderr, "atum-experiments:", err)
+		os.Exit(2)
+	}
+	if err := metrics.Start(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "atum-experiments:", err)
+		os.Exit(1)
+	}
+	defer metrics.Finish(os.Stdout)
 
 	registry := experiments.All()
 	if *list {

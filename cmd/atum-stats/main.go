@@ -17,32 +17,45 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"atum/internal/analysis"
+	"atum/internal/cliutil"
+	"atum/internal/obs"
 	"atum/internal/sweep"
 	"atum/internal/trace"
 )
 
 func main() {
 	var (
-		pid      = flag.Int("pid", -1, "restrict to one process id")
-		user     = flag.Bool("user", false, "restrict to user-mode references")
-		dump     = flag.Int("dump", 0, "also print the first N records")
-		wset     = flag.Bool("wset", false, "compute working-set curve")
-		byPID    = flag.Bool("by-pid", false, "per-process breakdown table")
-		check    = flag.Bool("check", false, "lint the trace for structural violations")
-		workers  = flag.Int("workers", 0, "section worker goroutines (0 = all cores, 1 = serial reference path)")
-		decodeW  = flag.Int("decode-workers", 0, "segment decode goroutines (0 = all cores, 1 = serial reference path)")
-		metaOnly = flag.Bool("meta-only", false, "print capture metadata and the segment index without decoding records")
+		pid       = flag.Int("pid", -1, "restrict to one process id")
+		user      = flag.Bool("user", false, "restrict to user-mode references")
+		dump      = flag.Int("dump", 0, "also print the first N records")
+		wset      = flag.Bool("wset", false, "compute working-set curve")
+		byPID     = flag.Bool("by-pid", false, "per-process breakdown table")
+		check     = flag.Bool("check", false, "lint the trace for structural violations")
+		workers   = flag.Int("workers", 0, "section worker goroutines (0 = all cores, 1 = serial reference path)")
+		decodeW   = flag.Int("decode-workers", 0, "segment decode goroutines (0 = all cores, 1 = serial reference path)")
+		metaOnly  = flag.Bool("meta-only", false, "print capture metadata and the segment index without decoding records")
+		telemetry = flag.Bool("telemetry", false, "print decode telemetry and compare throughput against the recorded baseline")
+		benchFile = flag.String("bench", "BENCH_decode.json", "decode benchmark baseline for -telemetry")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: atum-stats [flags] trace-file")
 		os.Exit(2)
+	}
+	if _, err := cliutil.Workers("workers", *workers); err != nil {
+		usage(err)
+	}
+	if _, err := cliutil.Workers("decode-workers", *decodeW); err != nil {
+		usage(err)
 	}
 
 	rd, err := trace.OpenFile(flag.Arg(0))
@@ -72,10 +85,12 @@ func main() {
 		}
 		return
 	}
+	decodeStart := time.Now()
 	arena, err := rd.Arena(*decodeW)
 	if err != nil {
 		fatal(err)
 	}
+	decodeSecs := time.Since(decodeStart).Seconds()
 
 	if *pid >= 0 {
 		if *pid > 255 {
@@ -145,9 +160,60 @@ func main() {
 	for _, s := range rendered {
 		fmt.Print(s)
 	}
+	if *telemetry {
+		printTelemetry(os.Stdout, *benchFile, decodeSecs, rd.NumRecords())
+	}
 	if lintFailed {
 		os.Exit(1)
 	}
+}
+
+// printTelemetry reports this run's decode throughput next to the
+// recorded benchmark baseline, then the decode-related lines of the live
+// registry. The baseline is advisory: a missing or malformed bench file
+// degrades to a note, never an error, since the trace was already
+// decoded successfully.
+func printTelemetry(w io.Writer, benchFile string, secs float64, records uint64) {
+	rate := float64(records) / secs
+	fmt.Fprintf(w, "telemetry: decoded %d records in %.4fs (%.1fM records/sec)\n",
+		records, secs, rate/1e6)
+	if base, err := loadBaseline(benchFile); err != nil {
+		fmt.Fprintf(w, "telemetry: no baseline for comparison (%v)\n", err)
+	} else {
+		fmt.Fprintf(w, "telemetry: baseline parallel decode %.1fM records/sec -> this run at %.2fx baseline\n",
+			base/1e6, rate/base)
+	}
+	for _, line := range strings.Split(obs.Default().String(), "\n") {
+		if strings.HasPrefix(line, "atum_decode_") || strings.HasPrefix(line, "atum_par_") {
+			fmt.Fprintln(w, "telemetry:", line)
+		}
+	}
+}
+
+// loadBaseline pulls parallel.records_per_sec out of the benchmark JSON
+// written by the decode benchmark (-decode-json).
+func loadBaseline(path string) (float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc struct {
+		Parallel struct {
+			RecordsPerSec float64 `json:"records_per_sec"`
+		} `json:"parallel"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Parallel.RecordsPerSec <= 0 {
+		return 0, fmt.Errorf("%s: no parallel.records_per_sec", path)
+	}
+	return doc.Parallel.RecordsPerSec, nil
+}
+
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "atum-stats:", err)
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 
 	"atum/internal/analysis"
 	"atum/internal/cache"
+	"atum/internal/cliutil"
 	"atum/internal/stackdist"
 	"atum/internal/sweep"
 	"atum/internal/tlbsim"
@@ -41,12 +42,24 @@ func main() {
 		l2       = flag.String("l2", "", "two-level mode: unified L2 of this size behind split L1s of -size")
 		workers  = flag.Int("workers", 0, "sweep worker goroutines (0 = all cores, 1 = serial reference path)")
 		decodeW  = flag.Int("decode-workers", 0, "segment decode goroutines (0 = all cores, 1 = serial reference path)")
+		metrics  cliutil.Metrics
 	)
+	metrics.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cachesim [flags] trace-file")
 		os.Exit(2)
 	}
+	if _, err := cliutil.Workers("workers", *workers); err != nil {
+		usage(err)
+	}
+	if _, err := cliutil.Workers("decode-workers", *decodeW); err != nil {
+		usage(err)
+	}
+	if err := metrics.Start(os.Stderr); err != nil {
+		fatal(err)
+	}
+	defer metrics.Finish(os.Stdout)
 
 	rd, err := trace.OpenFile(flag.Arg(0))
 	if err != nil {
@@ -188,4 +201,9 @@ func parseSize(s string) uint32 {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cachesim:", err)
 	os.Exit(1)
+}
+
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "cachesim:", err)
+	os.Exit(2)
 }

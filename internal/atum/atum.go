@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"atum/internal/micro"
+	"atum/internal/obs"
 	"atum/internal/trace"
 	"atum/internal/vax"
 )
@@ -76,6 +77,12 @@ type Options struct {
 	// reserved buffer over a longer execution at reduced dilation, at
 	// the price of the inter-sample gaps T3 quantifies.
 	SampleOn, SampleOff uint64
+
+	// Metrics selects the registry the collector's live telemetry goes
+	// to; nil means obs.Default(). Telemetry is Go-side only — it never
+	// charges simulated cycles, so dilation is identical with any
+	// registry (pinned by TestMetricsOffMeasurementPath).
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns the standard configuration.
@@ -112,6 +119,52 @@ type Collector struct {
 	// so ExtractSegment can report deltas.
 	segDroppedMark uint64
 	segCyclesMark  uint64
+
+	met captureMetrics
+}
+
+// captureMetrics are the collector's live counters in the obs registry:
+// what the capture has recorded (total and per kind), what it has lost,
+// and how often the watermark and buffer-full interrupts fired. They
+// shadow the exported statistics fields so a monitoring goroutine can
+// watch a capture without touching the (unsynchronised) collector.
+type captureMetrics struct {
+	records   *obs.Counter
+	dropped   *obs.Counter
+	watermark *obs.Counter
+	fills     *obs.Counter
+	kind      [trace.NumKinds]*obs.Counter
+}
+
+// kindMetricNames spell each record kind into its metric label once, at
+// install time — the hot path only indexes the resolved counter array.
+var kindMetricNames = [trace.NumKinds]string{
+	trace.KindIFetch:    "ifetch",
+	trace.KindDRead:     "dread",
+	trace.KindDWrite:    "dwrite",
+	trace.KindPTERead:   "pteread",
+	trace.KindPTEWrite:  "ptewrite",
+	trace.KindCtxSwitch: "ctxswitch",
+	trace.KindException: "exception",
+}
+
+func newCaptureMetrics(r *obs.Registry) captureMetrics {
+	if r == nil {
+		r = obs.Default()
+	}
+	m := captureMetrics{
+		records:   r.Counter("atum_capture_records_total"),
+		dropped:   r.Counter("atum_capture_dropped_total"),
+		watermark: r.Counter("atum_capture_watermark_fires_total"),
+		fills:     r.Counter("atum_capture_fills_total"),
+	}
+	for k, name := range kindMetricNames {
+		if name == "" {
+			name = fmt.Sprintf("kind%d", k)
+		}
+		m.kind[k] = r.Counter(fmt.Sprintf("atum_capture_records_kind_total{kind=%q}", name))
+	}
+	return m
 }
 
 // Install patches the machine. The machine's reserved region must be
@@ -129,7 +182,8 @@ func Install(m *micro.Machine, opts Options) (*Collector, error) {
 	if size < trace.RecordBytes {
 		return nil, fmt.Errorf("atum: reserved region too small (%d bytes)", size)
 	}
-	c := &Collector{m: m, opts: opts, base: base, size: size, recording: true, installed: true}
+	c := &Collector{m: m, opts: opts, base: base, size: size, recording: true, installed: true,
+		met: newCaptureMetrics(opts.Metrics)}
 	if opts.Watermark != 0 {
 		if opts.Watermark < 0 || opts.Watermark > 1 {
 			return nil, fmt.Errorf("atum: watermark %v out of (0, 1]", opts.Watermark)
@@ -165,11 +219,13 @@ func Install(m *micro.Machine, opts Options) (*Collector, error) {
 func (c *Collector) record(a micro.Access) {
 	if !c.recording {
 		c.Dropped++
+		c.met.dropped.Inc()
 		return
 	}
 	if c.opts.SampleOn > 0 && c.opts.SampleOff > 0 {
 		if !c.sampleOn {
 			c.Dropped++
+			c.met.dropped.Inc()
 			c.phaseLeft--
 			if c.phaseLeft == 0 {
 				c.sampleOn = true
@@ -198,11 +254,14 @@ func (c *Collector) record(a micro.Access) {
 	}
 	c.ptr += trace.RecordBytes
 	c.Recorded++
+	c.met.records.Inc()
+	c.met.kind[rec.Kind].Inc()
 	// The watermark interrupt fires before the full check so a spill
 	// service draining at Watermark = 1.0 runs ahead of the pause/drop
 	// path and loses nothing.
 	if c.wmArmed && c.ptr >= c.wmBytes {
 		c.wmArmed = false
+		c.met.watermark.Inc()
 		if c.opts.OnWatermark != nil {
 			c.opts.OnWatermark(c)
 		}
@@ -210,6 +269,7 @@ func (c *Collector) record(a micro.Access) {
 	if c.ptr >= c.size {
 		c.Samples++
 		c.recording = false
+		c.met.fills.Inc()
 		if c.opts.OnFull != nil {
 			c.opts.OnFull(c)
 		}

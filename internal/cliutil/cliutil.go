@@ -1,0 +1,88 @@
+// Package cliutil holds the flag plumbing the atum commands share: one
+// validator for the worker-count flags (so -workers and -decode-workers
+// reject nonsense identically everywhere instead of each command
+// clamping its own way), one for segment sizing, and the
+// -metrics-addr/-metrics-dump wiring that exposes the obs registry from
+// any command.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"atum/internal/obs"
+	"atum/internal/trace"
+)
+
+// Workers validates a worker-count flag value: 0 means "all available
+// cores" (the documented default), positive values size the pool, and
+// negative values are a usage error — before this helper they silently
+// resolved to all cores, which reads like a typo being guessed at.
+// name is the flag's name for the error message.
+func Workers(name string, v int) (int, error) {
+	if v < 0 {
+		return 0, fmt.Errorf("-%s %d: worker count cannot be negative (0 = all cores, 1 = serial)", name, v)
+	}
+	return v, nil
+}
+
+// SegmentBytes validates a segment-buffer-size flag value: 0 disables
+// segmenting, anything else must hold at least one record — a smaller
+// buffer would fail deep inside the collector install with a confusing
+// "reserved region too small" long after flag parsing.
+func SegmentBytes(name string, v uint) (uint32, error) {
+	if v != 0 && v < trace.RecordBytes {
+		return 0, fmt.Errorf("-%s %d: segment buffer must hold at least one %d-byte record (0 disables segmenting)",
+			name, v, trace.RecordBytes)
+	}
+	return uint32(v), nil
+}
+
+// Metrics wires the shared observability flags: -metrics-addr serves
+// the registry over HTTP for the lifetime of the command, -metrics-dump
+// prints the plain-text exposition when the command finishes.
+type Metrics struct {
+	Addr string
+	Dump bool
+
+	reg  *obs.Registry
+	stop func() error
+}
+
+// AddFlags registers -metrics-addr and -metrics-dump on fs.
+func (m *Metrics) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&m.Addr, "metrics-addr", "", "serve live metrics over HTTP on this address (e.g. :9090)")
+	fs.BoolVar(&m.Dump, "metrics-dump", false, "print the metrics registry on exit")
+}
+
+// Start begins serving the default registry if -metrics-addr was given,
+// logging the bound address to w.
+func (m *Metrics) Start(w io.Writer) error {
+	m.reg = obs.Default()
+	if m.Addr == "" {
+		return nil
+	}
+	bound, stop, err := m.reg.Serve(m.Addr)
+	if err != nil {
+		return err
+	}
+	m.stop = stop
+	fmt.Fprintf(w, "metrics: serving on http://%s/metrics\n", bound)
+	return nil
+}
+
+// Finish prints the registry if -metrics-dump was given and stops the
+// server. Call it on every exit path that should report telemetry.
+func (m *Metrics) Finish(w io.Writer) {
+	if m.reg == nil {
+		m.reg = obs.Default()
+	}
+	if m.Dump {
+		m.reg.WriteText(w)
+	}
+	if m.stop != nil {
+		m.stop()
+		m.stop = nil
+	}
+}

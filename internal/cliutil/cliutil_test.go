@@ -1,0 +1,74 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"atum/internal/obs"
+	"atum/internal/trace"
+)
+
+func TestWorkers(t *testing.T) {
+	for _, tc := range []struct {
+		in   int
+		out  int
+		fail bool
+	}{
+		{0, 0, false},
+		{1, 1, false},
+		{8, 8, false},
+		{-1, 0, true},
+		{-100, 0, true},
+	} {
+		got, err := Workers("workers", tc.in)
+		if tc.fail {
+			if err == nil {
+				t.Errorf("Workers(%d): error expected", tc.in)
+			} else if !strings.Contains(err.Error(), "-workers") {
+				t.Errorf("Workers(%d): error %q does not name the flag", tc.in, err)
+			}
+			continue
+		}
+		if err != nil || got != tc.out {
+			t.Errorf("Workers(%d) = %d, %v; want %d", tc.in, got, err, tc.out)
+		}
+	}
+}
+
+func TestSegmentBytes(t *testing.T) {
+	if _, err := SegmentBytes("segment-bytes", trace.RecordBytes-1); err == nil {
+		t.Error("sub-record segment size accepted")
+	}
+	if got, err := SegmentBytes("segment-bytes", 0); err != nil || got != 0 {
+		t.Errorf("0 must stay the disabled sentinel: %d, %v", got, err)
+	}
+	if got, err := SegmentBytes("segment-bytes", trace.RecordBytes); err != nil || got != trace.RecordBytes {
+		t.Errorf("one-record segment rejected: %d, %v", got, err)
+	}
+}
+
+func TestMetricsFlagsAndLifecycle(t *testing.T) {
+	var m Metrics
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	m.AddFlags(fs)
+	if err := fs.Parse([]string{"-metrics-addr", "127.0.0.1:0", "-metrics-dump"}); err != nil {
+		t.Fatal(err)
+	}
+	var log strings.Builder
+	if err := m.Start(&log); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log.String(), "/metrics") {
+		t.Errorf("Start did not announce the endpoint: %q", log.String())
+	}
+	obs.Default().Counter("cliutil_test_total").Inc()
+	var dump strings.Builder
+	m.Finish(&dump)
+	if !strings.Contains(dump.String(), "cliutil_test_total") {
+		t.Errorf("-metrics-dump output missing registry content: %q", dump.String())
+	}
+	// Finish with no server and no dump is a no-op.
+	(&Metrics{}).Finish(io.Discard)
+}

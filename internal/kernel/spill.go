@@ -8,13 +8,22 @@
 // and appends it to a segmented trace stream (internal/trace
 // SegmentWriter). If the sink stalls, capture degrades gracefully to
 // counted-drop mode instead of corrupting the stream.
+//
+// The service's counters are part of the observability contract: a
+// monitoring goroutine may poll SpilledRecords/LostRecords/SinkErr (or
+// scrape the obs registry) while the capture loop spills, so every
+// counter is an atomic and the error/closed state sits behind a mutex.
 package kernel
 
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"atum/internal/atum"
+	"atum/internal/obs"
 	"atum/internal/trace"
 )
 
@@ -39,16 +48,69 @@ type SpillConfig struct {
 
 	// Meta is the stream's provenance string.
 	Meta string
+
+	// Metrics selects the registry the service instruments into; nil
+	// means obs.Default().
+	Metrics *obs.Registry
+}
+
+// spillMetrics are the service's live telemetry: segments and records
+// that reached the sink, bytes written, per-spill latency, records lost
+// to a failed sink, and how many times the sink stalled.
+type spillMetrics struct {
+	segments *obs.Counter
+	records  *obs.Counter
+	bytes    *obs.Counter
+	lost     *obs.Counter
+	dropped  *obs.Counter
+	stalls   *obs.Counter
+	latency  *obs.Histogram
+}
+
+func newSpillMetrics(r *obs.Registry) spillMetrics {
+	if r == nil {
+		r = obs.Default()
+	}
+	return spillMetrics{
+		segments: r.Counter("atum_spill_segments_total"),
+		records:  r.Counter("atum_spill_records_total"),
+		bytes:    r.Counter("atum_spill_bytes_total"),
+		lost:     r.Counter("atum_spill_lost_records_total"),
+		dropped:  r.Counter("atum_spill_dropped_total"),
+		stalls:   r.Counter("atum_spill_sink_stalls_total"),
+		latency:  r.Histogram("atum_spill_latency_seconds", obs.DefSecondsBuckets),
+	}
+}
+
+// countingWriter charges every byte that reaches the sink to the
+// registry before passing it through.
+type countingWriter struct {
+	w io.Writer
+	n *obs.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(uint64(n))
+	return n, err
 }
 
 // SpillService owns an installed collector streaming to a sink.
 type SpillService struct {
-	col     *atum.Collector
-	sw      *trace.SegmentWriter
-	spilled uint64
-	lost    uint64 // records extracted but never written (sink failure)
+	col *atum.Collector
+	sw  *trace.SegmentWriter
+
+	// spilled/lost/segments are polled by monitors while the capture
+	// loop writes them: atomics, never plain fields.
+	spilled  atomic.Uint64
+	lost     atomic.Uint64 // records captured but never written (sink failure)
+	segments atomic.Uint32
+
+	mu      sync.Mutex
 	sinkErr error
 	closed  bool
+
+	met spillMetrics
 }
 
 // StartSpill installs ATUM on the system's machine and arranges for
@@ -59,12 +121,16 @@ func StartSpill(sys *System, w io.Writer, cfg SpillConfig) (*SpillService, error
 	if cfg.Options.OnWatermark != nil || cfg.Options.OnFull != nil {
 		return nil, fmt.Errorf("kernel: spill service owns the collector callbacks")
 	}
-	sw, err := trace.NewSegmentWriter(w, cfg.Codec, cfg.Meta)
+	met := newSpillMetrics(cfg.Metrics)
+	sw, err := trace.NewSegmentWriter(&countingWriter{w: w, n: met.bytes}, cfg.Codec, cfg.Meta)
 	if err != nil {
 		return nil, err
 	}
-	s := &SpillService{sw: sw}
+	s := &SpillService{sw: sw, met: met}
 	opts := cfg.Options
+	if opts.Metrics == nil {
+		opts.Metrics = cfg.Metrics
+	}
 	if cfg.SegmentBytes != 0 {
 		opts.BufBytes = cfg.SegmentBytes
 	}
@@ -78,7 +144,7 @@ func StartSpill(sys *System, w io.Writer, cfg SpillConfig) (*SpillService, error
 	// paused, counting drops — the degraded mode the stream's
 	// per-segment Dropped field reports once the sink recovers.
 	opts.OnFull = func(c *atum.Collector) {
-		if s.sinkErr == nil {
+		if s.SinkErr() == nil {
 			s.spill(c)
 		}
 	}
@@ -102,9 +168,9 @@ func (s *SpillService) spill(c *atum.Collector) {
 		s.fail(c, err)
 		return
 	}
-	if s.sinkErr != nil {
-		s.lost += uint64(len(recs))
-		s.fail(c, s.sinkErr)
+	if err := s.SinkErr(); err != nil {
+		s.addLost(uint64(len(recs)))
+		s.fail(c, err)
 		return
 	}
 	if len(recs) == 0 && st == (atum.SegmentStats{}) {
@@ -112,53 +178,97 @@ func (s *SpillService) spill(c *atum.Collector) {
 		// on a watermark boundary): no segment to write.
 		return
 	}
+	start := time.Now()
 	if err := s.sw.WriteSegment(recs, st.Dropped, st.DilationCycles); err != nil {
-		s.lost += uint64(len(recs))
+		s.addLost(uint64(len(recs)))
 		s.fail(c, err)
 		return
 	}
-	s.spilled += uint64(len(recs))
+	s.met.latency.Observe(time.Since(start).Seconds())
+	s.segments.Add(1)
+	s.met.segments.Inc()
+	s.met.dropped.Add(st.Dropped)
+	s.spilled.Add(uint64(len(recs)))
+	s.met.records.Add(uint64(len(recs)))
 }
 
+// addLost charges records that will never reach the sink.
+func (s *SpillService) addLost(n uint64) {
+	if n == 0 {
+		return
+	}
+	s.lost.Add(n)
+	s.met.lost.Add(n)
+}
+
+// fail records the first sink error (later failures keep the original
+// diagnosis) and pauses the collector.
 func (s *SpillService) fail(c *atum.Collector, err error) {
+	s.mu.Lock()
 	if s.sinkErr == nil {
 		s.sinkErr = err
+		s.met.stalls.Inc()
 	}
+	s.mu.Unlock()
 	c.Pause()
 }
 
 // Close flushes the final partial segment, closes the stream and
 // uninstalls the patches. The stream on disk is complete and valid
 // whether or not the sink ever failed; SinkErr reports if capture
-// degraded along the way.
+// degraded along the way. Close is idempotent: a second call changes
+// nothing and reports the same error. After a sink failure, Close
+// returns the first sink error — not the flush error that usually
+// follows it — and records still in the reserved buffer are counted as
+// lost, so Recorded == SpilledRecords + LostRecords always holds once
+// Close returns.
 func (s *SpillService) Close() error {
+	s.mu.Lock()
 	if s.closed {
-		return s.sinkErr
+		err := s.sinkErr
+		s.mu.Unlock()
+		return err
 	}
 	s.closed = true
-	if s.sinkErr == nil {
+	s.mu.Unlock()
+	if s.SinkErr() == nil {
 		s.spill(s.col)
+	} else {
+		// The sink is gone: whatever the buffer still holds can never be
+		// written. Account it as lost rather than letting it vanish.
+		s.addLost(uint64(s.col.BufferedRecords()))
 	}
 	s.col.Uninstall()
-	if err := s.sw.Close(); err != nil && s.sinkErr == nil {
-		s.sinkErr = err
+	if err := s.sw.Close(); err != nil {
+		s.mu.Lock()
+		if s.sinkErr == nil {
+			s.sinkErr = err
+		}
+		s.mu.Unlock()
 	}
-	return s.sinkErr
+	return s.SinkErr()
 }
 
 // Collector exposes the underlying collector (statistics, pause/resume).
 func (s *SpillService) Collector() *atum.Collector { return s.col }
 
 // Segments returns how many segments have been written to the sink.
-func (s *SpillService) Segments() uint32 { return s.sw.Segments() }
+// Safe to call from a polling goroutine during capture.
+func (s *SpillService) Segments() uint32 { return s.segments.Load() }
 
-// SpilledRecords returns how many records reached the sink.
-func (s *SpillService) SpilledRecords() uint64 { return s.spilled }
+// SpilledRecords returns how many records reached the sink. Safe to
+// call from a polling goroutine during capture.
+func (s *SpillService) SpilledRecords() uint64 { return s.spilled.Load() }
 
-// LostRecords returns how many extracted records a failed sink
-// swallowed (distinct from the collector's Dropped, which counts events
-// never captured at all).
-func (s *SpillService) LostRecords() uint64 { return s.lost }
+// LostRecords returns how many captured records a failed sink swallowed
+// (distinct from the collector's Dropped, which counts events never
+// captured at all). Safe to call from a polling goroutine.
+func (s *SpillService) LostRecords() uint64 { return s.lost.Load() }
 
-// SinkErr returns the first sink failure, if any.
-func (s *SpillService) SinkErr() error { return s.sinkErr }
+// SinkErr returns the first sink failure, if any. Safe to call from a
+// polling goroutine.
+func (s *SpillService) SinkErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sinkErr
+}

@@ -15,6 +15,7 @@ import (
 
 	"atum/internal/atum"
 	"atum/internal/kernel"
+	"atum/internal/obs"
 	"atum/internal/trace"
 	"atum/internal/vax"
 )
@@ -101,6 +102,8 @@ func (m *Monitor) Exec(line string) {
 		m.lint()
 	case "stats":
 		m.stats()
+	case "status":
+		m.status()
 	default:
 		fmt.Fprintf(m.out, "unknown command %q; try 'help'\n", cmd)
 	}
@@ -126,6 +129,7 @@ func (m *Monitor) help() {
   records [n]       show the last n captured trace records (default 10)
   lint              check captured records for structural violations
   stats             machine and trace statistics
+  status            one-line machine state plus the live metrics registry
   quit
 `)
 }
@@ -575,4 +579,25 @@ func (m *Monitor) stats() {
 	if len(m.Captured()) > 0 || m.collector != nil {
 		fmt.Fprint(m.out, trace.Summarize(m.Captured()))
 	}
+}
+
+// status prints a one-line machine summary followed by the process-wide
+// metrics registry — the same counters -metrics-addr serves over HTTP,
+// so a debugger session can inspect capture/spill/decode telemetry
+// without standing up the server.
+func (m *Monitor) status() {
+	mach := m.sys.M
+	tracing := "off"
+	if m.collector != nil {
+		tracing = fmt.Sprintf("on (%d buffered, %d dropped)",
+			m.collector.BufferedRecords(), m.collector.Dropped)
+	}
+	fmt.Fprintf(m.out, "machine: instrs=%d cycles=%d pid=%d halted=%v  trace: %s\n",
+		mach.Instrs, mach.Cycles, mach.CurPID, mach.Halted(), tracing)
+	text := obs.Default().String()
+	if text == "" {
+		fmt.Fprintln(m.out, "metrics: registry empty (nothing instrumented yet)")
+		return
+	}
+	fmt.Fprint(m.out, text)
 }

@@ -273,3 +273,33 @@ func TestReplLoop(t *testing.T) {
 		t.Errorf("repl transcript: %q", s)
 	}
 }
+
+func TestStatusCommand(t *testing.T) {
+	m, out := newMon(t, "sieve")
+	m.Exec("status")
+	s := out.String()
+	if !strings.Contains(s, "machine: instrs=") || !strings.Contains(s, "trace: off") {
+		t.Errorf("status before tracing: %q", s)
+	}
+
+	// Once tracing is on and instructions run, the live registry must
+	// show capture counters through the same path -metrics-addr serves.
+	out.Reset()
+	m.Exec("trace on")
+	m.Exec("run 5000")
+	out.Reset()
+	m.Exec("status")
+	s = out.String()
+	if !strings.Contains(s, "trace: on") {
+		t.Errorf("status while tracing: %q", s)
+	}
+	if !strings.Contains(s, "atum_capture_records_total") {
+		t.Errorf("status output missing live registry counters: %q", s)
+	}
+	// Keep 'status' discoverable.
+	out.Reset()
+	m.Exec("help")
+	if !strings.Contains(out.String(), "status") {
+		t.Errorf("help does not mention status: %q", out.String())
+	}
+}

@@ -16,6 +16,14 @@ import (
 	"sync/atomic"
 )
 
+// Occupancy, when non-nil, is told how many worker goroutines are live:
+// +1 as each pool worker starts, -1 as it exits. It is the observability
+// layer's window into pool utilisation without this package importing
+// anything — internal/trace wires it to an obs gauge at init, before
+// any pool can run, so there is no write/read race. The serial
+// workers==1 path reports no occupancy: it runs inline on the caller.
+var Occupancy func(delta int)
+
 // Resolve maps a workers argument to an actual pool size: values <= 0
 // mean "all available cores" (GOMAXPROCS).
 func Resolve(workers int) int {
@@ -54,9 +62,14 @@ func Map[T any](workers, n int, fn func(int) (T, error)) ([]T, error) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
+	occupancy := Occupancy
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			if occupancy != nil {
+				occupancy(+1)
+				defer occupancy(-1)
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {

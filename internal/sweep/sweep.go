@@ -12,10 +12,25 @@
 package sweep
 
 import (
+	"time"
+
 	"atum/internal/cache"
+	"atum/internal/obs"
 	"atum/internal/par"
 	"atum/internal/tlbsim"
 	"atum/internal/trace"
+)
+
+// Sweep telemetry in the process-wide registry: how many configurations
+// have replayed, how long each took, how long each waited in the queue
+// behind earlier configurations, and the most recent per-config replay
+// rate. Observations happen once per configuration — far off the
+// per-record replay path.
+var (
+	mConfigs    = obs.Default().Counter("atum_sweep_configs_total")
+	mRunSecs    = obs.Default().Histogram("atum_sweep_config_run_seconds", obs.DefSecondsBuckets)
+	mQueueSecs  = obs.Default().Histogram("atum_sweep_queue_wait_seconds", obs.DefSecondsBuckets)
+	mReplayRate = obs.Default().Gauge("atum_sweep_replay_rate_recs_per_sec")
 )
 
 // Resolve maps a workers argument to an actual pool size: values <= 0
@@ -55,8 +70,21 @@ var (
 // per-simulator helpers below are built on. run is typically a closure
 // over simulator options (e.g. cache.RunOptions).
 func Run[C Config, R any](src trace.Source, cfgs []C, workers int, run func(trace.Source, C) (R, error)) ([]R, error) {
+	records := uint64(src.NumRecords())
+	submitted := time.Now()
 	return Map(workers, len(cfgs), func(i int) (R, error) {
-		return run(src, cfgs[i])
+		// Queue wait: how long this configuration sat behind earlier
+		// ones before a worker picked it up.
+		mQueueSecs.Observe(time.Since(submitted).Seconds())
+		start := time.Now()
+		r, err := run(src, cfgs[i])
+		secs := time.Since(start).Seconds()
+		mRunSecs.Observe(secs)
+		mConfigs.Inc()
+		if secs > 0 && records > 0 {
+			mReplayRate.Set(float64(records) / secs)
+		}
+		return r, err
 	})
 }
 

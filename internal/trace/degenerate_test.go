@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// buildSegmented assembles a segmented stream header followed by raw
+// segment material the test shapes by hand.
+func buildSegmented(codec uint16, tail []byte) []byte {
+	var b bytes.Buffer
+	b.Write(segMagic[:])
+	var hdr [8]byte
+	binary.LittleEndian.PutUint16(hdr[0:], segVersion)
+	binary.LittleEndian.PutUint16(hdr[2:], codec)
+	b.Write(hdr[:])
+	b.Write(tail)
+	return b.Bytes()
+}
+
+// segmentBlob encodes one segment (header + payload) with an arbitrary
+// declared payload length, letting tests declare more than they attach.
+func segmentBlob(index uint32, records uint64, payload []byte, declaredLen uint64) []byte {
+	var b bytes.Buffer
+	b.Write(segMarker[:])
+	var hdr [segHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], index)
+	binary.LittleEndian.PutUint64(hdr[4:], records)
+	binary.LittleEndian.PutUint64(hdr[28:], declaredLen)
+	b.Write(hdr[:])
+	b.Write(payload)
+	return b.Bytes()
+}
+
+// TestOpenDegenerateInputs drives both read paths — streaming Open and
+// random-access OpenReaderAt — over the degenerate inputs a capture
+// pipeline actually produces when it is killed or misconfigured, and
+// pins that each failure is distinguishable: empty input is ErrEmpty,
+// truncations are record- or segment-indexed wrapped
+// io.ErrUnexpectedEOF, and a bare stream header is a legal zero-record
+// trace, not an error.
+func TestOpenDegenerateInputs(t *testing.T) {
+	// A monolithic header promising one record with no payload.
+	var mono bytes.Buffer
+	if err := WriteFile(&mono, []Record{{Kind: KindIFetch, Addr: 0x200, Width: 4}}, CodecRaw); err != nil {
+		t.Fatal(err)
+	}
+	monoTruncated := mono.Bytes()[:8+16] // magic + header, payload gone
+
+	// A segmented stream whose only segment declares 8 payload bytes
+	// but the file ends after 4.
+	rec := make([]byte, RecordBytes)
+	Record{Kind: KindIFetch, Addr: 0x200, Width: 4}.Encode(rec)
+	overrun := buildSegmented(CodecRaw, segmentBlob(0, 1, rec[:4], RecordBytes))
+
+	// A segmented stream with zero records whose declared payload
+	// overruns the file: the truncation must still be segment-indexed.
+	// (Delta codec: raw's records↔payload consistency check would
+	// reject the header before the truncation is even reached.)
+	emptyOverrun := buildSegmented(CodecDelta, segmentBlob(0, 0, nil, 0)[:4+segHeaderBytes])
+	binary.LittleEndian.PutUint64(emptyOverrun[len(emptyOverrun)-8:], 16) // declare 16 bytes, attach none
+
+	// A segment header cut off halfway.
+	shortHeader := buildSegmented(CodecDelta, segmentBlob(0, 0, nil, 0)[:10])
+
+	cases := []struct {
+		name    string
+		in      []byte
+		records int    // when wantErr == nil
+		wantErr error  // matched with errors.Is
+		substr  string // and the message names the failing record/segment
+	}{
+		{name: "empty file", in: nil, wantErr: ErrEmpty},
+		{name: "truncated magic", in: magic[:3], wantErr: io.ErrUnexpectedEOF, substr: "magic"},
+		{name: "bare segmented header zero segments", in: buildSegmented(CodecDelta, nil), records: 0},
+		{name: "monolithic header no payload", in: monoTruncated, wantErr: io.ErrUnexpectedEOF, substr: "record 0"},
+		{name: "segment payload overruns file", in: overrun, wantErr: io.ErrUnexpectedEOF, substr: "record 0"},
+		{name: "empty segment payload overruns file", in: emptyOverrun, wantErr: io.ErrUnexpectedEOF, substr: "segment 0"},
+		{name: "segment header cut short", in: shortHeader, wantErr: io.ErrUnexpectedEOF, substr: "segment 0 header"},
+	}
+
+	type path struct {
+		name string
+		read func([]byte) ([]Record, error)
+	}
+	paths := []path{
+		{"streaming", func(in []byte) ([]Record, error) {
+			rd, err := Open(bytes.NewReader(in))
+			if err != nil {
+				return nil, err
+			}
+			return rd.Records()
+		}},
+		{"readerat", func(in []byte) ([]Record, error) {
+			f, err := OpenReaderAt(bytes.NewReader(in), int64(len(in)))
+			if err != nil {
+				return nil, err
+			}
+			return f.Records(2)
+		}},
+	}
+
+	for _, tc := range cases {
+		for _, p := range paths {
+			t.Run(tc.name+"/"+p.name, func(t *testing.T) {
+				recs, err := p.read(tc.in)
+				if tc.wantErr == nil {
+					if err != nil {
+						t.Fatalf("unexpected error: %v", err)
+					}
+					if len(recs) != tc.records {
+						t.Fatalf("decoded %d records, want %d", len(recs), tc.records)
+					}
+					return
+				}
+				if err == nil {
+					t.Fatalf("decoded %d records, want error %v", len(recs), tc.wantErr)
+				}
+				if !errors.Is(err, tc.wantErr) {
+					t.Errorf("error %q does not wrap %v", err, tc.wantErr)
+				}
+				if tc.substr != "" && !strings.Contains(err.Error(), tc.substr) {
+					t.Errorf("error %q does not name %q", err, tc.substr)
+				}
+				// ErrEmpty is reserved for genuinely empty input; a
+				// truncated stream must never read as merely empty.
+				if tc.wantErr != ErrEmpty && errors.Is(err, ErrEmpty) {
+					t.Errorf("truncated input misreported as empty: %q", err)
+				}
+			})
+		}
+	}
+}
+
+// TestErrEmptyDistinguishable pins the motivating property directly:
+// before the fix both an empty file and some truncations surfaced as a
+// bare io.EOF wrap, so callers could not tell "no trace yet" from "half
+// a trace".
+func TestErrEmptyDistinguishable(t *testing.T) {
+	_, err := Open(bytes.NewReader(nil))
+	if !errors.Is(err, ErrEmpty) {
+		t.Errorf("streaming open of empty input: %v, want ErrEmpty", err)
+	}
+	_, err = OpenReaderAt(bytes.NewReader(nil), 0)
+	if !errors.Is(err, ErrEmpty) {
+		t.Errorf("random-access open of empty input: %v, want ErrEmpty", err)
+	}
+	_, err = Open(bytes.NewReader(magic[:5]))
+	if errors.Is(err, ErrEmpty) {
+		t.Errorf("truncated magic misreported as empty: %v", err)
+	}
+}

@@ -3,9 +3,17 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrEmpty reports a zero-length input: not a trace stream at all, as
+// opposed to one truncated mid-header (which stays an
+// io.ErrUnexpectedEOF naming what was being read). Both Open and
+// OpenReaderAt wrap it, so callers distinguish the two with
+// errors.Is(err, ErrEmpty).
+var ErrEmpty = errors.New("empty trace stream")
 
 // Stream file formats. Two on-disk containers share the record codecs:
 //
@@ -239,6 +247,11 @@ func newDecoder(r io.Reader) (*Decoder, error) {
 	br := bufio.NewReaderSize(r, decodeBufBytes)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
+		if err == io.EOF {
+			// ReadFull reports a bare EOF only when not a single byte
+			// arrived: the input is empty, not truncated.
+			return nil, fmt.Errorf("trace: reading magic: %w", ErrEmpty)
+		}
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
 	switch m {
@@ -396,12 +409,14 @@ func (d *Decoder) decodeBatch(dst []Record) (int, error) {
 			}
 			d.consume(consumed)
 			d.read += uint64(nrec)
+			mDecodeRecords.Add(uint64(nrec))
 			return nrec, nil
 		}
 
 		nrec, consumed, derr := decodeDeltaBatch(dst, window, &d.st)
 		d.consume(consumed)
 		d.read += uint64(nrec)
+		mDecodeRecords.Add(uint64(nrec))
 		if derr == nil {
 			return nrec, nil
 		}
@@ -451,6 +466,7 @@ func (d *Decoder) consume(n int) {
 		return
 	}
 	d.br.Discard(n)
+	mDecodeBytes.Add(uint64(n))
 	if d.segmented {
 		d.segPay -= uint64(n)
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"atum/internal/par"
 )
@@ -67,6 +68,11 @@ func OpenFile(path string) (*File, error) {
 // captures get the same fast path as on-disk ones.
 func OpenReaderAt(ra io.ReaderAt, size int64) (*File, error) {
 	f := &File{ra: ra, size: size}
+	if size == 0 {
+		// Distinguish "nothing there at all" from a stream cut off
+		// mid-header; callers match with errors.Is(err, ErrEmpty).
+		return nil, fmt.Errorf("trace: reading magic: %w", ErrEmpty)
+	}
 	var m [8]byte
 	if err := f.readAt(m[:], 0, "trace: reading magic"); err != nil {
 		return nil, err
@@ -265,6 +271,8 @@ const minEncRecordBytes = 2
 // errors exactly as the streaming decoder would: truncation wraps
 // io.ErrUnexpectedEOF and names the absolute record index.
 func (f *File) decodeSegment(i int) ([]Record, error) {
+	start := time.Now()
+	defer func() { mDecodeSegSecs.Observe(time.Since(start).Seconds()) }()
 	info := f.segs[i]
 	// avail is what the file actually holds of the promised payload;
 	// only the final segment can come up short (walkSegments stops
@@ -330,5 +338,8 @@ func (f *File) decodeSegment(i int) ([]Record, error) {
 		// tail, and so do we.
 		return nil, fmt.Errorf("trace: segment %d payload: %w", info.Index, io.ErrUnexpectedEOF)
 	}
+	mDecodeSegments.Inc()
+	mDecodeRecords.Add(uint64(nrec))
+	mDecodeBytes.Add(uint64(want))
 	return dst[:nrec:nrec], nil
 }

@@ -196,6 +196,7 @@ func (d *Decoder) nextSegment() error {
 	d.segs = append(d.segs, info)
 	d.count += info.Records
 	d.segPay = info.PayloadBytes
+	mDecodeSegments.Inc()
 	// Segments are independently encoded: reset the delta codec state.
 	d.st = deltaState{}
 	return nil
