@@ -2,22 +2,27 @@
 // contains: assembly programs for the simulated machine, and the Go
 // codebase itself.
 //
-//	atum-vet asm [-user] [-protect name:base:size] prog.s...
-//	    Assemble each file and run the asmcheck rule passes (CFG-based:
-//	    wild branches, mid-instruction jumps, unreachable code,
-//	    privileged opcodes on user paths, writes into protected ranges,
-//	    missing termination, unbalanced jsb/rsb stack discipline).
+//	atum-vet asm [-json] [-user] [-protect name:base:size] prog.s...
+//	    Assemble each file and run the asmcheck passes: CFG rules (wild
+//	    branches, mid-instruction jumps, unreachable code, privileged
+//	    opcodes on user paths, missing termination) plus the
+//	    constant-propagating abstract interpreter (computed stores into
+//	    protected ranges, interprocedural jsb/rsb stack discipline).
 //
-//	atum-vet go [dir]
-//	    Run the repo-specific analyzers (tracerecord, reservedaccessor,
-//	    pidtrunc) over every package under dir (default: current
-//	    directory, which should be the module root).
+//	atum-vet go [-json] [dir]
+//	    Type-check the module under dir (default: current directory,
+//	    which should be the module root) and run the repo-specific
+//	    analyzers. The analyzer list in the usage text is generated from
+//	    the registry, so it cannot go stale.
 //
+// With -json, findings from both planes render in one schema suitable
+// for CI artifacts, sorted stably (file, line/address, check, message).
 // Exit status is 1 when any error-severity diagnostic (asm) or any
 // finding (go) is produced.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,13 +49,43 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: atum-vet asm [-user] [-protect name:base:size] prog.s...\n       atum-vet go [dir]")
+	fmt.Fprintln(os.Stderr, "usage: atum-vet asm [-json] [-user] [-protect name:base:size] prog.s...\n       atum-vet go [-json] [dir]")
+	fmt.Fprintln(os.Stderr, "\ngo analyzers:")
+	for _, a := range analyzers.All() {
+		fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, a.Doc)
+	}
 	os.Exit(2)
+}
+
+// finding is the one JSON schema both planes share. Go findings carry
+// file/line/col; asm findings carry file/addr/block.
+type finding struct {
+	Plane    string `json:"plane"` // "go" or "asm"
+	Check    string `json:"check"` // analyzer name or asmcheck rule ID
+	File     string `json:"file"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Addr     string `json:"addr,omitempty"`
+	Block    string `json:"block,omitempty"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+func emitJSON(fs []finding) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if fs == nil {
+		fs = []finding{}
+	}
+	if err := enc.Encode(fs); err != nil {
+		fatal(err)
+	}
 }
 
 func vetAsm(args []string) {
 	fs := flag.NewFlagSet("asm", flag.ExitOnError)
 	user := fs.Bool("user", false, "check under the user-mode profile (workload programs)")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	var protects multiFlag
 	fs.Var(&protects, "protect", "protected range name:base:size (repeatable)")
 	fs.Parse(args)
@@ -71,6 +106,7 @@ func vetAsm(args []string) {
 	}
 
 	failed := false
+	var out []finding
 	for _, path := range fs.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
@@ -84,11 +120,23 @@ func vetAsm(args []string) {
 		}
 		diags := asmcheck.Check(prog, opts)
 		for _, d := range diags {
-			fmt.Printf("%s: %s\n", path, d)
+			if *jsonOut {
+				out = append(out, finding{
+					Plane: "asm", Check: d.Rule, File: path,
+					Addr:     fmt.Sprintf("%#x", d.Addr),
+					Block:    fmt.Sprintf("%#x", d.Block),
+					Severity: d.Sev.String(), Message: d.Msg,
+				})
+			} else {
+				fmt.Printf("%s: %s\n", path, d)
+			}
 		}
 		if asmcheck.HasErrors(diags) {
 			failed = true
 		}
+	}
+	if *jsonOut {
+		emitJSON(out) // Check() already sorts per file; files in arg order
 	}
 	if failed {
 		os.Exit(1)
@@ -96,16 +144,31 @@ func vetAsm(args []string) {
 }
 
 func vetGo(args []string) {
+	fs := flag.NewFlagSet("go", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	fs.Parse(args)
 	dir := "."
-	if len(args) > 0 {
-		dir = args[0]
+	if fs.NArg() > 0 {
+		dir = fs.Arg(0)
 	}
 	findings, err := analyzers.RunDir(dir, analyzers.All())
 	if err != nil {
 		fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonOut {
+		var out []finding
+		for _, f := range findings {
+			out = append(out, finding{
+				Plane: "go", Check: f.Analyzer, File: f.Pos.Filename,
+				Line: f.Pos.Line, Col: f.Pos.Column,
+				Severity: "error", Message: f.Msg,
+			})
+		}
+		emitJSON(out) // RunDir sorts by file, line, analyzer, message
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		os.Exit(1)

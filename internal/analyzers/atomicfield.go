@@ -1,0 +1,120 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// AtomicField enforces the first concurrency invariant PR 5 had to fix
+// at runtime: a struct field that is ever accessed through sync/atomic
+// (atomic.AddUint64(&s.n, 1), atomic.LoadUint64(&s.n), ...) must never
+// be read or written plainly. The pre-fix SpillService kept its spilled/
+// lost counters as plain uint64 fields, incremented them directly on the
+// spill path and read them atomically (or not at all) from the polling
+// path — a data race the -race detector only catches when a test happens
+// to poll mid-capture. Mixed atomic/plain access is statically visible,
+// and this pass flags every plain access to a field the same package
+// also touches atomically.
+//
+// The pass needs type information twice over: to resolve the callee to
+// the real sync/atomic package (not a same-named import), and to track
+// field identity through any selector chain (s.counters.n and c.n are
+// the same field object).
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed through sync/atomic must never be read or written plainly",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	// Phase 1: find every &s.f handed to a sync/atomic function. The
+	// selector nodes themselves are remembered so phase 2 does not flag
+	// the atomic access sites.
+	atomicFields := map[*types.Var][]ast.Node{} // field -> atomic-use selector nodes
+	atomicSites := map[ast.Node]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			// Every address-taking sync/atomic function (Add*, Load*,
+			// Store*, Swap*, CompareAndSwap*) takes the address first.
+			if len(call.Args) == 0 {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if v := fieldVarOf(p.Info, sel); v != nil {
+				atomicFields[v] = append(atomicFields[v], sel)
+				atomicSites[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Phase 2: every other occurrence of those fields is a plain access
+	// racing with the atomic sites.
+	type plain struct {
+		sel   *ast.SelectorExpr
+		field *types.Var
+	}
+	var plains []plain
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSites[sel] {
+				return true
+			}
+			v := fieldVarOf(p.Info, sel)
+			if v == nil {
+				return true
+			}
+			if _, tracked := atomicFields[v]; tracked {
+				plains = append(plains, plain{sel, v})
+			}
+			return true
+		})
+	}
+	sort.Slice(plains, func(i, j int) bool { return plains[i].sel.Pos() < plains[j].sel.Pos() })
+	for _, pl := range plains {
+		p.Reportf(pl.sel.Pos(),
+			"plain access to field %s, which is accessed via sync/atomic %s; every access must be atomic (or migrate the field to an atomic.* type)",
+			fieldDesc(pl.field), posHint(p, atomicFields[pl.field][0]))
+	}
+}
+
+// fieldDesc renders Struct.field for diagnostics.
+func fieldDesc(v *types.Var) string {
+	name := v.Name()
+	// The owning struct is not directly recorded on the field var; the
+	// package plus name is unambiguous enough for a diagnostic.
+	if v.Pkg() != nil {
+		return fmt.Sprintf("%s (package %s)", name, v.Pkg().Name())
+	}
+	return name
+}
+
+// posHint renders the first atomic access site ("at spill.go:191").
+func posHint(p *Pass, n ast.Node) string {
+	pos := p.Fset.Position(n.Pos())
+	return fmt.Sprintf("at %s:%d", shortFile(pos.Filename), pos.Line)
+}

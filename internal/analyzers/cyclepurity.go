@@ -1,0 +1,164 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CyclePurity proves the "telemetry never charges simulated cycles"
+// invariant statically: no function reachable on the static call graph
+// from internal/obs may write micro.Machine.Cycles — neither a direct
+// assignment (m.Cycles += n, m.Cycles++) nor a call to
+// Machine.ChargeCycles. PR 5 pins this dynamically
+// (TestMetricsOffMeasurementPath compares DilationCycles against
+// Recorded×CostPerRecord); this pass pins it at vet time, so a future
+// obs hook that reaches back into the machine fails the build gate, not
+// a measurement.
+//
+// The call graph covers direct calls (identifiers and selectors that
+// resolve to a *types.Func); calls through function values are not
+// resolved, which is safe here because obs deliberately holds no
+// function-typed hooks — if one appears, this doc is the reminder that
+// the pass must grow with it.
+var CyclePurity = &Analyzer{
+	Name:      "cyclepurity",
+	Doc:       "no function reachable from internal/obs may write Machine.Cycles or call ChargeCycles",
+	RunModule: runCyclePurity,
+}
+
+// obsDir is the package whose reachable set must stay cycle-pure.
+const obsDir = "internal/obs"
+
+func runCyclePurity(p *ModulePass) {
+	// Collect every function declaration in the module, keyed by its
+	// type object, together with the Info of its declaring package
+	// (needed to resolve calls inside its body).
+	type fnDecl struct {
+		decl *ast.FuncDecl
+		pkg  *Package
+	}
+	decls := map[*types.Func]fnDecl{}
+	var roots []*types.Func
+	for _, pkg := range p.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				decls[obj] = fnDecl{fd, pkg}
+				if pkg.Dir == obsDir {
+					roots = append(roots, obj)
+				}
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+
+	// BFS over direct call edges, remembering one parent per function so
+	// a finding can show the path from obs.
+	parent := map[*types.Func]*types.Func{}
+	seen := map[*types.Func]bool{}
+	queue := append([]*types.Func(nil), roots...)
+	for _, r := range roots {
+		seen[r] = true
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd := decls[fn]
+		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(fd.pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			if _, declared := decls[callee]; !declared || seen[callee] {
+				return true
+			}
+			seen[callee] = true
+			parent[callee] = fn
+			queue = append(queue, callee)
+			return true
+		})
+	}
+
+	// Scan every reachable body for cycle writes.
+	reachable := make([]*types.Func, 0, len(seen))
+	for fn := range seen {
+		reachable = append(reachable, fn)
+	}
+	sort.Slice(reachable, func(i, j int) bool { return reachable[i].Pos() < reachable[j].Pos() })
+	for _, fn := range reachable {
+		fd := decls[fn]
+		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && isCyclesField(fd.pkg.Info, sel) {
+						p.Reportf(n.Pos(), "write to Machine.Cycles reachable from %s (%s)", obsDir, pathTo(fn, parent))
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && isCyclesField(fd.pkg.Info, sel) {
+					p.Reportf(n.Pos(), "write to Machine.Cycles reachable from %s (%s)", obsDir, pathTo(fn, parent))
+				}
+			case *ast.CallExpr:
+				if callee := calleeFunc(fd.pkg.Info, n); callee != nil && isChargeCycles(callee) {
+					p.Reportf(n.Pos(), "call to Machine.ChargeCycles reachable from %s (%s)", obsDir, pathTo(fn, parent))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isCyclesField reports whether the selector selects the Cycles field
+// of internal/micro.Machine.
+func isCyclesField(info *types.Info, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Cycles" {
+		return false
+	}
+	v := fieldVarOf(info, sel)
+	if v == nil || v.Pkg() == nil {
+		return false
+	}
+	return pathHasSuffix(v.Pkg().Path(), "internal/micro")
+}
+
+// isChargeCycles reports whether fn is the ChargeCycles method of
+// internal/micro.Machine.
+func isChargeCycles(fn *types.Func) bool {
+	if fn.Name() != "ChargeCycles" || fn.Pkg() == nil || !pathHasSuffix(fn.Pkg().Path(), "internal/micro") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && isNamedType(sig.Recv().Type(), "internal/micro", "Machine")
+}
+
+// pathTo renders the call chain from an obs root to fn.
+func pathTo(fn *types.Func, parent map[*types.Func]*types.Func) string {
+	var chain []string
+	for f := fn; f != nil; f = parent[f] {
+		chain = append(chain, f.Name())
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return "path: " + strings.Join(chain, " -> ")
+}

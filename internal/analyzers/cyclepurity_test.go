@@ -1,0 +1,66 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCyclePurityCrossPackage exercises the part of the pass the golden
+// fixtures cannot: a cycle write reached from internal/obs through a
+// call into a different package. The helper package is registered in
+// the module's import cache so the obs-posing package resolves it to
+// real type objects, exactly as module-internal imports do.
+func TestCyclePurityCrossPackage(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const helperSrc = `package simhelper
+
+import "atum/internal/micro"
+
+func Charge(m *micro.Machine) { m.Cycles += 8 }
+`
+	hf, err := parser.ParseFile(mod.Fset, "simhelper_fixture.go", helperSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	helper := mod.CheckExtra("internal/simhelper", []*ast.File{hf})
+	mod.cache["atum/internal/simhelper"] = helper.Types
+
+	const obsSrc = `package obshook
+
+import (
+	"atum/internal/micro"
+	"atum/internal/simhelper"
+)
+
+func Observe(m *micro.Machine) { simhelper.Charge(m) }
+`
+	of, err := parser.ParseFile(mod.Fset, "obshook_fixture.go", obsSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := mod.CheckExtra("internal/obs", []*ast.File{of})
+
+	var findings []Finding
+	CyclePurity.RunModule(&ModulePass{
+		Fset: mod.Fset, Pkgs: []*Package{obs, helper},
+		findings: &findings, analyzer: CyclePurity.Name,
+	})
+
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	msg := findings[0].Msg
+	if !strings.Contains(msg, "write to Machine.Cycles reachable from internal/obs") {
+		t.Errorf("finding message %q does not name the invariant", msg)
+	}
+	if !strings.Contains(msg, "path: Observe -> Charge") {
+		t.Errorf("finding message %q does not show the call chain Observe -> Charge", msg)
+	}
+}

@@ -3,11 +3,11 @@ package analyzers
 import (
 	"go/ast"
 	"go/parser"
-	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -18,11 +18,22 @@ var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
 // allowlists:  // vet:dir internal/cache
 var dirRe = regexp.MustCompile(`// vet:dir (\S+)`)
 
+// loadTestModule loads the real module once per test binary: fixtures
+// type-check against it, so an import of atum/internal/trace in a
+// fixture resolves to the genuine Record type.
+var loadTestModule = sync.OnceValues(func() (*Module, error) {
+	return LoadModule(filepath.Join("..", ".."))
+})
+
 // TestGolden runs each analyzer over its fixture directory. Every
 // finding must match a same-line `// want "regex"` comment and every
 // want comment must be hit — the analysistest contract, re-implemented
-// over the stdlib parser.
+// over the stdlib parser and type checker.
 func TestGolden(t *testing.T) {
+	mod, err := loadTestModule()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, a := range All() {
 		t.Run(a.Name, func(t *testing.T) {
 			files, err := filepath.Glob(filepath.Join("testdata", "src", a.Name, "*.go"))
@@ -30,13 +41,13 @@ func TestGolden(t *testing.T) {
 				t.Fatalf("no fixtures for %s: %v", a.Name, err)
 			}
 			for _, path := range files {
-				runGoldenFile(t, a, path)
+				runGoldenFile(t, mod, a, path)
 			}
 		})
 	}
 }
 
-func runGoldenFile(t *testing.T, a *Analyzer, path string) {
+func runGoldenFile(t *testing.T, mod *Module, a *Analyzer, path string) {
 	t.Helper()
 	src, err := os.ReadFile(path)
 	if err != nil {
@@ -62,13 +73,25 @@ func runGoldenFile(t *testing.T, a *Analyzer, path string) {
 		}
 	}
 
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	f, err := parser.ParseFile(mod.Fset, path, src, parser.ParseComments)
 	if err != nil {
 		t.Fatalf("%s: %v", path, err)
 	}
+	pkg := mod.CheckExtra(dir, []*ast.File{f})
 	var findings []Finding
-	runPass(fset, dir, []*ast.File{f}, []*Analyzer{a}, &findings)
+	if a.Run != nil {
+		a.Run(&Pass{
+			Fset: mod.Fset, Dir: pkg.Dir, Files: pkg.Files,
+			Pkg: pkg.Types, Info: pkg.Info,
+			findings: &findings, analyzer: a.Name,
+		})
+	}
+	if a.RunModule != nil {
+		a.RunModule(&ModulePass{
+			Fset: mod.Fset, Pkgs: []*Package{pkg},
+			findings: &findings, analyzer: a.Name,
+		})
+	}
 
 	for _, fd := range findings {
 		matched := false
@@ -93,13 +116,15 @@ func runGoldenFile(t *testing.T, a *Analyzer, path string) {
 }
 
 // TestRepoClean gates the codebase on its own analyzers: the whole
-// module must produce zero findings.
+// module must produce zero findings. The engine runs per-package passes
+// concurrently, so the CI -race run of this test doubles as the race
+// gate on the analyzer engine itself.
 func TestRepoClean(t *testing.T) {
-	findings, err := RunDir(filepath.Join("..", ".."), All())
+	mod, err := loadTestModule()
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range findings {
+	for _, f := range RunModule(mod, All()) {
 		t.Errorf("%s", f)
 	}
 }

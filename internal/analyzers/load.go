@@ -1,0 +1,301 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Dir is the slash-separated package directory relative to the
+	// module root (e.g. "internal/trace"); analyzers use it for
+	// package-allowlist rules and fixtures override it with // vet:dir.
+	Dir string
+	// Path is the import path (module path + "/" + Dir).
+	Path  string
+	Files []*ast.File
+	// Types and Info carry the go/types results. Type checking is
+	// tolerant — a package that does not fully check still yields
+	// whatever objects resolved — so passes must treat missing type
+	// information as "unknown", never as proof of cleanliness.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a loaded, type-checked module: every package under the
+// root, checked in dependency order so that module-internal imports
+// resolve to real type objects rather than stubs.
+//
+// The loader keeps the framework's zero-dependency rule: module
+// packages are resolved from source by the loader itself, and standard
+// library imports go through go/importer's source resolution (the
+// stdlib analogue of golang.org/x/tools/go/packages, which is not
+// vendored here). When a standard library package cannot be imported
+// (no GOROOT source on a stripped machine), the loader substitutes an
+// empty stub and type checking degrades gracefully: module-internal
+// types still resolve, and the passes report only what they can prove.
+type Module struct {
+	Root string // absolute module root
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	cache map[string]*types.Package // import path -> checked package
+	std   types.Importer
+}
+
+// LoadModule parses and type-checks every non-test package under root
+// (recursively, skipping testdata and hidden directories), resolving
+// module-internal imports in dependency order.
+func LoadModule(root string) (*Module, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(absRoot)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	m := &Module{
+		Root:  absRoot,
+		Path:  modPath,
+		Fset:  fset,
+		cache: map[string]*types.Package{},
+		std:   importer.ForCompiler(fset, "source", nil),
+	}
+
+	byDir, err := sourceFilesByDir(root)
+	if err != nil {
+		return nil, err
+	}
+
+	// Parse everything first so the import graph is known before any
+	// type checking starts.
+	type parsed struct {
+		dir     string // module-relative, slash-separated
+		files   []*ast.File
+		imports map[string]bool // module-internal import paths
+	}
+	var pkgs []*parsed
+	byPath := map[string]*parsed{}
+	dirs := make([]string, 0, len(byDir))
+	for d := range byDir {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			rel = dir
+		}
+		rel = filepath.ToSlash(rel)
+		p := &parsed{dir: rel, imports: map[string]bool{}}
+		sort.Strings(byDir[dir])
+		for _, path := range byDir[dir] {
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			p.files = append(p.files, f)
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					p.imports[ip] = true
+				}
+			}
+		}
+		pkgs = append(pkgs, p)
+		byPath[importPath(modPath, rel)] = p
+	}
+
+	// Topological order over module-internal imports (DFS postorder).
+	// An import cycle would not compile, so it is a hard error here.
+	const (
+		white = iota
+		grey
+		black
+	)
+	state := map[*parsed]int{}
+	var order []*parsed
+	var visit func(p *parsed) error
+	visit = func(p *parsed) error {
+		switch state[p] {
+		case grey:
+			return fmt.Errorf("analyzers: import cycle through %s", p.dir)
+		case black:
+			return nil
+		}
+		state[p] = grey
+		deps := make([]string, 0, len(p.imports))
+		for ip := range p.imports {
+			deps = append(deps, ip)
+		}
+		sort.Strings(deps)
+		for _, ip := range deps {
+			if dep, ok := byPath[ip]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p] = black
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, p := range order {
+		pkg := m.check(importPath(modPath, p.dir), p.dir, p.files)
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	// Present packages in directory order regardless of check order, so
+	// finding output is stable.
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Dir < m.Pkgs[j].Dir })
+	return m, nil
+}
+
+// check type-checks one package tolerantly and registers it in the
+// import cache under path.
+func (m *Module) check(path, dir string, files []*ast.File) *Package {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: m,
+		// Tolerant: collect nothing, keep checking. The build gate
+		// (tier-1 go build) owns compile errors; the analyzers only
+		// need whatever type information resolves.
+		Error: func(error) {},
+	}
+	tpkg, _ := conf.Check(path, m.Fset, files, info)
+	if tpkg == nil {
+		tpkg = types.NewPackage(path, "_")
+	}
+	m.cache[path] = tpkg
+	return &Package{Dir: dir, Path: path, Files: files, Types: tpkg, Info: info}
+}
+
+// CheckExtra type-checks a standalone package (analyzer fixtures)
+// against the module: imports of module packages resolve to the real,
+// already-loaded types. dir poses as the package's module-relative
+// directory for allowlist rules. The package is not added to the
+// module or its import cache.
+func (m *Module) CheckExtra(dir string, files []*ast.File) *Package {
+	// The synthetic import path must not collide with a real module
+	// package: a fixture posing as internal/trace still imports the real
+	// atum/internal/trace, and go/types treats a same-path import as a
+	// self-import error.
+	path := importPath(m.Path, dir) + "__fixture"
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: m, Error: func(error) {}}
+	tpkg, _ := conf.Check(path, m.Fset, files, info)
+	if tpkg == nil {
+		tpkg = types.NewPackage(path, "_")
+	}
+	return &Package{Dir: dir, Path: path, Files: files, Types: tpkg, Info: info}
+}
+
+// Import implements types.Importer: module packages come from the
+// dependency-ordered cache, everything else from the stdlib source
+// importer, degrading to an empty stub if that fails.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.cache[path]; ok {
+		return pkg, nil
+	}
+	if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+		// Module package outside the walked tree (or a load-order bug):
+		// stub it rather than abort the whole analysis.
+		return m.stub(path), nil
+	}
+	pkg, err := m.std.Import(path)
+	if err != nil {
+		return m.stub(path), nil
+	}
+	m.cache[path] = pkg
+	return pkg, nil
+}
+
+func (m *Module) stub(path string) *types.Package {
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	m.cache[path] = pkg
+	return pkg
+}
+
+func importPath(modPath, rel string) string {
+	if rel == "." || rel == "" {
+		return modPath
+	}
+	return modPath + "/" + rel
+}
+
+// modulePath reads the module path from go.mod at root.
+func modulePath(root string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analyzers: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analyzers: no module line in %s/go.mod", root)
+}
+
+// sourceFilesByDir walks root and groups every non-test .go file by
+// directory, skipping testdata and hidden directories.
+func sourceFilesByDir(root string) (map[string][]string, error) {
+	byDir := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		byDir[dir] = append(byDir[dir], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return byDir, nil
+}

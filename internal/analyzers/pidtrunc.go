@@ -3,6 +3,7 @@ package analyzers
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -13,6 +14,11 @@ import (
 // wrong process. A conversion is considered guarded when the operand is
 // masked (x & 0xFF) or the function compares a PID-shaped value against
 // the 8-bit limit before converting.
+//
+// The pass is type-aware: only genuine conversions to a uint8-underlying
+// type are considered (a call to a function named uint8 is not), and a
+// conversion whose operand is already 8 bits wide is harmless and
+// skipped — truncation requires a wider integer coming in.
 var PIDTrunc = &Analyzer{
 	Name: "pidtrunc",
 	Doc:  "uint8 conversions of PID values require a bounds check or explicit mask",
@@ -32,11 +38,13 @@ func runPIDTrunc(p *Pass) {
 				if !ok || len(call.Args) != 1 {
 					return true
 				}
-				id, ok := call.Fun.(*ast.Ident)
-				if !ok || id.Name != "uint8" {
+				if !p.isUint8Conversion(call) {
 					return true
 				}
 				arg := call.Args[0]
+				if p.isNarrowAlready(arg) {
+					return true // converting an 8-bit value loses nothing
+				}
 				if !isPIDExpr(arg) || isMasked(arg) || guarded {
 					return true
 				}
@@ -45,6 +53,42 @@ func runPIDTrunc(p *Pass) {
 			})
 		}
 	}
+}
+
+// isUint8Conversion reports whether the call is a type conversion to a
+// type whose underlying type is uint8. With full type information the
+// conversion-ness is exact; without it (a fixture that does not check)
+// the bare name uint8 is accepted.
+func (p *Pass) isUint8Conversion(call *ast.CallExpr) bool {
+	if p.Info != nil {
+		if tv, ok := p.Info.Types[call.Fun]; ok {
+			if !tv.IsType() {
+				return false
+			}
+			b, ok := tv.Type.Underlying().(*types.Basic)
+			return ok && (b.Kind() == types.Uint8)
+		}
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "uint8"
+}
+
+// isNarrowAlready reports whether the operand's type is already no wider
+// than 8 bits, making the conversion lossless.
+func (p *Pass) isNarrowAlready(arg ast.Expr) bool {
+	t := p.typeOf(arg)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Uint8, types.Int8, types.Bool:
+		return true
+	}
+	return false
 }
 
 // isPIDExpr reports whether the expression names a PID: an identifier or

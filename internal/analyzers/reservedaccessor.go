@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -11,6 +12,10 @@ import (
 // only the kernel's frame accounting knows where it starts. A simulator
 // or analysis package reading ReservedBase is almost always about to
 // peek at (or scribble on) trace memory behind the collector's back.
+//
+// The pass is type-aware: the callee must resolve to the ReservedBase
+// method declared on internal/mem.Physical, so an unrelated method that
+// happens to share the name is out of scope.
 var ReservedAccessor = &Analyzer{
 	Name: "reservedaccessor",
 	Doc:  "only the tracing layers (internal/atum, internal/kernel, internal/mem) may call ReservedBase",
@@ -36,8 +41,15 @@ func runReservedAccessor(p *Pass) {
 			if !ok {
 				return true
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "ReservedBase" {
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Name() != "ReservedBase" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			if sig.Recv() == nil || !isNamedType(sig.Recv().Type(), "internal/mem", "Physical") {
 				return true
 			}
 			p.Reportf(call.Pos(), "call to ReservedBase outside the tracing layers (%s); go through atum.Collector instead",

@@ -1,0 +1,29 @@
+// Fixtures for the atomicfield analyzer. This is the exact shape
+// SpillService had before PR 5 migrated its counters to atomic.Uint64:
+// plain uint64 fields incremented directly on the spill path and read
+// through sync/atomic from the polling path. The race detector needs a
+// test to poll mid-capture to see it; the analyzer sees it statically.
+package fixtures
+
+import "sync/atomic"
+
+type spillService struct {
+	spilled uint64
+	lost    uint64
+}
+
+func (s *spillService) spillOne(dropped bool) {
+	s.spilled++ // want "plain access to field spilled"
+	if dropped {
+		s.lost += 1 // want "plain access to field lost"
+	}
+}
+
+func (s *spillService) stats() (uint64, uint64) {
+	return atomic.LoadUint64(&s.spilled), atomic.LoadUint64(&s.lost)
+}
+
+func (s *spillService) reset() {
+	s.spilled = 0 // want "plain access to field spilled"
+	s.lost = 0    // want "plain access to field lost"
+}

@@ -1,0 +1,30 @@
+// Clean fixtures for the atomicfield analyzer.
+package fixtures
+
+import "sync/atomic"
+
+// Consistently atomic plain-typed fields are fine: the pass objects to
+// mixing, not to the sync/atomic call style itself.
+type consistent struct {
+	n uint64
+}
+
+func (c *consistent) add()           { atomic.AddUint64(&c.n, 1) }
+func (c *consistent) load() uint64   { return atomic.LoadUint64(&c.n) }
+func (c *consistent) store(v uint64) { atomic.StoreUint64(&c.n, v) }
+
+// The post-PR-5 shape: atomic.* typed fields are always safe — every
+// access goes through the type's methods, so phase 1 never tracks them.
+type migrated struct {
+	n atomic.Uint64
+}
+
+func (m *migrated) add()         { m.n.Add(1) }
+func (m *migrated) load() uint64 { return m.n.Load() }
+
+// A field never touched atomically is out of scope entirely.
+type plainOnly struct {
+	n uint64
+}
+
+func (p *plainOnly) bump() { p.n++ }

@@ -1,0 +1,27 @@
+// vet:dir internal/obs
+// Fixtures for the cyclepurity analyzer: telemetry code that charges
+// simulated cycles, directly and through a helper chain.
+package fixtures
+
+import "atum/internal/micro"
+
+type hook struct{ m *micro.Machine }
+
+func (h *hook) observe() {
+	h.m.Cycles += 4 // want "write to Machine.Cycles reachable from internal/obs"
+}
+
+func (h *hook) tick() {
+	h.m.ChargeCycles(1) // want "call to Machine.ChargeCycles reachable from internal/obs"
+}
+
+func (h *hook) indirect() {
+	chargeViaHelper(h.m)
+}
+
+// Every function declared here is itself an obs root, so the path is
+// one name deep; TestCyclePurityCrossPackage covers multi-hop chains
+// into another package.
+func chargeViaHelper(m *micro.Machine) {
+	m.Cycles++ // want "write to Machine.Cycles reachable from internal/obs .path: chargeViaHelper"
+}

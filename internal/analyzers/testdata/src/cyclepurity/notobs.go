@@ -1,0 +1,11 @@
+// vet:dir internal/sim
+// A package outside internal/obs may charge cycles freely — that is
+// what the machine's cost model is for.
+package fixtures
+
+import "atum/internal/micro"
+
+func step(m *micro.Machine) {
+	m.Cycles += 2
+	m.ChargeCycles(3)
+}

@@ -1,0 +1,17 @@
+// vet:dir internal/obs
+// Clean fixtures for the cyclepurity analyzer: reading the clock is
+// fine — observation must be free, not blind.
+package fixtures
+
+import "atum/internal/micro"
+
+type gauge struct{ m *micro.Machine }
+
+func (g *gauge) sample() uint64 {
+	return g.m.Cycles // reads are pure
+}
+
+func (g *gauge) drift(base uint64) uint64 {
+	d := g.m.Cycles - base
+	return d
+}

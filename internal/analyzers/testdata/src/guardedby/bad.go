@@ -1,0 +1,25 @@
+// Fixtures for the guardedby analyzer: annotated fields reached
+// without their lock. This mirrors SpillService's sinkErr/closed
+// state, which is meaningful only under its mutex.
+package fixtures
+
+import "sync"
+
+type service struct {
+	mu     sync.Mutex
+	err    error // guarded by mu
+	closed bool  // guarded by mu
+}
+
+func (s *service) fail(err error) {
+	s.err = err // want "access to s.err outside s.mu.Lock"
+}
+
+func (s *service) isClosed() bool {
+	return s.closed // want "access to s.closed outside s.mu.Lock"
+}
+
+type typoed struct {
+	mu  sync.Mutex
+	err error // guarded by lock // want "not a sibling field"
+}

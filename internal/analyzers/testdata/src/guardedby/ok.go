@@ -1,0 +1,30 @@
+// Clean fixtures for the guardedby analyzer.
+package fixtures
+
+import "sync"
+
+type service struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	err   error // guarded by mu
+	gauge int   // guarded by rw
+	free  int   // unguarded: out of scope
+}
+
+func (s *service) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.err = err
+}
+
+func (s *service) snapshot() (error, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rw.RLock() // RLock counts: read-side access is still under the lock
+	defer s.rw.RUnlock()
+	return s.err, s.gauge
+}
+
+func (s *service) bumpFree() {
+	s.free++ // no annotation, no complaint
+}

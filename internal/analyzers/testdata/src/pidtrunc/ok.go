@@ -1,6 +1,8 @@
 // Clean fixtures for the pidtrunc analyzer.
 package fixtures
 
+import "math"
+
 func okMask(pid int) uint8 {
 	return uint8(pid & 0xFF)
 }
@@ -21,4 +23,10 @@ func okGuardMax(pid uint64) uint8 {
 
 func okNotPID(n int) uint8 {
 	return uint8(n) // not PID-shaped: out of scope
+}
+
+// With type information the pass now knows a uint8 operand cannot
+// truncate, guard or no guard.
+func okAlreadyNarrow(pid uint8) uint8 {
+	return uint8(pid)
 }

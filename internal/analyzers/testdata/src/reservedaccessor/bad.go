@@ -2,6 +2,8 @@
 // A simulation package peeking at the reserved trace region.
 package fixtures
 
+import "atum/internal/micro"
+
 func bad(m *micro.Machine) uint32 {
 	return m.Mem.ReservedBase() // want "outside the tracing layers"
 }

@@ -1,0 +1,13 @@
+// vet:dir internal/cache
+// A same-named method on an unrelated receiver is out of scope: the
+// pass matches the ReservedBase method of internal/mem.Physical by
+// object identity, not by name.
+package fixtures
+
+type fakeMem struct{}
+
+func (fakeMem) ReservedBase() uint32 { return 0 }
+
+func okUnrelated(f fakeMem) uint32 {
+	return f.ReservedBase()
+}

@@ -2,6 +2,8 @@
 // The collector itself is allowed to locate the reserved region.
 package fixtures
 
+import "atum/internal/micro"
+
 func ok(m *micro.Machine) uint32 {
 	return m.Mem.ReservedBase()
 }

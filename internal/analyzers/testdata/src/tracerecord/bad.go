@@ -1,6 +1,9 @@
 // Fixtures for the tracerecord analyzer: literals that violate the
-// Record field conventions. Parsed, never compiled.
+// Record field conventions. Type-checked against the real module, so
+// the literal type is the genuine trace.Record.
 package fixtures
+
+import "atum/internal/trace"
 
 func bad() {
 	_ = trace.Record{Addr: 4, Width: 4}                             // want "does not set Kind"

@@ -1,6 +1,8 @@
 // Clean fixtures for the tracerecord analyzer.
 package fixtures
 
+import "atum/internal/trace"
+
 func ok(k trace.Kind, w uint8) {
 	_ = trace.Record{Kind: trace.KindDRead, Addr: 4, Width: 4}
 	_ = trace.Record{Kind: trace.KindCtxSwitch, PID: 1, Extra: 1}
@@ -8,4 +10,16 @@ func ok(k trace.Kind, w uint8) {
 	_ = trace.Record{Kind: k, Addr: 4, Width: w}               // dynamic kind: not judged
 	_ = trace.Record{}                                         // empty zero value: explicit enough
 	_ = trace.Record{trace.KindDRead, 4, 4, 1, true, false, 0} // positional: all fields present
+}
+
+// A same-named type elsewhere is out of scope now that matching is by
+// type identity, not by literal syntax.
+type Record struct {
+	Kind  int
+	Addr  uint32
+	Width uint8
+}
+
+func okOtherRecord() {
+	_ = Record{Addr: 4, Width: 4} // no trace.Kind here: not ours
 }

@@ -2,8 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
-	"strconv"
-	"strings"
+	"go/types"
 )
 
 // TraceOpen flags calls to the deprecated trace read entry points —
@@ -13,6 +12,11 @@ import (
 // trace.Open, which serves both the monolithic and the segmented
 // container; a caller on a wrapper is a caller that silently predates
 // segmented streams.
+//
+// The pass is type-aware: the callee must resolve to a function
+// declared in internal/trace, so import aliasing is handled by object
+// identity rather than import-name scanning, and a same-named function
+// or method anywhere else is out of scope.
 var TraceOpen = &Analyzer{
 	Name: "traceopen",
 	Doc:  "deprecated trace read entry points (ReadFile/ReadFileMeta/ReadArena/NewDecoder); use trace.Open",
@@ -32,44 +36,23 @@ func runTraceOpen(p *Pass) {
 		return
 	}
 	for _, f := range p.Files {
-		// Resolve the local name of the trace import; skip files that
-		// don't import it (the method names are too generic to flag
-		// unqualified).
-		alias := traceImportName(f)
-		if alias == "" {
-			continue
-		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !deprecatedTraceReaders[sel.Sel.Name] {
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || !deprecatedTraceReaders[fn.Name()] {
 				return true
 			}
-			pkg, ok := sel.X.(*ast.Ident)
-			if !ok || pkg.Name != alias {
+			if fn.Pkg() == nil || !pathHasSuffix(fn.Pkg().Path(), "internal/trace") {
 				return true
 			}
-			p.Reportf(call.Pos(), "deprecated trace.%s; use trace.Open (reads segmented captures too)", sel.Sel.Name)
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // a method sharing the name is not the wrapper
+			}
+			p.Reportf(call.Pos(), "deprecated trace.%s; use trace.Open (reads segmented captures too)", fn.Name())
 			return true
 		})
 	}
-}
-
-// traceImportName returns the name the file refers to internal/trace
-// by ("trace" unless aliased), or "" if the file does not import it.
-func traceImportName(f *ast.File) string {
-	for _, imp := range f.Imports {
-		path, err := strconv.Unquote(imp.Path.Value)
-		if err != nil || !strings.HasSuffix(path, "internal/trace") {
-			continue
-		}
-		if imp.Name != nil {
-			return imp.Name.Name
-		}
-		return "trace"
-	}
-	return ""
 }

@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // TraceRecord checks keyed trace.Record composite literals: every literal
@@ -10,6 +11,11 @@ import (
 // encodes a 1-byte reference), and marker kinds must not carry one
 // (markers decode to Width 0; a literal claiming otherwise cannot
 // round-trip through the trace buffer).
+//
+// The pass is type-aware: literals are matched by the named type
+// internal/trace.Record (aliases and local names included), and Kind
+// values resolve to the constant object they denote, so a renamed
+// import or a constant reached through a local alias is still judged.
 var TraceRecord = &Analyzer{
 	Name: "tracerecord",
 	Doc:  "trace.Record literals set Kind, and Width exactly when the kind is a memory reference",
@@ -31,10 +37,9 @@ var memrefKinds = map[string]bool{
 
 func runTraceRecord(p *Pass) {
 	for _, f := range p.Files {
-		inTracePkg := f.Name.Name == "trace"
 		ast.Inspect(f, func(n ast.Node) bool {
 			lit, ok := n.(*ast.CompositeLit)
-			if !ok || !isRecordType(lit.Type, inTracePkg) {
+			if !ok || !isNamedType(p.typeOf(lit), "internal/trace", "Record") {
 				return true
 			}
 			if len(lit.Elts) == 0 {
@@ -67,7 +72,7 @@ func runTraceRecord(p *Pass) {
 				p.Reportf(lit.Pos(), "trace.Record literal does not set Kind (zero value is KindIFetch; say so if meant)")
 				return true
 			}
-			name, constant := kindName(kind)
+			name, constant := p.kindConstName(kind)
 			if !constant {
 				return true // dynamic kind: width requirements depend on runtime value
 			}
@@ -82,31 +87,27 @@ func runTraceRecord(p *Pass) {
 	}
 }
 
-func isRecordType(t ast.Expr, inTracePkg bool) bool {
-	switch t := t.(type) {
-	case *ast.SelectorExpr:
-		x, ok := t.X.(*ast.Ident)
-		return ok && x.Name == "trace" && t.Sel.Name == "Record"
+// kindConstName resolves a Kind value expression to the trace-package
+// constant it denotes (through any import alias or local renaming).
+// ok=false for anything dynamic.
+func (p *Pass) kindConstName(e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
 	case *ast.Ident:
-		return inTracePkg && t.Name == "Record"
-	}
-	return false
-}
-
-// kindName extracts the constant name from a Kind value expression
-// (trace.KindDRead or bare KindDRead). ok=false for anything dynamic.
-func kindName(e ast.Expr) (string, bool) {
-	switch e := e.(type) {
+		id = e
 	case *ast.SelectorExpr:
-		if x, ok := e.X.(*ast.Ident); ok && x.Name == "trace" {
-			return e.Sel.Name, true
-		}
-	case *ast.Ident:
-		if markerKinds[e.Name] || memrefKinds[e.Name] {
-			return e.Name, true
-		}
+		id = e.Sel
+	default:
+		return "", false
 	}
-	return "", false
+	if p.Info == nil {
+		return "", false
+	}
+	c, ok := p.Info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || !pathHasSuffix(c.Pkg().Path(), "internal/trace") {
+		return "", false
+	}
+	return c.Name(), true
 }
 
 func isZeroLit(e ast.Expr) bool {

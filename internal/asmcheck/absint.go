@@ -1,0 +1,300 @@
+package asmcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"atum/internal/vax"
+)
+
+// This file implements constant-propagating abstract interpretation
+// over register values. The CFG passes resolve only operands whose
+// effective address is in the instruction stream itself (absolute and
+// PC-relative); a store through a register —
+//
+//	moval	@#0x10008, r1
+//	movl	r0, (r1)
+//
+// — was invisible to them even when the register provably holds a
+// protected address. The interpreter tracks each general register as
+// either a known 32-bit constant or unknown (top), propagates states
+// across branches with a merge that keeps a value only when every
+// incoming path agrees, and evaluates the effective address of every
+// write operand in the register-based modes the static passes cannot
+// see. Findings merge into the same protected-write rule.
+
+// absVal is one register's abstract value: a known constant or top.
+type absVal struct {
+	known bool
+	v     uint32
+}
+
+// absState is the abstract machine state: one value per general
+// register. SP and PC are never tracked (SP moves with every push, PC
+// is handled by the decoder's own PC arithmetic).
+type absState [16]absVal
+
+// merge meets two states: a register survives only if both sides know
+// it and agree. The second result reports whether a changed.
+func (a absState) merge(b absState) (absState, bool) {
+	changed := false
+	for i := range a {
+		if a[i].known && (!b[i].known || b[i].v != a[i].v) {
+			a[i] = absVal{}
+			changed = true
+		}
+	}
+	return a, changed
+}
+
+// checkComputedWrites runs the interpreter from the program entry
+// points and reports write operands whose computed effective address
+// aliases a protected range.
+func (c *cfg) checkComputedWrites(ranges []Range) []Diag {
+	if len(ranges) == 0 {
+		return nil
+	}
+
+	states := map[uint32]absState{}
+	var work []uint32
+	push := func(a uint32, s absState) {
+		if _, ok := c.instrs[a]; !ok {
+			return
+		}
+		if cur, seen := states[a]; seen {
+			merged, changed := cur.merge(s)
+			if !changed {
+				return
+			}
+			states[a] = merged
+			work = append(work, a)
+			return
+		}
+		states[a] = s
+		work = append(work, a)
+	}
+	for _, e := range c.entries {
+		push(e, absState{})
+	}
+
+	// Propagate to a fixpoint first; diagnostics are emitted afterwards
+	// from the final states, so a constant one path carries is never
+	// reported before a join from another path invalidates it.
+	for len(work) > 0 {
+		addr := work[len(work)-1]
+		work = work[:len(work)-1]
+		d := c.instrs[addr]
+		s := states[addr]
+
+		next := transfer(d, s)
+		si := c.classify(d)
+		for _, t := range si.branches {
+			push(t, next)
+		}
+		for _, t := range si.caseEdge {
+			push(t, next)
+		}
+		isCall := len(si.calls) > 0
+		for _, t := range si.calls {
+			// The callee starts from scratch: its entry state is unknown
+			// because other call sites may reach it too.
+			push(t+si.maskSkip, absState{})
+		}
+		if si.falls {
+			n := addr + uint32(d.Len)
+			if len(si.caseEdge) > 0 {
+				n = c.caseFallAddr(d)
+			}
+			st := next
+			if isCall || d.Info.Opcode == vax.OpCHMK {
+				// Past a call or syscall every register is clobbered.
+				st = absState{}
+			}
+			push(n, st)
+		}
+	}
+
+	// Emit from the fixpoint states.
+	addrs := make([]uint32, 0, len(states))
+	for a := range states {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var out []Diag
+	for _, addr := range addrs {
+		d := c.instrs[addr]
+		s := states[addr]
+		for i, spec := range d.Info.Operands {
+			if spec.Access != vax.AccWrite && spec.Access != vax.AccModify {
+				continue
+			}
+			op := d.Operands[i]
+			ea, ok := evalEA(op, spec, s)
+			if !ok {
+				continue
+			}
+			w := uint32(spec.Width)
+			if w == 0 {
+				w = 1
+			}
+			for _, pr := range ranges {
+				if !pr.contains(ea, w) {
+					continue
+				}
+				out = append(out, Diag{
+					Rule: RuleProtectedWrite, Sev: SevError,
+					Addr: addr, Block: c.blockOf[addr],
+					Msg: fmt.Sprintf("computed write through %s to %#x aliases protected range %q [%#x,%#x)",
+						op, ea, pr.Name, pr.Base, pr.Base+pr.Size),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// evalEA computes the effective address of a register-based memory
+// operand under the abstract state. Absolute and PC-relative modes are
+// deliberately excluded — the static dataRefs pass already resolves
+// those — as are the deferred modes, whose final address is a loaded
+// pointer the interpreter does not model.
+func evalEA(op vax.Operand, spec vax.OperandSpec, s absState) (uint32, bool) {
+	w := uint32(spec.Width)
+	if w == 0 {
+		w = 1
+	}
+	var base uint32
+	switch op.Mode {
+	case vax.ModeRegDeferred:
+		if !s[op.Reg].known {
+			return 0, false
+		}
+		base = s[op.Reg].v
+	case vax.ModeByteDisp, vax.ModeWordDisp, vax.ModeLongDisp:
+		if op.Reg == vax.PC || !s[op.Reg].known {
+			return 0, false
+		}
+		base = s[op.Reg].v + uint32(op.Disp)
+	case vax.ModeAutoInc:
+		if op.Reg == vax.PC || !s[op.Reg].known {
+			return 0, false
+		}
+		base = s[op.Reg].v
+	case vax.ModeAutoDec:
+		if !s[op.Reg].known {
+			return 0, false
+		}
+		base = s[op.Reg].v - w
+	default:
+		return 0, false
+	}
+	if op.Indexed {
+		if !s[op.Xreg].known {
+			return 0, false
+		}
+		base += s[op.Xreg].v * w
+	}
+	return base, true
+}
+
+// transfer applies one instruction's effect to the abstract state.
+func transfer(d vax.Decoded, s absState) absState {
+	pre := s
+
+	// Autoincrement/autodecrement move their base register by the
+	// operand width; keeping the adjusted constant would be possible,
+	// but forgetting it is sound and avoids modelling evaluation order.
+	for i := range d.Info.Operands {
+		op := d.Operands[i]
+		switch op.Mode {
+		case vax.ModeAutoInc, vax.ModeAutoIncDeferred, vax.ModeAutoDec:
+			if op.Reg < vax.PC {
+				s[op.Reg] = absVal{}
+			}
+		}
+	}
+	// Every register destination becomes unknown; the modelled opcodes
+	// below overwrite that with a computed value.
+	for i, spec := range d.Info.Operands {
+		op := d.Operands[i]
+		if op.Mode == vax.ModeRegister && (spec.Access == vax.AccWrite || spec.Access == vax.AccModify) {
+			s[op.Reg] = absVal{}
+		}
+	}
+	set := func(idx int, v absVal) {
+		op := d.Operands[idx]
+		// SP is never tracked: stack discipline has its own pass.
+		if op.Mode == vax.ModeRegister && op.Reg < vax.SP {
+			s[op.Reg] = v
+		}
+	}
+	src := func(idx int) absVal {
+		if k, ok := constOperand(d, idx); ok {
+			return absVal{known: true, v: k}
+		}
+		op := d.Operands[idx]
+		if op.Mode == vax.ModeRegister && !op.Indexed {
+			return pre[op.Reg]
+		}
+		return absVal{}
+	}
+
+	switch d.Info.Opcode {
+	case vax.OpMOVL:
+		set(1, src(0))
+	case vax.OpMOVZBL:
+		if v := src(0); v.known {
+			set(1, absVal{known: true, v: v.v & 0xFF})
+		}
+	case vax.OpMOVZWL:
+		if v := src(0); v.known {
+			set(1, absVal{known: true, v: v.v & 0xFFFF})
+		}
+	case vax.OpCLRL:
+		set(0, absVal{known: true})
+	case vax.OpMOVAL, vax.OpMOVAB:
+		// The address of a statically-resolvable operand is a constant
+		// the program can later dereference — exactly the pattern this
+		// pass exists to catch.
+		if t, ok := d.OperandTarget(0); ok {
+			set(1, absVal{known: true, v: t})
+		}
+	case vax.OpMCOML:
+		if v := src(0); v.known {
+			set(1, absVal{known: true, v: ^v.v})
+		}
+	case vax.OpADDL2:
+		if a, b := src(0), pre1(d, pre); a.known && b.known {
+			set(1, absVal{known: true, v: b.v + a.v})
+		}
+	case vax.OpSUBL2:
+		if a, b := src(0), pre1(d, pre); a.known && b.known {
+			set(1, absVal{known: true, v: b.v - a.v})
+		}
+	case vax.OpADDL3:
+		if a, b := src(0), src(1); a.known && b.known {
+			set(2, absVal{known: true, v: a.v + b.v})
+		}
+	case vax.OpSUBL3:
+		if a, b := src(0), src(1); a.known && b.known {
+			set(2, absVal{known: true, v: b.v - a.v})
+		}
+	case vax.OpMOVC3, vax.OpMOVC5:
+		// The block-move microinstructions leave their cursor state in
+		// r0-r5.
+		for r := vax.R0; r <= vax.R5; r++ {
+			s[r] = absVal{}
+		}
+	}
+	return s
+}
+
+// pre1 reads the pre-state of a modify destination in operand slot 1
+// (the addl2/subl2 shape) when it is a plain register.
+func pre1(d vax.Decoded, pre absState) absVal {
+	op := d.Operands[1]
+	if op.Mode == vax.ModeRegister && !op.Indexed {
+		return pre[op.Reg]
+	}
+	return absVal{}
+}

@@ -153,6 +153,7 @@ func Check(p *vax.Program, opts Options) []Diag {
 		diags = append(diags, c.checkPrivileged()...)
 	}
 	diags = append(diags, c.checkProtectedWrites(opts.Protected)...)
+	diags = append(diags, c.checkComputedWrites(opts.Protected)...)
 	diags = append(diags, c.checkDeadCode()...)
 	diags = append(diags, c.checkStackBalance()...)
 	sort.Slice(diags, func(i, j int) bool {

@@ -68,7 +68,10 @@ func checkFile(t *testing.T, path string) []Diag {
 
 // TestFixtureCorpus: every *_bad.s fixture triggers the rule its name
 // carries; every *_ok.s fixture is completely clean. Together the bad
-// fixtures must cover all eight rules.
+// fixtures must cover all eight rules. Names are
+// <rule>[_variant]_<bad|ok>.s: the rule is everything before the first
+// underscore, the kind everything after the last, so one rule can keep
+// several fixtures (protected-write_computed_bad.s).
 func TestFixtureCorpus(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join("testdata", "*.s"))
 	if err != nil || len(files) == 0 {
@@ -77,10 +80,11 @@ func TestFixtureCorpus(t *testing.T) {
 	triggered := map[string]bool{}
 	for _, f := range files {
 		base := strings.TrimSuffix(filepath.Base(f), ".s")
-		rule, kind, ok := strings.Cut(base, "_")
-		if !ok {
-			t.Fatalf("fixture %s: name must be <rule>_<bad|ok>.s", f)
+		first := strings.Index(base, "_")
+		if first < 0 {
+			t.Fatalf("fixture %s: name must be <rule>[_variant]_<bad|ok>.s", f)
 		}
+		rule, kind := base[:first], base[strings.LastIndex(base, "_")+1:]
 		diags := checkFile(t, f)
 		switch kind {
 		case "bad":

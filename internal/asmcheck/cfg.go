@@ -76,6 +76,7 @@ type cfg struct {
 
 	subEntries map[uint32]bool // jsb/bsbb/bsbw targets (rsb-return routines)
 	terminal   map[uint32]bool // chmk codes that do not return
+	entries    []uint32        // resolved entry points (abstract-interpretation roots)
 }
 
 // succInfo describes one instruction's control-flow behaviour.
@@ -106,6 +107,7 @@ func buildCFG(p *vax.Program, opts Options) *cfg {
 	}
 
 	worklist := opts.entryAddrs(p)
+	c.entries = append([]uint32(nil), worklist...)
 	queued := map[uint32]bool{}
 	for _, a := range worklist {
 		queued[a] = true

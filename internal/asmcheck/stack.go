@@ -10,9 +10,14 @@ import (
 
 // checkStackBalance verifies push/pop discipline along every path of
 // each jsb/bsb-entered routine: the net stack depth at every rsb must be
-// zero, and join points must agree on depth. Routines containing stack
-// manipulation the pass cannot model (dynamic pushr masks, direct moves
-// into sp) are skipped silently rather than guessed at.
+// zero, and join points must agree on depth. The analysis is
+// interprocedural: each routine gets a net-depth summary (memoized,
+// callee-first), and a jsb/bsb inside a routine applies its callee's
+// summary instead of assuming balance — so a routine that inherits a
+// leak from a subroutine it calls is flagged at its own rsb, not just
+// deep in the callee. Routines containing stack manipulation the pass
+// cannot model (dynamic pushr masks, direct moves into sp) are skipped
+// silently rather than guessed at.
 func (c *cfg) checkStackBalance() []Diag {
 	entries := make([]uint32, 0, len(c.subEntries))
 	for e := range c.subEntries {
@@ -20,44 +25,85 @@ func (c *cfg) checkStackBalance() []Diag {
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
 
+	sums := &summaries{c: c, memo: map[uint32]routineSummary{}, busy: map[uint32]bool{}}
 	var out []Diag
 	for _, entry := range entries {
-		out = append(out, c.analyzeRoutine(entry)...)
+		out = append(out, c.analyzeRoutine(entry, sums)...)
 	}
 	return out
 }
 
-func (c *cfg) analyzeRoutine(entry uint32) []Diag {
+// routineSummary is the net stack delta a routine applies by the time
+// it returns. ok=false means no consistent summary exists (the body is
+// unmodelable, rsb depths disagree, or no rsb is reachable) and callers
+// fall back to assuming balance.
+type routineSummary struct {
+	net int
+	ok  bool
+}
+
+// summaries memoizes per-routine net deltas. busy breaks jsb recursion:
+// a self-recursive routine is assumed balanced across the back edge,
+// which keeps the analysis terminating and errs toward silence.
+type summaries struct {
+	c    *cfg
+	memo map[uint32]routineSummary
+	busy map[uint32]bool
+}
+
+// net returns the summary delta for the routine at entry.
+func (s *summaries) net(entry uint32) (int, bool) {
+	if r, done := s.memo[entry]; done {
+		return r.net, r.ok
+	}
+	if s.busy[entry] {
+		return 0, false
+	}
+	s.busy[entry] = true
+	r := s.c.summarizeRoutine(entry, s)
+	s.busy[entry] = false
+	s.memo[entry] = r
+	return r.net, r.ok
+}
+
+// rsbExit is one rsb reached inside a routine and the depth on arrival.
+type rsbExit struct {
+	addr  uint32
+	depth int
+}
+
+// depthJoin is a merge point reached with disagreeing depths.
+type depthJoin struct {
+	addr       uint32
+	prev, next int
+}
+
+// walkRoutine explores the routine at entry with a per-instruction
+// depth map, applying callee summaries at jsb/bsb sites. ok=false means
+// the routine does sp surgery the pass cannot model.
+func (c *cfg) walkRoutine(entry uint32, sums *summaries) (exits []rsbExit, joins []depthJoin, ok bool) {
 	type item struct {
 		addr  uint32
 		depth int
 	}
 	depth := map[uint32]int{entry: 0}
 	work := []item{{entry, 0}}
-	var diags []Diag
-	reportedJoin := false
 
 	for len(work) > 0 {
 		it := work[len(work)-1]
 		work = work[:len(work)-1]
-		d, ok := c.instrs[it.addr]
-		if !ok {
+		d, decoded := c.instrs[it.addr]
+		if !decoded {
 			continue // undecoded (fault already reported elsewhere)
 		}
-		delta, analyzable := stackDelta(d)
+		delta, analyzable := c.stackDelta(d, sums)
 		if !analyzable {
-			return nil // abandon: this routine does raw sp surgery
+			return nil, nil, false // abandon: this routine does raw sp surgery
 		}
 		after := it.depth + delta
 
 		if d.Info.Opcode == vax.OpRSB {
-			if after != 0 {
-				diags = append(diags, Diag{
-					Rule: RuleStackBalance, Sev: SevWarn,
-					Addr: it.addr, Block: c.blockOf[it.addr],
-					Msg: fmt.Sprintf("rsb with net stack imbalance of %+d bytes on some path from routine %#x", after, entry),
-				})
-			}
+			exits = append(exits, rsbExit{it.addr, after})
 			continue
 		}
 
@@ -77,13 +123,8 @@ func (c *cfg) analyzeRoutine(entry uint32) []Diag {
 				continue
 			}
 			if prev, seen := depth[t]; seen {
-				if prev != after && !reportedJoin {
-					reportedJoin = true
-					diags = append(diags, Diag{
-						Rule: RuleStackBalance, Sev: SevWarn,
-						Addr: t, Block: c.blockOf[t],
-						Msg: fmt.Sprintf("paths join at %#x with different stack depths (%d vs %d bytes) in routine %#x", t, prev, after, entry),
-					})
+				if prev != after {
+					joins = append(joins, depthJoin{t, prev, after})
 				}
 				continue
 			}
@@ -91,38 +132,90 @@ func (c *cfg) analyzeRoutine(entry uint32) []Diag {
 			work = append(work, item{t, after})
 		}
 	}
+	return exits, joins, true
+}
+
+// summarizeRoutine computes a routine's net-delta summary: the depth
+// every reachable rsb agrees on.
+func (c *cfg) summarizeRoutine(entry uint32, sums *summaries) routineSummary {
+	exits, joins, ok := c.walkRoutine(entry, sums)
+	if !ok || len(joins) > 0 || len(exits) == 0 {
+		return routineSummary{}
+	}
+	net := exits[0].depth
+	for _, e := range exits[1:] {
+		if e.depth != net {
+			return routineSummary{}
+		}
+	}
+	return routineSummary{net: net, ok: true}
+}
+
+// analyzeRoutine emits the diagnostics for one routine.
+func (c *cfg) analyzeRoutine(entry uint32, sums *summaries) []Diag {
+	exits, joins, ok := c.walkRoutine(entry, sums)
+	if !ok {
+		return nil
+	}
+	var diags []Diag
+	for _, e := range exits {
+		if e.depth != 0 {
+			diags = append(diags, Diag{
+				Rule: RuleStackBalance, Sev: SevWarn,
+				Addr: e.addr, Block: c.blockOf[e.addr],
+				Msg: fmt.Sprintf("rsb with net stack imbalance of %+d bytes on some path from routine %#x", e.depth, entry),
+			})
+		}
+	}
+	if len(joins) > 0 {
+		j := joins[0]
+		diags = append(diags, Diag{
+			Rule: RuleStackBalance, Sev: SevWarn,
+			Addr: j.addr, Block: c.blockOf[j.addr],
+			Msg: fmt.Sprintf("paths join at %#x with different stack depths (%d vs %d bytes) in routine %#x", j.addr, j.prev, j.next, entry),
+		})
+	}
 	return diags
 }
 
 // stackDelta returns the net change in pushed-byte depth one instruction
 // causes, from before it executes to after it (for calls: after the
-// matching ret). ok=false means the effect is not statically modelable.
-func stackDelta(d vax.Decoded) (delta int, ok bool) {
+// matching return). ok=false means the effect is not statically
+// modelable.
+func (c *cfg) stackDelta(d vax.Decoded, sums *summaries) (delta int, ok bool) {
 	switch d.Info.Opcode {
 	case vax.OpPUSHL, vax.OpPUSHAB, vax.OpPUSHAL:
 		return 4, true
 	case vax.OpPUSHR:
-		m, c := constOperand(d, 0)
-		if !c {
+		m, k := constOperand(d, 0)
+		if !k {
 			return 0, false
 		}
 		return 4 * bits.OnesCount32(m&0x7FFF), true
 	case vax.OpPOPR:
-		m, c := constOperand(d, 0)
-		if !c {
+		m, k := constOperand(d, 0)
+		if !k {
 			return 0, false
 		}
 		return -4 * bits.OnesCount32(m&0x7FFF), true
 	case vax.OpCALLS:
 		// RET removes the frame and the n longwords of arguments the
 		// caller pushed, so across the call depth drops by 4n.
-		n, c := constOperand(d, 0)
-		if !c {
+		n, k := constOperand(d, 0)
+		if !k {
 			return 0, false
 		}
 		return -4 * int(n), true
 	case vax.OpBSBB, vax.OpBSBW, vax.OpJSB:
-		return 0, true // callee assumed balanced (checked separately)
+		// Across the call, the stack moves by whatever the callee leaks:
+		// its summary when one exists, else assume balance (the callee's
+		// own analysis reports its internal problems).
+		if t, resolved := c.callTarget(d); resolved && c.subEntries[t] {
+			if net, known := sums.net(t); known {
+				return net, true
+			}
+		}
+		return 0, true
 	}
 
 	delta = 0
@@ -156,4 +249,15 @@ func stackDelta(d vax.Decoded) (delta int, ok bool) {
 		}
 	}
 	return delta, true
+}
+
+// callTarget resolves the destination of a jsb/bsb instruction.
+func (c *cfg) callTarget(d vax.Decoded) (uint32, bool) {
+	switch d.Info.Opcode {
+	case vax.OpBSBB, vax.OpBSBW:
+		return d.OperandTarget(0)
+	case vax.OpJSB:
+		return c.directTarget(d, 0)
+	}
+	return 0, false
 }

@@ -1,0 +1,11 @@
+; asmcheck: bare
+; asmcheck: protect trace:0x10000:0x1000
+; The CFG-only pass resolved just absolute and PC-relative writes; this
+; store goes through a register that provably holds a protected address
+; and only the constant-propagating interpreter sees it.
+	.org	0x200
+start:	moval	@#0x10008, r1
+	movl	r0, (r1)	; computed store into the trace buffer
+	clrl	r2
+	movl	r0, 0x10010(r2)	; displacement off a known-zero base
+	halt

@@ -1,0 +1,13 @@
+; asmcheck: bare
+; asmcheck: protect trace:0x10000:0x1000
+; Register-held addresses that stay outside the protected range, and
+; writes through registers the interpreter cannot pin down, are clean.
+	.org	0x200
+start:	moval	@#0xff00, r1
+	movl	r0, (r1)	; below the protected base
+	movl	r0, 0x80(r1)	; 0xff80+4 still short of 0x10000
+	jsb	sub
+	movl	r0, (r1)	; r1 unknown after the call: no claim
+	halt
+sub:	movl	#1, r1		; callees may retarget registers freely
+	rsb

@@ -1,0 +1,11 @@
+; asmcheck: bare
+; The per-routine pass assumed every jsb callee balanced, so only
+; inner's rsb was flagged. The interprocedural summary propagates
+; inner's +4 leak across the jsb, flagging outer's rsb too.
+	.org	0x200
+start:	jsb	outer
+	halt
+outer:	jsb	inner
+oret:	rsb			; inherits inner's +4 leak
+inner:	pushl	r0		; never popped
+iret:	rsb

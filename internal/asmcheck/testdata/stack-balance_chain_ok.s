@@ -1,0 +1,11 @@
+; asmcheck: bare
+; A balanced callee chain: the summaries are all zero and nothing in
+; the chain is flagged.
+	.org	0x200
+start:	jsb	outer
+	halt
+outer:	jsb	inner
+	rsb
+inner:	pushl	r0
+	movl	(sp)+, r0
+	rsb

@@ -107,8 +107,8 @@ type SpillService struct {
 	segments atomic.Uint32
 
 	mu      sync.Mutex
-	sinkErr error
-	closed  bool
+	sinkErr error // guarded by mu
+	closed  bool  // guarded by mu
 
 	met spillMetrics
 }

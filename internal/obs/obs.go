@@ -135,7 +135,7 @@ var DefSizeBuckets = []float64{
 // exposition walk is sorted by name, so output is deterministic.
 type Registry struct {
 	mu   sync.Mutex
-	vars map[string]any // *Counter | *Gauge | *Histogram
+	vars map[string]any // guarded by mu; *Counter | *Gauge | *Histogram
 }
 
 // NewRegistry returns an empty registry.

@@ -5,6 +5,33 @@ import (
 	"sort"
 )
 
+// Lint violation class IDs. Each rendered violation carries its class
+// in brackets ("record 9: [ifetch-align] ..."), and every class
+// aggregates into at most one line per run — the flood cap — so tooling
+// can match on stable identifiers rather than message prose.
+const (
+	LintKind            = "kind"             // invalid record kind
+	LintWidth           = "width"            // memory reference width not 1, 2 or 4
+	LintSwitchPID       = "switch-pid"       // switch marker PID/Extra disagree
+	LintSwitchRedundant = "switch-redundant" // switch to the already-current PID
+	LintExceptionWidth  = "exception-width"  // exception marker with nonzero width
+	LintPIDDrift        = "pid-drift"        // record PID differs from last switch
+	LintIFetchAlign     = "ifetch-align"     // ifetch not an aligned longword
+	LintIFetchPhys      = "ifetch-phys"      // physical ifetch
+	LintIFetchUserS0    = "ifetch-user-s0"   // user-mode ifetch from system space
+	LintIFetchKernP0    = "ifetch-kern-p0"   // kernel-mode ifetch from process space
+	LintPTESpace        = "pte-space"        // virtual PTE reference outside system space
+)
+
+// LintClasses lists every violation class ID Lint can emit.
+func LintClasses() []string {
+	return []string{
+		LintKind, LintWidth, LintSwitchPID, LintSwitchRedundant,
+		LintExceptionWidth, LintPIDDrift, LintIFetchAlign, LintIFetchPhys,
+		LintIFetchUserS0, LintIFetchKernP0, LintPTESpace,
+	}
+}
+
 // Lint checks a trace for well-formedness — the sanity pass the original
 // project would have run while debugging microcode patches, since a bad
 // patch produces subtly malformed records long before it produces wrong
@@ -27,6 +54,7 @@ import (
 //     counting switches and splitting one process's stream in two.
 func Lint(recs []Record) []string {
 	type violation struct {
+		class string
 		count int
 		first int
 		msg   string
@@ -35,7 +63,7 @@ func Lint(recs []Record) []string {
 	report := func(i int, key, format string, args ...any) {
 		v := seen[key]
 		if v == nil {
-			v = &violation{first: i, msg: fmt.Sprintf(format, args...)}
+			v = &violation{class: key, first: i, msg: fmt.Sprintf(format, args...)}
 			seen[key] = v
 		}
 		v.count++
@@ -44,56 +72,56 @@ func Lint(recs []Record) []string {
 	curPID := -1 // unknown until the first switch
 	for i, r := range recs {
 		if r.Kind >= NumKinds {
-			report(i, "kind", "invalid record kind %d", r.Kind)
+			report(i, LintKind, "invalid record kind %d", r.Kind)
 			continue
 		}
 		if r.Kind.IsMemRef() {
 			switch r.Width {
 			case 1, 2, 4:
 			default:
-				report(i, "width", "invalid width %d", r.Width)
+				report(i, LintWidth, "invalid width %d", r.Width)
 			}
 		}
 
 		switch r.Kind {
 		case KindCtxSwitch:
 			if r.PID != uint8(r.Extra) {
-				report(i, "switch-pid", "context switch announces pid %d but carries %d", r.Extra, r.PID)
+				report(i, LintSwitchPID, "context switch announces pid %d but carries %d", r.Extra, r.PID)
 			}
 			if curPID >= 0 && int(r.PID) == curPID {
-				report(i, "switch-redundant", "context switch announces already-current pid %d", r.PID)
+				report(i, LintSwitchRedundant, "context switch announces already-current pid %d", r.PID)
 			}
 			curPID = int(r.PID)
 			continue
 		case KindException:
 			if r.Width != 0 {
-				report(i, "exception-width", "exception marker carries width %d", r.Width)
+				report(i, LintExceptionWidth, "exception marker carries width %d", r.Width)
 			}
 			continue
 		}
 
 		if curPID >= 0 && int(r.PID) != curPID {
-			report(i, "pid-drift", "record pid %d but last switch installed %d", r.PID, curPID)
+			report(i, LintPIDDrift, "record pid %d but last switch installed %d", r.PID, curPID)
 		}
 
 		switch r.Kind {
 		case KindIFetch:
 			if r.Addr%4 != 0 || r.Width != 4 {
-				report(i, "ifetch-align", "ifetch not an aligned longword: %08x w%d", r.Addr, r.Width)
+				report(i, LintIFetchAlign, "ifetch not an aligned longword: %08x w%d", r.Addr, r.Width)
 			}
 			if r.Phys {
-				report(i, "ifetch-phys", "physical ifetch")
+				report(i, LintIFetchPhys, "physical ifetch")
 			}
 			system := r.Addr>>30 == 2
 			if r.User && system {
-				report(i, "ifetch-user-s0", "user-mode ifetch from system space %08x", r.Addr)
+				report(i, LintIFetchUserS0, "user-mode ifetch from system space %08x", r.Addr)
 			}
 			if !r.User && !system {
-				report(i, "ifetch-kern-p0", "kernel-mode ifetch from process space %08x", r.Addr)
+				report(i, LintIFetchKernP0, "kernel-mode ifetch from process space %08x", r.Addr)
 			}
 		case KindPTERead, KindPTEWrite:
 			if !r.Phys && r.Addr>>30 != 2 {
-				report(i, "pte-space", "virtual PTE reference outside system space: %08x", r.Addr)
+				report(i, LintPTESpace, "virtual PTE reference outside system space: %08x", r.Addr)
 			}
 		}
 	}
@@ -113,7 +141,7 @@ func Lint(recs []Record) []string {
 	})
 	out := make([]string, len(vs))
 	for i, v := range vs {
-		out[i] = fmt.Sprintf("record %d: %s (%d occurrence(s))", v.first, v.msg, v.count)
+		out[i] = fmt.Sprintf("record %d: [%s] %s (%d occurrence(s))", v.first, v.class, v.msg, v.count)
 	}
 	return out
 }

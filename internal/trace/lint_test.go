@@ -129,6 +129,58 @@ func TestLintOrderNumeric(t *testing.T) {
 	}
 }
 
+// TestLintFloodCapPerClass: a corrupt trace tripping several classes
+// many times still yields exactly one line per class, each tagged with
+// its stable ID.
+func TestLintFloodCapPerClass(t *testing.T) {
+	var recs []Record
+	for i := 0; i < 40; i++ {
+		recs = append(recs,
+			Record{Kind: KindIFetch, Addr: 0x201, Width: 4, User: true, PID: 0}, // ifetch-align
+			Record{Kind: KindDRead, Addr: 0x1000, Width: 3, User: true, PID: 0}, // width
+			Record{Kind: KindPTERead, Addr: 0x1000, Width: 4, PID: 0},           // pte-space
+		)
+	}
+	v := Lint(recs)
+	if len(v) != 3 {
+		t.Fatalf("want one line per violation class (3), got %d: %v", len(v), v)
+	}
+	for _, class := range []string{LintIFetchAlign, LintWidth, LintPTESpace} {
+		tag := "[" + class + "]"
+		n := strings.Count(strings.Join(v, "\n"), tag)
+		if n != 1 {
+			t.Errorf("class %s rendered %d times, want exactly 1: %v", class, n, v)
+		}
+	}
+	for _, line := range v {
+		if !strings.Contains(line, "40 occurrence(s)") {
+			t.Errorf("aggregated count missing from %q", line)
+		}
+	}
+}
+
+// TestLintClassIDsStable: every emitted tag is a registered class ID,
+// and the exported list stays in sync with what Lint can produce.
+func TestLintClassIDsStable(t *testing.T) {
+	recs := []Record{
+		{Kind: NumKinds, PID: 0},                                           // kind
+		{Kind: KindCtxSwitch, Extra: 2, PID: 3},                            // switch-pid
+		{Kind: KindCtxSwitch, Extra: 3, PID: 3},                            // switch-redundant
+		{Kind: KindException, Width: 4, PID: 3},                            // exception-width
+		{Kind: KindDRead, Addr: 0x1000, Width: 3, User: true, PID: 9},      // width, pid-drift
+		{Kind: KindIFetch, Addr: 0x201, Width: 4, User: true, PID: 3},      // ifetch-align
+		{Kind: KindIFetch, Addr: 0x200, Width: 4, Phys: true, PID: 3},      // ifetch-phys, ifetch-kern-p0
+		{Kind: KindIFetch, Addr: 0x80000200, Width: 4, User: true, PID: 3}, // ifetch-user-s0
+		{Kind: KindPTERead, Addr: 0x1000, Width: 4, PID: 3},                // pte-space
+	}
+	joined := strings.Join(Lint(recs), "\n")
+	for _, class := range LintClasses() {
+		if !strings.Contains(joined, "["+class+"]") {
+			t.Errorf("class %s not exercised: %s", class, joined)
+		}
+	}
+}
+
 func TestLintAggregatesCounts(t *testing.T) {
 	var recs []Record
 	for i := 0; i < 50; i++ {
