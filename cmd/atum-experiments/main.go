@@ -24,6 +24,7 @@ func main() {
 	csv := flag.Bool("csv", false, "render tables as CSV")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores, 1 = serial reference path)")
 	decodeW := flag.Int("decode-workers", 0, "segment decode goroutines (0 = all cores, 1 = serial reference path)")
+	stream := flag.Bool("stream", false, "run the arena sweeps through the streaming pipeline (identical reports; exercises push mode)")
 	var metrics cliutil.Metrics
 	metrics.AddFlags(flag.CommandLine)
 	flag.Parse()
@@ -59,7 +60,7 @@ func main() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		rep, err := e.Run(experiments.Options{Workers: *workers, DecodeWorkers: *decodeW})
+		rep, err := e.Run(experiments.Options{Workers: *workers, DecodeWorkers: *decodeW, Stream: *stream})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "atum-experiments: %s: %v\n", e.ID, err)
 			os.Exit(1)

@@ -7,11 +7,15 @@
 //	cachesim -sweep sizes -sizes 1K,4K,16K,64K mix.trc
 //	cachesim -tlb -entries 256 mix.trc
 //	cachesim -user-only -size 64K mix.trc      # the pre-ATUM view
+//	cachesim -stream -sweep sizes mix.trc      # one pass, bounded memory
+//	cachesim -stream - < mix.trc               # stream from stdin
+//	cachesim -sample-sets 16 -sweep sizes mix.trc  # 1-in-16 set preview
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -42,6 +46,8 @@ func main() {
 		l2       = flag.String("l2", "", "two-level mode: unified L2 of this size behind split L1s of -size")
 		workers  = flag.Int("workers", 0, "sweep worker goroutines (0 = all cores, 1 = serial reference path)")
 		decodeW  = flag.Int("decode-workers", 0, "segment decode goroutines (0 = all cores, 1 = serial reference path)")
+		stream   = flag.Bool("stream", false, "stream the trace through the pipeline: one pass, memory bounded by one decode buffer; trace-file - reads stdin")
+		sampleK  = flag.Uint("sample-sets", 0, "simulate only 1 in K cache sets (0 or 1 = all sets; cheap previews)")
 		metrics  cliutil.Metrics
 	)
 	metrics.AddFlags(flag.CommandLine)
@@ -61,23 +67,50 @@ func main() {
 	}
 	defer metrics.Finish(os.Stdout)
 
-	rd, err := trace.OpenFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	defer rd.Close()
-	src, err := rd.Arena(*decodeW)
-	if err != nil {
-		fatal(err)
-	}
-	if *userOnly {
-		src = src.FilterUser()
+	// Batch mode decodes the whole trace into a shared arena up front;
+	// stream mode builds a pipeline and decodes one buffer at a time
+	// while feeding the simulators.
+	var (
+		src  *trace.Arena
+		pipe *sweep.Pipeline
+	)
+	if *stream {
+		pipe = sweep.NewPipeline(*workers)
+		if *userOnly {
+			pipe.SetFilter(func(r trace.Record) bool {
+				return r.User && r.Kind != trace.KindPTERead && r.Kind != trace.KindPTEWrite
+			})
+		}
+	} else {
+		rd, err := trace.OpenFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer rd.Close()
+		src, err = rd.Arena(*decodeW)
+		if err != nil {
+			fatal(err)
+		}
+		if *userOnly {
+			src = src.FilterUser()
+		}
 	}
 
 	if *mattson {
-		prof := stackdist.FromSource(src, stackdist.Options{
+		sdOpts := stackdist.Options{
 			BlockBytes: uint32(*block), PIDTag: !*flush, IncludePTE: *pte,
-		})
+		}
+		var prof *stackdist.Profile
+		if *stream {
+			collect := sweep.AddSim[*stackdist.Profile](pipe, "mattson", stackdist.NewStream(sdOpts))
+			feedStream(pipe, flag.Arg(0))
+			var err error
+			if prof, err = collect(); err != nil {
+				fatal(err)
+			}
+		} else {
+			prof = stackdist.FromSource(src, sdOpts)
+		}
 		tb := &analysis.Table{
 			Title:   "fully-associative LRU miss-rate curve (one pass)",
 			Headers: []string{"capacity", "blocks", "miss rate"},
@@ -98,9 +131,22 @@ func main() {
 			Entries: uint32(*entries), Assoc: 2, SplitSystem: true,
 			PIDTags: !*flush, FlushOnSwitch: *flush, IncludeSystem: true,
 		}
-		st, err := tlbsim.RunSource(src, cfg)
-		if err != nil {
-			fatal(err)
+		var st tlbsim.Stats
+		if *stream {
+			sim, err := tlbsim.NewSim(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			collect := sweep.AddSim[tlbsim.Stats](pipe, cfg.Name(), sim)
+			feedStream(pipe, flag.Arg(0))
+			if st, err = collect(); err != nil {
+				fatal(err)
+			}
+		} else {
+			var err error
+			if st, err = tlbsim.RunSource(src, cfg); err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Printf("TB %s: accesses=%d misses=%d miss-rate=%s flushes=%d\n",
 			cfg.Name(), st.Accesses, st.Misses, analysis.Pct(st.MissRate()), st.Flushes)
@@ -126,15 +172,29 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown replacement %q", *repl))
 	}
-	opts := cache.RunOptions{IncludePTE: *pte}
+	opts := cache.RunOptions{IncludePTE: *pte, SampleSets: uint32(*sampleK)}
 
 	if *l2 != "" {
 		l2cfg := cfg
 		l2cfg.SizeBytes = parseSize(*l2)
 		l2cfg.Assoc = 4
-		res, err := cache.RunHierarchySource(src, cache.HierarchyConfig{L1: cfg, L2: l2cfg}, opts)
-		if err != nil {
-			fatal(err)
+		hcfg := cache.HierarchyConfig{L1: cfg, L2: l2cfg}
+		var res cache.HierarchyResult
+		if *stream {
+			sim, err := cache.NewHierarchySim(hcfg, opts)
+			if err != nil {
+				fatal(err)
+			}
+			collect := sweep.AddSim[cache.HierarchyResult](pipe, hcfg.Name(), sim)
+			feedStream(pipe, flag.Arg(0))
+			if res, err = collect(); err != nil {
+				fatal(err)
+			}
+		} else {
+			var err error
+			if res, err = cache.RunHierarchySource(src, hcfg, opts); err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Printf("L1I: %s miss  L1D: %s miss  global L2: %s  memory accesses: %d\n",
 			analysis.Pct(res.L1I.MissRate()), analysis.Pct(res.L1D.MissRate()),
@@ -145,12 +205,7 @@ func main() {
 	var cfgs []cache.Config
 	switch *sweepArg {
 	case "":
-		res, err := cache.RunUnifiedSource(src, cfg, opts)
-		if err != nil {
-			fatal(err)
-		}
-		report([]cache.Result{res})
-		return
+		cfgs = []cache.Config{cfg}
 	case "sizes":
 		var sizes []uint32
 		for _, s := range strings.Split(*sizesArg, ",") {
@@ -164,11 +219,62 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown sweep %q", *sweepArg))
 	}
-	res, err := sweep.Caches(src, cfgs, opts, *workers)
+	var (
+		res []cache.Result
+		err error
+	)
+	if *stream {
+		res, err = streamCaches(pipe, cfgs, opts, flag.Arg(0))
+	} else {
+		res, err = sweep.Caches(src, cfgs, opts, *workers)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	report(res)
+}
+
+// streamCaches registers one incremental simulator per configuration,
+// streams the trace through the pipeline once and collects every result.
+func streamCaches(p *sweep.Pipeline, cfgs []cache.Config, opts cache.RunOptions, path string) ([]cache.Result, error) {
+	collect := make([]func() (cache.Result, error), len(cfgs))
+	for i, cfg := range cfgs {
+		sim, err := cache.NewUnifiedSim(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		collect[i] = sweep.AddSim[cache.Result](p, cfg.Name(), sim)
+	}
+	feedStream(p, path)
+	out := make([]cache.Result, len(cfgs))
+	for i, c := range collect {
+		r, err := c()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// feedStream streams the trace at path ("-" for stdin) through the
+// pipeline. Errors are sticky in the pipeline and surface from the
+// collectors.
+func feedStream(p *sweep.Pipeline, path string) {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	rd, err := trace.Open(in)
+	if err != nil {
+		fatal(err)
+	}
+	p.FeedReader(rd)
 }
 
 func report(results []cache.Result) {

@@ -103,52 +103,16 @@ func RunHierarchy(recs []trace.Record, cfg HierarchyConfig, opts RunOptions) (Hi
 	return RunHierarchySource(trace.Records(recs), cfg, opts)
 }
 
-// RunHierarchySource is RunHierarchy over any record source.
+// RunHierarchySource is RunHierarchy over any record source. The
+// per-record routing lives in HierarchySim.Feed (sim.go), shared with
+// the streaming pipeline.
 func RunHierarchySource(src trace.Source, cfg HierarchyConfig, opts RunOptions) (HierarchyResult, error) {
-	h, err := NewHierarchy(cfg)
+	s, err := NewHierarchySim(cfg, opts)
 	if err != nil {
 		return HierarchyResult{}, err
 	}
-	flush := cfg.L1.FlushOnSwitch || cfg.L2.FlushOnSwitch
-	err = src.EachChunk(func(chunk []trace.Record) error {
-		for _, r := range chunk {
-			pid := r.PID
-			if r.Phys || r.Addr>>30 == 2 {
-				pid = 0
-			}
-			switch r.Kind {
-			case trace.KindCtxSwitch:
-				if flush {
-					h.Flush()
-				}
-			case trace.KindIFetch:
-				h.access(h.L1I, r.Addr, false, pid)
-			case trace.KindDRead, trace.KindDWrite:
-				if r.Phys && opts.SkipPhys {
-					continue
-				}
-				h.access(h.L1D, r.Addr, r.Kind == trace.KindDWrite, pid)
-			case trace.KindPTERead, trace.KindPTEWrite:
-				if !opts.IncludePTE {
-					continue
-				}
-				h.access(h.L1D, r.Addr, r.Kind == trace.KindPTEWrite, pid)
-			}
-		}
-		return nil
-	})
-	if err != nil {
+	if err := src.EachChunk(s.Feed); err != nil {
 		return HierarchyResult{}, err
 	}
-	res := HierarchyResult{
-		L1I:            h.L1I.Stats,
-		L1D:            h.L1D.Stats,
-		L2:             h.L2.Stats,
-		MemoryAccesses: h.MemoryAccesses,
-	}
-	total := res.L1I.Accesses + res.L1D.Accesses
-	if total > 0 {
-		res.GlobalL2MissRate = float64(res.L2.Misses) / float64(total)
-	}
-	return res, nil
+	return s.Result()
 }

@@ -14,6 +14,16 @@ type RunOptions struct {
 	// SkipPhys drops physical-address records (PCB context references)
 	// rather than mixing address spaces; default keeps them.
 	SkipPhys bool
+	// SampleSets enables 1-in-K block sampling: only references whose
+	// block address is congruent to SampleOffset mod SampleSets are
+	// simulated (marker records always pass). 0 or 1 simulates
+	// everything. When SampleSets divides the set count this is exact
+	// set sampling — a cheap preview whose per-set behaviour matches the
+	// full simulation exactly (property-tested in sample_test.go).
+	SampleSets uint32
+	// SampleOffset selects the sampled residue class; must be below
+	// SampleSets when sampling is on.
+	SampleOffset uint32
 }
 
 // Result pairs a configuration with its simulation outcome.
@@ -32,20 +42,14 @@ func RunUnified(recs []trace.Record, cfg Config, opts RunOptions) (Result, error
 // trace.Arena). The source is only read, so many configurations can
 // replay the same one concurrently.
 func RunUnifiedSource(src trace.Source, cfg Config, opts RunOptions) (Result, error) {
-	c, err := New(cfg)
+	s, err := NewUnifiedSim(cfg, opts)
 	if err != nil {
 		return Result{}, err
 	}
-	err = src.EachChunk(func(chunk []trace.Record) error {
-		for _, r := range chunk {
-			feedRecord(c, c, r, cfg, opts)
-		}
-		return nil
-	})
-	if err != nil {
+	if err := src.EachChunk(s.Feed); err != nil {
 		return Result{}, err
 	}
-	return Result{Config: cfg, Stats: c.Stats}, nil
+	return s.Result()
 }
 
 // SplitResult reports a split I/D simulation.
@@ -68,8 +72,13 @@ func RunSplit(recs []trace.Record, icfg, dcfg Config, opts RunOptions) (SplitRes
 	return RunSplitSource(trace.Records(recs), icfg, dcfg, opts)
 }
 
-// RunSplitSource is RunSplit over any record source.
+// RunSplitSource is RunSplit over any record source. Set sampling is
+// not supported here: the two halves may disagree on block size, which
+// would make one residue class mean two different things.
 func RunSplitSource(src trace.Source, icfg, dcfg Config, opts RunOptions) (SplitResult, error) {
+	if opts.SampleSets > 1 {
+		return SplitResult{}, fmt.Errorf("cache: set sampling is not supported for split simulations")
+	}
 	ic, err := New(icfg)
 	if err != nil {
 		return SplitResult{}, err

@@ -65,6 +65,38 @@ type Options struct {
 	// all available cores, 1 is the serial reference path. Like Workers,
 	// every value produces byte-identical reports.
 	DecodeWorkers int
+
+	// Stream replays the arena sweeps through the push-based streaming
+	// pipeline (sweep.Stream*) instead of the pull-based batch engine.
+	// Reports are byte-identical either way — the guarantee the
+	// pipeline's determinism harness pins — so this is an execution-mode
+	// knob, never a result knob.
+	Stream bool
+}
+
+// sweepCaches replays src through every cache configuration, via the
+// engine Options.Stream selects.
+func (o Options) sweepCaches(src trace.Source, cfgs []cache.Config, opts cache.RunOptions) ([]cache.Result, error) {
+	if o.Stream {
+		return sweep.StreamCaches(src, cfgs, opts, o.Workers)
+	}
+	return sweep.Caches(src, cfgs, opts, o.Workers)
+}
+
+// sweepHierarchies is sweepCaches for two-level hierarchies.
+func (o Options) sweepHierarchies(src trace.Source, cfgs []cache.HierarchyConfig, opts cache.RunOptions) ([]cache.HierarchyResult, error) {
+	if o.Stream {
+		return sweep.StreamHierarchies(src, cfgs, opts, o.Workers)
+	}
+	return sweep.Hierarchies(src, cfgs, opts, o.Workers)
+}
+
+// sweepTBs is sweepCaches for translation buffers.
+func (o Options) sweepTBs(src trace.Source, cfgs []tlbsim.Config) ([]tlbsim.Stats, error) {
+	if o.Stream {
+		return sweep.StreamTBs(src, cfgs, o.Workers)
+	}
+	return sweep.TBs(src, cfgs, o.Workers)
 }
 
 // Runner produces a report.
@@ -337,19 +369,16 @@ func F1OSImpact(opt Options) (*Report, error) {
 	cfgs := cache.SizeConfigs(baseCacheCfg(), sizes)
 	opts := cache.RunOptions{IncludePTE: true}
 
-	// One flat job list over (trace, size) so both curves' points run
-	// concurrently; results come back in index order regardless.
-	both, err := sweep.Map(opt.Workers, 2*len(cfgs), func(i int) (cache.Result, error) {
-		src := trace.Source(fullSrc)
-		if i >= len(cfgs) {
-			src = userSrc
-		}
-		return cache.RunUnifiedSource(src, cfgs[i%len(cfgs)], opts)
-	})
+	// Two sweeps over the shared arenas, one per curve; each fans its
+	// points out internally and returns them in index order.
+	fullRes, err := opt.sweepCaches(fullSrc, cfgs, opts)
 	if err != nil {
 		return nil, err
 	}
-	fullRes, userRes := both[:len(cfgs)], both[len(cfgs):]
+	userRes, err := opt.sweepCaches(userSrc, cfgs, opts)
+	if err != nil {
+		return nil, err
+	}
 	tb := &analysis.Table{
 		Title:   "Miss rate vs cache size (direct-mapped, 16B blocks)",
 		Headers: []string{"size", "user-only", "user+system", "ratio"},
@@ -406,25 +435,24 @@ func F2Multiprogramming(opt Options) (*Report, error) {
 	sizes := []uint32{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10}
 	opts := cache.RunOptions{IncludePTE: true}
 
-	// Three columns per size → one 3*len(sizes) fan-out over the two
-	// shared arenas.
-	type job struct {
-		src trace.Source
-		cfg cache.Config
-	}
-	var jobs []job
+	// One sweep per trace: the solo capture replays the PID-tagged
+	// configurations, the mix arena replays both the PID-tagged and the
+	// flush-on-switch column in a single pass.
+	var soloCfgs, mixCfgs []cache.Config
 	for _, sz := range sizes {
 		cfg := baseCacheCfg()
 		cfg.SizeBytes = sz
 		fcfg := cfg
 		fcfg.PIDTags = false
 		fcfg.FlushOnSwitch = true
-		jobs = append(jobs,
-			job{soloSrc, cfg}, job{mixSrc, cfg}, job{mixSrc, fcfg})
+		soloCfgs = append(soloCfgs, cfg)
+		mixCfgs = append(mixCfgs, cfg, fcfg)
 	}
-	res, err := sweep.Map(opt.Workers, len(jobs), func(i int) (cache.Result, error) {
-		return cache.RunUnifiedSource(jobs[i].src, jobs[i].cfg, opts)
-	})
+	soloRes, err := opt.sweepCaches(soloSrc, soloCfgs, opts)
+	if err != nil {
+		return nil, err
+	}
+	mixRes, err := opt.sweepCaches(mixSrc, mixCfgs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -435,9 +463,9 @@ func F2Multiprogramming(opt Options) (*Report, error) {
 	}
 	for i, sz := range sizes {
 		tb.AddRow(kb(sz),
-			analysis.Pct(res[3*i].Stats.MissRate()),
-			analysis.Pct(res[3*i+1].Stats.MissRate()),
-			analysis.Pct(res[3*i+2].Stats.MissRate()))
+			analysis.Pct(soloRes[i].Stats.MissRate()),
+			analysis.Pct(mixRes[2*i].Stats.MissRate()),
+			analysis.Pct(mixRes[2*i+1].Stats.MissRate()))
 	}
 
 	// Quantum sweep at 8 KB, flush-on-switch, on a lighter two-process
@@ -484,8 +512,8 @@ func F3BlockSize(opt Options) (*Report, error) {
 		return nil, err
 	}
 	blocks := []uint32{4, 8, 16, 32, 64, 128}
-	res, err := sweep.Caches(mixSrc, cache.BlockConfigs(baseCacheCfg(), blocks),
-		cache.RunOptions{IncludePTE: true}, opt.Workers)
+	res, err := opt.sweepCaches(mixSrc, cache.BlockConfigs(baseCacheCfg(), blocks),
+		cache.RunOptions{IncludePTE: true})
 	if err != nil {
 		return nil, err
 	}
@@ -539,7 +567,7 @@ func F4Associativity(opt Options) (*Report, error) {
 		cfg.SizeBytes = size
 		cfgs = append(cfgs, cache.AssocConfigs(cfg, ways)...)
 	}
-	res, err := sweep.Caches(mixSrc, cfgs, cache.RunOptions{IncludePTE: true}, opt.Workers)
+	res, err := opt.sweepCaches(mixSrc, cfgs, cache.RunOptions{IncludePTE: true})
 	if err != nil {
 		return nil, err
 	}
@@ -581,7 +609,7 @@ func F5TLB(opt Options) (*Report, error) {
 			tlbsim.Config{Entries: n, Assoc: 2, SplitSystem: true, PIDTags: true, IncludeSystem: true},
 			tlbsim.Config{Entries: n, Assoc: 2, SplitSystem: true, FlushOnSwitch: true, IncludeSystem: true})
 	}
-	res, err := sweep.TBs(mixSrc, cfgs, opt.Workers)
+	res, err := opt.sweepTBs(mixSrc, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -659,19 +687,18 @@ func F7Hierarchy(opt Options) (*Report, error) {
 				Replacement: cache.LRU, WriteAllocate: true, PIDTags: true},
 		})
 	}
-	// Full-trace and user-only replays of every hierarchy in one fan-out.
-	res, err := sweep.Map(opt.Workers, 2*len(cfgs), func(i int) (cache.HierarchyResult, error) {
-		src := trace.Source(fullSrc)
-		if i >= len(cfgs) {
-			src = userSrc
-		}
-		return cache.RunHierarchySource(src, cfgs[i%len(cfgs)], cache.RunOptions{IncludePTE: true})
-	})
+	// Full-trace and user-only replays of every hierarchy, one sweep per
+	// arena.
+	fullRes, err := opt.sweepHierarchies(fullSrc, cfgs, cache.RunOptions{IncludePTE: true})
+	if err != nil {
+		return nil, err
+	}
+	userRes, err := opt.sweepHierarchies(userSrc, cfgs, cache.RunOptions{IncludePTE: true})
 	if err != nil {
 		return nil, err
 	}
 	for i, l2 := range l2s {
-		full, ures := res[i], res[len(cfgs)+i]
+		full, ures := fullRes[i], userRes[i]
 		tb.AddRow(kb(l2),
 			analysis.Pct(full.L1I.MissRate()),
 			analysis.Pct(full.L1D.MissRate()),
@@ -709,19 +736,17 @@ func F8EffectiveAccess(opt Options) (*Report, error) {
 	}
 	sizes := []uint32{512, 1 << 10, 2 << 10, 4 << 10}
 	cfgs := cache.SizeConfigs(baseCacheCfg(), sizes)
-	res, err := sweep.Map(opt.Workers, 2*len(cfgs), func(i int) (cache.Result, error) {
-		src := trace.Source(fullSrc)
-		if i >= len(cfgs) {
-			src = userSrc
-		}
-		return cache.RunUnifiedSource(src, cfgs[i%len(cfgs)], opts)
-	})
+	fullRes, err := opt.sweepCaches(fullSrc, cfgs, opts)
+	if err != nil {
+		return nil, err
+	}
+	userRes, err := opt.sweepCaches(userSrc, cfgs, opts)
 	if err != nil {
 		return nil, err
 	}
 	for i, sz := range sizes {
-		uEAT := analysis.EffectiveAccess(res[len(cfgs)+i].Stats.MissRate(), hit, penalty)
-		fEAT := analysis.EffectiveAccess(res[i].Stats.MissRate(), hit, penalty)
+		uEAT := analysis.EffectiveAccess(userRes[i].Stats.MissRate(), hit, penalty)
+		fEAT := analysis.EffectiveAccess(fullRes[i].Stats.MissRate(), hit, penalty)
 		label := fmt.Sprintf("%dB", sz)
 		if sz >= 1024 {
 			label = kb(sz)
@@ -901,7 +926,7 @@ func A4WritePolicy(opt Options) (*Report, error) {
 		cfg.WriteAllocate = wp == cache.WriteBack
 		cfgs = append(cfgs, cfg)
 	}
-	results, err := sweep.Caches(mixSrc, cfgs, opts, opt.Workers)
+	results, err := opt.sweepCaches(mixSrc, cfgs, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -49,6 +49,14 @@ type SpillConfig struct {
 	// Meta is the stream's provenance string.
 	Meta string
 
+	// OnSegment, when set, observes every segment immediately after it
+	// reaches the sink — the splice point for the streaming analysis
+	// pipeline (sweep.Pipeline.OnSegment), which decodes and simulates
+	// each segment while the capture continues. The callback is purely
+	// observational: it runs on the spill path and cannot fail the
+	// capture, and the segment payload is only valid during the call.
+	OnSegment func(trace.StreamSegment)
+
 	// Metrics selects the registry the service instruments into; nil
 	// means obs.Default().
 	Metrics *obs.Registry
@@ -110,6 +118,16 @@ type SpillService struct {
 	sinkErr error // guarded by mu
 	closed  bool  // guarded by mu
 
+	// spillMu serializes segment extraction/write bodies with Close's
+	// final drain, so a watermark spill in flight (and its OnSegment
+	// observer) finishes before the stream is footered — and so a second
+	// Close cannot observe counters mid-update.
+	spillMu sync.Mutex
+	// done is closed when the first Close finishes; later Closes block
+	// on it so *every* returning Close sees final accounting
+	// (Recorded == SpilledRecords + LostRecords) and a complete stream.
+	done chan struct{}
+
 	met spillMetrics
 }
 
@@ -126,7 +144,10 @@ func StartSpill(sys *System, w io.Writer, cfg SpillConfig) (*SpillService, error
 	if err != nil {
 		return nil, err
 	}
-	s := &SpillService{sw: sw, met: met}
+	if cfg.OnSegment != nil {
+		sw.Tee(cfg.OnSegment)
+	}
+	s := &SpillService{sw: sw, met: met, done: make(chan struct{})}
 	opts := cfg.Options
 	if opts.Metrics == nil {
 		opts.Metrics = cfg.Metrics
@@ -161,6 +182,12 @@ func StartSpill(sys *System, w io.Writer, cfg SpillConfig) (*SpillService, error
 // accounting, not silently) and the collector is left paused so
 // subsequent events are counted as dropped rather than half-written.
 func (s *SpillService) spill(c *atum.Collector) {
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	s.spillLocked(c)
+}
+
+func (s *SpillService) spillLocked(c *atum.Collector) {
 	recs, st, err := c.ExtractSegment()
 	if err != nil {
 		// Extraction reads simulated RAM; failure means the machine is
@@ -216,30 +243,43 @@ func (s *SpillService) fail(c *atum.Collector, err error) {
 // Close flushes the final partial segment, closes the stream and
 // uninstalls the patches. The stream on disk is complete and valid
 // whether or not the sink ever failed; SinkErr reports if capture
-// degraded along the way. Close is idempotent: a second call changes
-// nothing and reports the same error. After a sink failure, Close
-// returns the first sink error — not the flush error that usually
-// follows it — and records still in the reserved buffer are counted as
-// lost, so Recorded == SpilledRecords + LostRecords always holds once
-// Close returns.
+// degraded along the way. Close is idempotent, and a concurrent or
+// repeated Close *blocks* until the first closer has fully drained: by
+// the time any Close returns, every segment (and OnSegment callback)
+// has been delivered and Recorded == SpilledRecords + LostRecords
+// holds. After a sink failure, Close returns the first sink error —
+// not the flush error that usually follows it — and records still in
+// the reserved buffer are counted as lost, preserving the same
+// identity.
 func (s *SpillService) Close() error {
 	s.mu.Lock()
 	if s.closed {
-		err := s.sinkErr
 		s.mu.Unlock()
-		return err
+		// Another closer got here first. Returning its stale view (the
+		// old behaviour) let a caller observe the service with the final
+		// segment still in flight — records neither spilled nor lost.
+		// Wait for the drain instead.
+		<-s.done
+		return s.SinkErr()
 	}
 	s.closed = true
 	s.mu.Unlock()
+	defer close(s.done)
+	// The final drain runs under spillMu so a watermark spill already in
+	// flight completes (sink write, counters, OnSegment) before the
+	// footer is written.
+	s.spillMu.Lock()
 	if s.SinkErr() == nil {
-		s.spill(s.col)
+		s.spillLocked(s.col)
 	} else {
 		// The sink is gone: whatever the buffer still holds can never be
 		// written. Account it as lost rather than letting it vanish.
 		s.addLost(uint64(s.col.BufferedRecords()))
 	}
 	s.col.Uninstall()
-	if err := s.sw.Close(); err != nil {
+	err := s.sw.Close()
+	s.spillMu.Unlock()
+	if err != nil {
 		s.mu.Lock()
 		if s.sinkErr == nil {
 			s.sinkErr = err

@@ -594,6 +594,14 @@ func (m *Monitor) status() {
 	}
 	fmt.Fprintf(m.out, "machine: instrs=%d cycles=%d pid=%d halted=%v  trace: %s\n",
 		mach.Instrs, mach.Cycles, mach.CurPID, mach.Halted(), tracing)
+	// When a streaming pipeline is attached to the capture, summarise its
+	// progress on one line ahead of the raw registry dump. Peek, don't
+	// create: a session without a pipeline should not grow stream metrics.
+	if segs, ok := obs.Default().PeekCounter("atum_stream_segments_total"); ok {
+		recs, _ := obs.Default().PeekCounter("atum_stream_records_total")
+		rate, _ := obs.Default().PeekGauge("atum_stream_replay_rate_recs_per_sec")
+		fmt.Fprintf(m.out, "stream: segments=%d records=%d rate=%.0f recs/s\n", segs, recs, rate)
+	}
 	text := obs.Default().String()
 	if text == "" {
 		fmt.Fprintln(m.out, "metrics: registry empty (nothing instrumented yet)")

@@ -215,6 +215,26 @@ func (r *Registry) get(name string) any {
 	return r.vars[name]
 }
 
+// PeekCounter reads the counter registered under name without creating
+// it; ok reports whether such a counter exists. For consumers (like the
+// monitor's status view) that must not pollute the registry with
+// metrics nothing is producing.
+func (r *Registry) PeekCounter(name string) (v uint64, ok bool) {
+	if c, isC := r.get(name).(*Counter); isC {
+		return c.Value(), true
+	}
+	return 0, false
+}
+
+// PeekGauge reads the gauge registered under name without creating it;
+// ok reports whether such a gauge exists.
+func (r *Registry) PeekGauge(name string) (v float64, ok bool) {
+	if g, isG := r.get(name).(*Gauge); isG {
+		return g.Value(), true
+	}
+	return 0, false
+}
+
 // formatFloat renders a float the same way everywhere (shortest
 // round-trip form), so the exposition format is stable enough to pin
 // with a golden test.

@@ -1,0 +1,123 @@
+package stackdist
+
+import (
+	"sort"
+
+	"atum/internal/trace"
+)
+
+// Incremental stack-distance analysis for the streaming pipeline:
+// Analyze needs the whole block stream up front because its Fenwick
+// tree is indexed by reference time, which is unbounded. Incremental
+// keeps the same time-stamp formulation but compacts the tree whenever
+// the time index outruns its capacity: only *live* marks (one per
+// distinct block, the block's most recent reference) carry information,
+// and a reference's stack distance is the count of live marks strictly
+// between its block's previous mark and now — a quantity invariant
+// under any order-preserving renumbering of the marks. Compaction
+// renumbers the live marks 1..m, so memory stays O(distinct blocks)
+// however long the stream runs, and the resulting profile is identical
+// to Analyze over the concatenated stream (equivalence-tested).
+
+// defaultIncCap is the initial Fenwick capacity; compaction grows it to
+// follow the live-mark count with headroom, so the amortised cost per
+// reference stays O(log n).
+const defaultIncCap = 1 << 16
+
+// Incremental accumulates a stack-distance profile from block-address
+// chunks fed in stream order.
+type Incremental struct {
+	p      Profile
+	last   map[uint64]int // block -> 1-based time of its live mark
+	fw     *fenwick
+	t      int // last used time index
+	marked int // live marks == len(last)
+}
+
+// NewIncremental returns an empty incremental analysis.
+func NewIncremental() *Incremental { return newIncremental(defaultIncCap) }
+
+func newIncremental(capacity int) *Incremental {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Incremental{
+		last: make(map[uint64]int, 1024),
+		fw:   newFenwick(capacity),
+	}
+}
+
+// Add observes one block reference.
+func (inc *Incremental) Add(block uint64) {
+	if inc.t+1 >= len(inc.fw.tree) {
+		inc.compact()
+	}
+	inc.t++
+	t1 := inc.t
+	inc.p.Total++
+	if t0, seen := inc.last[block]; seen {
+		depth := int(inc.fw.sum(t1-1) - inc.fw.sum(t0))
+		inc.p.observe(depth + 1)
+		inc.fw.add(t0, ^uint64(0)) // remove the old mark (add -1)
+		inc.marked--
+	} else {
+		inc.p.Cold++
+	}
+	inc.last[block] = t1
+	inc.fw.add(t1, 1)
+	inc.marked++
+}
+
+// compact renumbers the live marks 1..m in time order into a fresh
+// Fenwick tree sized to the live-mark count plus headroom. Distances
+// depend only on how many live marks sit between two times, so an
+// order-preserving renumber changes nothing observable.
+func (inc *Incremental) compact() {
+	blocks := make([]uint64, 0, len(inc.last))
+	for b := range inc.last {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return inc.last[blocks[i]] < inc.last[blocks[j]] })
+	// Headroom guarantees many references between compactions even when
+	// nearly every reference is cold, keeping the amortised cost low.
+	capacity := 2*len(blocks) + defaultIncCap
+	fw := newFenwick(capacity)
+	for i, b := range blocks {
+		inc.last[b] = i + 1
+		fw.add(i+1, 1)
+	}
+	inc.fw = fw
+	inc.t = len(blocks)
+}
+
+// Profile returns the accumulated profile. The returned value is the
+// analysis's own state: read it after the final Add.
+func (inc *Incremental) Profile() *Profile { return &inc.p }
+
+// Stream is an incrementally-fed stack-distance analysis over trace
+// records: the streaming counterpart of FromSource, consumed by the
+// capture→decode→sweep pipeline (internal/sweep).
+type Stream struct {
+	inc *Incremental
+	bm  blockMapper
+}
+
+// NewStream returns a record-fed analysis with the given conversion
+// options.
+func NewStream(opts Options) *Stream {
+	return &Stream{inc: NewIncremental(), bm: newBlockMapper(opts)}
+}
+
+// Feed converts one chunk of records to block references and observes
+// them. The chunk is only read; it may be reused after Feed returns.
+func (s *Stream) Feed(chunk []trace.Record) error {
+	for _, r := range chunk {
+		if b, ok := s.bm.block(r); ok {
+			s.inc.Add(b)
+		}
+	}
+	return nil
+}
+
+// Result reports the profile accumulated so far.
+func (s *Stream) Result() (*Profile, error) { return s.inc.Profile(), nil }

@@ -1,0 +1,130 @@
+package stackdist
+
+import (
+	"reflect"
+	"testing"
+
+	"atum/internal/trace"
+)
+
+// incBlocks builds a block stream with heavy reuse plus a cold tail, so
+// both re-references (live-mark moves) and first-ever references (mark
+// inserts) cross compaction boundaries.
+func incBlocks(n int) []uint64 {
+	blocks := make([]uint64, 0, n)
+	seed := uint64(0x853C49E6748FEA9B)
+	for len(blocks) < n {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		r := seed >> 33
+		switch r % 8 {
+		case 0, 1, 2, 3:
+			blocks = append(blocks, r%64) // hot set
+		case 4, 5:
+			blocks = append(blocks, 1000+r%4096) // warm set
+		default:
+			blocks = append(blocks, 1<<20|r%(1<<18)) // mostly cold
+		}
+	}
+	return blocks
+}
+
+// TestIncrementalMatchesAnalyze: the streaming analysis must produce a
+// profile identical to the batch Analyze over the same block stream.
+// A tiny Fenwick capacity forces many compactions, so the equivalence
+// covers the renumbering path, not just the append path.
+func TestIncrementalMatchesAnalyze(t *testing.T) {
+	blocks := incBlocks(30_000)
+	want := Analyze(blocks)
+	for _, capacity := range []int{2, 64, 1 << 12, defaultIncCap} {
+		inc := newIncremental(capacity)
+		for _, b := range blocks {
+			inc.Add(b)
+		}
+		if got := inc.Profile(); !reflect.DeepEqual(got, want) {
+			t.Errorf("capacity=%d: incremental profile differs from Analyze (total=%d/%d cold=%d/%d maxdepth=%d/%d)",
+				capacity, got.Total, want.Total, got.Cold, want.Cold, got.MaxDepth(), want.MaxDepth())
+		}
+	}
+}
+
+// TestIncrementalChunkingInvariance: how the stream is sliced into
+// chunks must not matter — only the concatenated order does.
+func TestIncrementalChunkingInvariance(t *testing.T) {
+	blocks := incBlocks(10_000)
+	want := Analyze(blocks)
+	for _, chunk := range []int{1, 7, 1024} {
+		inc := newIncremental(128)
+		for off := 0; off < len(blocks); off += chunk {
+			end := off + chunk
+			if end > len(blocks) {
+				end = len(blocks)
+			}
+			for _, b := range blocks[off:end] {
+				inc.Add(b)
+			}
+		}
+		if !reflect.DeepEqual(inc.Profile(), want) {
+			t.Errorf("chunk=%d: profile differs from Analyze", chunk)
+		}
+	}
+}
+
+// TestStreamMatchesFromSource: the record-fed Stream must equal the
+// batch FromSource over the same records, for the option combinations
+// the experiments use.
+func TestStreamMatchesFromSource(t *testing.T) {
+	recs := make([]trace.Record, 0, 20_000)
+	seed := uint32(0xB5297A4D)
+	pid := uint8(1)
+	for len(recs) < cap(recs) {
+		seed = seed*1664525 + 1013904223
+		r := seed
+		if r%128 == 0 {
+			pid = uint8(1 + r%3)
+			recs = append(recs, trace.Record{Kind: trace.KindCtxSwitch, PID: pid, Extra: uint16(pid)})
+			continue
+		}
+		rec := trace.Record{PID: pid, Width: 4, User: r%4 != 0}
+		switch r % 8 {
+		case 0:
+			rec.Kind = trace.KindPTERead
+			rec.Addr = 0x8000_8000 | (r % 512 * 4)
+			rec.User = false
+		case 1, 2:
+			rec.Kind = trace.KindIFetch
+			rec.Addr = 0x0001_0000 | uint32(pid)<<12 | (r % 2048 * 4)
+		case 3:
+			rec.Kind = trace.KindDWrite
+			rec.Addr = uint32(pid)<<16 | (r % 4096 * 4)
+			rec.Phys = r%32 == 3
+		default:
+			rec.Kind = trace.KindDRead
+			rec.Addr = uint32(pid)<<16 | (r % 4096 * 4)
+		}
+		recs = append(recs, rec)
+	}
+	for _, opts := range []Options{
+		{BlockBytes: 16, PIDTag: true, IncludePTE: true},
+		{BlockBytes: 64, PIDTag: false, IncludePTE: false},
+		{BlockBytes: 16, PIDTag: true, UserOnly: true},
+	} {
+		want := FromSource(trace.NewArena(recs), opts)
+		s := NewStream(opts)
+		for off := 0; off < len(recs); off += 777 {
+			end := off + 777
+			if end > len(recs) {
+				end = len(recs)
+			}
+			if err := s.Feed(recs[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := s.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("opts=%+v: streamed profile differs from FromSource", opts)
+		}
+	}
+}

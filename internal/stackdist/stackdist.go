@@ -130,6 +130,47 @@ type Options struct {
 	UserOnly   bool   // drop kernel references
 }
 
+// blockMapper is the record-to-block conversion both the batch path
+// (BlocksSource) and the streaming path (Stream) share, so the two
+// cannot drift.
+type blockMapper struct {
+	opts  Options
+	shift uint
+}
+
+func newBlockMapper(opts Options) blockMapper {
+	if opts.BlockBytes == 0 {
+		opts.BlockBytes = 16
+	}
+	m := blockMapper{opts: opts}
+	for opts.BlockBytes>>m.shift != 1 {
+		m.shift++
+	}
+	return m
+}
+
+// block converts one record, reporting whether it contributes a
+// reference at all.
+func (m blockMapper) block(r trace.Record) (uint64, bool) {
+	switch r.Kind {
+	case trace.KindIFetch, trace.KindDRead, trace.KindDWrite:
+	case trace.KindPTERead, trace.KindPTEWrite:
+		if !m.opts.IncludePTE {
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	if m.opts.UserOnly && !r.User {
+		return 0, false
+	}
+	b := uint64(r.Addr) >> m.shift
+	if m.opts.PIDTag && !r.Phys && r.Addr>>30 != 2 {
+		b |= uint64(r.PID) << 40
+	}
+	return b, true
+}
+
 // Blocks converts a trace into the block-address stream Analyze expects.
 func Blocks(recs []trace.Record, opts Options) []uint64 {
 	return BlocksSource(trace.Records(recs), opts)
@@ -138,33 +179,13 @@ func Blocks(recs []trace.Record, opts Options) []uint64 {
 // BlocksSource is Blocks over any record source, built in one streaming
 // pass.
 func BlocksSource(src trace.Source, opts Options) []uint64 {
-	if opts.BlockBytes == 0 {
-		opts.BlockBytes = 16
-	}
-	shift := uint(0)
-	for opts.BlockBytes>>shift != 1 {
-		shift++
-	}
+	m := newBlockMapper(opts)
 	out := make([]uint64, 0, src.NumRecords())
 	_ = src.EachChunk(func(chunk []trace.Record) error {
 		for _, r := range chunk {
-			switch r.Kind {
-			case trace.KindIFetch, trace.KindDRead, trace.KindDWrite:
-			case trace.KindPTERead, trace.KindPTEWrite:
-				if !opts.IncludePTE {
-					continue
-				}
-			default:
-				continue
+			if b, ok := m.block(r); ok {
+				out = append(out, b)
 			}
-			if opts.UserOnly && !r.User {
-				continue
-			}
-			b := uint64(r.Addr) >> shift
-			if opts.PIDTag && !r.Phys && r.Addr>>30 != 2 {
-				b |= uint64(r.PID) << 40
-			}
-			out = append(out, b)
 		}
 		return nil
 	})

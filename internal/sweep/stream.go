@@ -1,0 +1,295 @@
+// Streaming pipeline: the push-based half of the sweep engine. The
+// batch path decodes a whole trace into a shared arena and replays it
+// per configuration; the pipeline instead accepts records as they are
+// produced — segments teed out of the kernel spill service, batches
+// from a streaming decoder, or chunks of any Source — and fans each
+// chunk across incremental simulators (cache.UnifiedSim,
+// cache.HierarchySim, tlbsim.Sim, stackdist.Stream) immediately. No
+// trace file is ever re-read and memory stays bounded by one decoded
+// segment plus the simulators' own state, so arbitrarily long captures
+// analyse live. Results are identical to the batch path record for
+// record — the determinism matrix in stream_test.go pins it across
+// segment counts, codecs and worker counts.
+package sweep
+
+import (
+	"io"
+	"time"
+
+	"atum/internal/cache"
+	"atum/internal/obs"
+	"atum/internal/par"
+	"atum/internal/stackdist"
+	"atum/internal/tlbsim"
+	"atum/internal/trace"
+)
+
+// Streaming telemetry: segments and records that entered the pipeline,
+// the payload bytes they arrived as, per-chunk fan-out latency, and the
+// most recent feed rate — the live counters monitor `status` surfaces
+// during a capture.
+var (
+	mStreamSegments = obs.Default().Counter("atum_stream_segments_total")
+	mStreamRecords  = obs.Default().Counter("atum_stream_records_total")
+	mStreamBytes    = obs.Default().Counter("atum_stream_payload_bytes_total")
+	mStreamFeedSecs = obs.Default().Histogram("atum_stream_feed_seconds", obs.DefSecondsBuckets)
+	mStreamRate     = obs.Default().Gauge("atum_stream_replay_rate_recs_per_sec")
+)
+
+// Sim is the incremental simulator contract the pipeline drives: Feed
+// consumes one read-only record chunk (which the pipeline reuses after
+// Feed returns — implementations must not retain it), Result reports
+// the simulation so far.
+type Sim[R any] interface {
+	Feed([]trace.Record) error
+	Result() (R, error)
+}
+
+// Compile-time checks that every simulator adapter satisfies the
+// contract.
+var (
+	_ Sim[cache.Result]          = (*cache.UnifiedSim)(nil)
+	_ Sim[cache.HierarchyResult] = (*cache.HierarchySim)(nil)
+	_ Sim[tlbsim.Stats]          = (*tlbsim.Sim)(nil)
+	_ Sim[*stackdist.Profile]    = (*stackdist.Stream)(nil)
+)
+
+// Pipeline fans pushed record chunks across a set of incremental
+// simulators over a bounded worker pool. Chunks arrive from one
+// producer goroutine (Feed/HandleSegment/FeedSource/FeedReader are not
+// themselves concurrency-safe); within a chunk every simulator runs in
+// parallel, and because each simulator sees every chunk in stream order
+// the results are independent of the worker count — workers == 1 is
+// the serial reference path, exactly as in the batch engine.
+type Pipeline struct {
+	workers int
+	feeders []func([]trace.Record) error
+	names   []string
+
+	// err is the sticky first failure (lowest simulator index within the
+	// failing chunk, par.Map's contract); once set the pipeline drops
+	// further input and every collector reports it.
+	err error
+
+	// buf is the reused segment-decode buffer: its capacity tracks the
+	// largest single segment, never the stream, which is the pipeline's
+	// bounded-memory guarantee (pinned by TestStreamBoundedMemory).
+	buf []trace.Record
+
+	// decoded counts records decoded from segments so far; it is the
+	// base for record-indexed decode errors, matching what a batch
+	// re-read of the same stream would report.
+	decoded uint64
+
+	filter func(trace.Record) bool
+	fbuf   []trace.Record // reused filter scratch
+	fed    uint64         // records the simulators consumed (post-filter)
+}
+
+// NewPipeline returns an empty pipeline; workers bounds the per-chunk
+// simulator fan-out (<= 0 means all cores, 1 is the serial reference
+// path).
+func NewPipeline(workers int) *Pipeline {
+	return &Pipeline{workers: workers}
+}
+
+// AddSim registers an incremental simulator under a reporting name and
+// returns its collector. Call the collector after the stream ends: it
+// returns the simulator's result, or the pipeline's sticky error if any
+// simulator or decode failed. Registration must finish before the
+// first Feed.
+func AddSim[R any](p *Pipeline, name string, sim Sim[R]) func() (R, error) {
+	p.feeders = append(p.feeders, sim.Feed)
+	p.names = append(p.names, name)
+	return func() (R, error) {
+		if p.err != nil {
+			var zero R
+			return zero, p.err
+		}
+		return sim.Result()
+	}
+}
+
+// SetFilter installs a record predicate applied to every fed chunk
+// before the simulators see it (e.g. the user-only subset). Must be set
+// before the first Feed.
+func (p *Pipeline) SetFilter(keep func(trace.Record) bool) { p.filter = keep }
+
+// Err returns the sticky pipeline error, if any.
+func (p *Pipeline) Err() error { return p.err }
+
+// RecordsFed returns how many records the simulators have consumed
+// (post-filter).
+func (p *Pipeline) RecordsFed() uint64 { return p.fed }
+
+// Feed fans one chunk across every registered simulator and blocks
+// until all have consumed it; the chunk may be reused afterwards. A
+// simulator error is sticky: later chunks are dropped and every
+// collector reports it.
+func (p *Pipeline) Feed(chunk []trace.Record) error {
+	if p.err != nil {
+		return p.err
+	}
+	if p.filter != nil {
+		p.fbuf = p.fbuf[:0]
+		for _, r := range chunk {
+			if p.filter(r) {
+				p.fbuf = append(p.fbuf, r)
+			}
+		}
+		chunk = p.fbuf
+	}
+	if len(chunk) == 0 {
+		return nil
+	}
+	start := time.Now()
+	_, err := par.Map(p.workers, len(p.feeders), func(i int) (struct{}, error) {
+		return struct{}{}, p.feeders[i](chunk)
+	})
+	secs := time.Since(start).Seconds()
+	mStreamFeedSecs.Observe(secs)
+	mStreamRecords.Add(uint64(len(chunk)))
+	p.fed += uint64(len(chunk))
+	if secs > 0 {
+		mStreamRate.Set(float64(len(chunk)) / secs)
+	}
+	if err != nil {
+		p.err = err
+	}
+	return p.err
+}
+
+// HandleSegment decodes one teed segment into the pipeline's reusable
+// buffer and feeds it: the splice between kernel.SpillConfig.OnSegment
+// and the simulators. A truncated or corrupt segment feeds its decoded
+// prefix, then fails with the identical record-indexed error a batch
+// re-read of the stream would produce — and stays failed, like the
+// batch path's lowest-index error.
+func (p *Pipeline) HandleSegment(seg trace.StreamSegment) error {
+	if p.err != nil {
+		return p.err
+	}
+	recs, derr := trace.DecodeSegment(seg.Codec, seg.Info, seg.Payload, p.buf, p.decoded)
+	if cap(recs) > cap(p.buf) {
+		p.buf = recs[:cap(recs)]
+	}
+	p.decoded += uint64(len(recs))
+	mStreamSegments.Inc()
+	mStreamBytes.Add(uint64(len(seg.Payload)))
+	if len(recs) > 0 {
+		p.Feed(recs)
+	}
+	if derr != nil && p.err == nil {
+		p.err = derr
+	}
+	return p.err
+}
+
+// OnSegment adapts the pipeline to kernel.SpillConfig.OnSegment: every
+// spilled segment is decoded and fed as it is written. Decode and
+// simulator errors are sticky and surface from the collectors (and
+// Err), never back into the capture — the spill service's stream and
+// accounting are unaffected by its observers.
+func (p *Pipeline) OnSegment() func(trace.StreamSegment) {
+	return func(seg trace.StreamSegment) { _ = p.HandleSegment(seg) }
+}
+
+// FeedSource pushes an already-materialised source through the
+// pipeline, chunk by chunk.
+func (p *Pipeline) FeedSource(src trace.Source) error {
+	_ = src.EachChunk(func(chunk []trace.Record) error { return p.Feed(chunk) })
+	return p.err
+}
+
+// feedReaderChunk sizes FeedReader's reused decode buffer.
+const feedReaderChunk = 1 << 16
+
+// FeedReader streams a trace file (either container) through the
+// pipeline without ever materialising it: one reused decode buffer, so
+// memory stays bounded however long the trace is. Decode errors are
+// sticky, record-indexed, and identical to what a batch read reports.
+func (p *Pipeline) FeedReader(rd *trace.Reader) error {
+	if cap(p.buf) < feedReaderChunk {
+		p.buf = make([]trace.Record, feedReaderChunk)
+	}
+	buf := p.buf[:cap(p.buf)]
+	for p.err == nil {
+		n, err := rd.Decode(buf)
+		p.decoded += uint64(n)
+		if n > 0 {
+			p.Feed(buf[:n])
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if p.err == nil {
+				p.err = err
+			}
+			break
+		}
+	}
+	return p.err
+}
+
+// StreamCaches replays src through every cache configuration in one
+// streamed pass: the push-mode counterpart of Caches, with identical
+// results.
+func StreamCaches(src trace.Source, cfgs []cache.Config, opts cache.RunOptions, workers int) ([]cache.Result, error) {
+	p := NewPipeline(workers)
+	collect := make([]func() (cache.Result, error), len(cfgs))
+	for i, cfg := range cfgs {
+		sim, err := cache.NewUnifiedSim(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		collect[i] = AddSim[cache.Result](p, cfg.Name(), sim)
+	}
+	p.FeedSource(src)
+	return gather(collect)
+}
+
+// StreamHierarchies is the push-mode counterpart of Hierarchies.
+func StreamHierarchies(src trace.Source, cfgs []cache.HierarchyConfig, opts cache.RunOptions, workers int) ([]cache.HierarchyResult, error) {
+	p := NewPipeline(workers)
+	collect := make([]func() (cache.HierarchyResult, error), len(cfgs))
+	for i, cfg := range cfgs {
+		sim, err := cache.NewHierarchySim(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		collect[i] = AddSim[cache.HierarchyResult](p, cfg.Name(), sim)
+	}
+	p.FeedSource(src)
+	return gather(collect)
+}
+
+// StreamTBs is the push-mode counterpart of TBs.
+func StreamTBs(src trace.Source, cfgs []tlbsim.Config, workers int) ([]tlbsim.Stats, error) {
+	p := NewPipeline(workers)
+	collect := make([]func() (tlbsim.Stats, error), len(cfgs))
+	for i, cfg := range cfgs {
+		sim, err := tlbsim.NewSim(cfg)
+		if err != nil {
+			return nil, err
+		}
+		collect[i] = AddSim[tlbsim.Stats](p, cfg.Name(), sim)
+	}
+	p.FeedSource(src)
+	return gather(collect)
+}
+
+// gather drains a collector list into a result slice, stopping at the
+// first error (every collector reports the same sticky pipeline error,
+// so the first is also the only one).
+func gather[R any](collect []func() (R, error)) ([]R, error) {
+	out := make([]R, len(collect))
+	for i, c := range collect {
+		r, err := c()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

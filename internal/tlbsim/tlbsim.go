@@ -200,42 +200,67 @@ func Run(recs []trace.Record, cfg Config) (Stats, error) {
 }
 
 // RunSource is Run over any record source (e.g. a shared trace.Arena
-// replayed by many configurations concurrently).
+// replayed by many configurations concurrently). The per-record routing
+// lives in Sim.Feed, shared with the streaming pipeline.
 func RunSource(src trace.Source, cfg Config) (Stats, error) {
+	s, err := NewSim(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := src.EachChunk(s.Feed); err != nil {
+		return Stats{}, err
+	}
+	return s.Result()
+}
+
+// Sim is an incrementally-fed TB simulation: the streaming counterpart
+// of RunSource, consumed by the capture→decode→sweep pipeline
+// (internal/sweep).
+type Sim struct {
+	t   *TB
+	cfg Config
+}
+
+// NewSim validates the configuration and returns a simulator ready to
+// be fed record chunks.
+func NewSim(cfg Config) (*Sim, error) {
 	t, err := New(cfg)
 	if err != nil {
-		return Stats{}, err
+		return nil, err
 	}
-	err = src.EachChunk(func(chunk []trace.Record) error {
-		for _, r := range chunk {
-			switch r.Kind {
-			case trace.KindCtxSwitch:
-				if cfg.FlushOnSwitch {
-					t.FlushProcess()
-				}
-				continue
-			case trace.KindIFetch, trace.KindDRead, trace.KindDWrite:
-				if r.Phys {
-					continue
-				}
-				if !cfg.IncludeSystem && !r.User {
-					continue
-				}
-				t.Access(r.Addr, r.PID)
-			case trace.KindPTERead, trace.KindPTEWrite:
-				if !cfg.WalkRefs || r.Phys {
-					continue
-				}
-				t.Touch(r.Addr, r.PID)
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return Stats{}, err
-	}
-	return t.Stats, nil
+	return &Sim{t: t, cfg: cfg}, nil
 }
+
+// Feed routes one chunk of records into the TB. The chunk is only read;
+// it may be reused by the caller after Feed returns.
+func (s *Sim) Feed(chunk []trace.Record) error {
+	for _, r := range chunk {
+		switch r.Kind {
+		case trace.KindCtxSwitch:
+			if s.cfg.FlushOnSwitch {
+				s.t.FlushProcess()
+			}
+			continue
+		case trace.KindIFetch, trace.KindDRead, trace.KindDWrite:
+			if r.Phys {
+				continue
+			}
+			if !s.cfg.IncludeSystem && !r.User {
+				continue
+			}
+			s.t.Access(r.Addr, r.PID)
+		case trace.KindPTERead, trace.KindPTEWrite:
+			if !s.cfg.WalkRefs || r.Phys {
+				continue
+			}
+			s.t.Touch(r.Addr, r.PID)
+		}
+	}
+	return nil
+}
+
+// Result reports the simulation so far.
+func (s *Sim) Result() (Stats, error) { return s.t.Stats, nil }
 
 // SweepSizes evaluates a series of TB capacities.
 func SweepSizes(recs []trace.Record, base Config, sizes []uint32) ([]Stats, error) {

@@ -68,7 +68,19 @@ type SegmentWriter struct {
 	pay    bytes.Buffer // per-segment encode buffer, reused
 	closed bool
 	err    error // first write error; sticky
+
+	tee func(StreamSegment) // observes segments after they reach the sink
 }
+
+// Tee arranges for fn to observe every subsequently written segment,
+// invoked after the segment has reached the sink — so fn only ever sees
+// data a re-read of the file would also see. The StreamSegment's
+// payload aliases the writer's reusable encode buffer and is valid only
+// during the call; fn must decode or copy before returning. The tee is
+// observational: its behaviour never affects the stream, and a slow fn
+// only delays the writer (the capture side already freezes the machine
+// during a spill, so the delay costs no simulated time).
+func (sw *SegmentWriter) Tee(fn func(StreamSegment)) { sw.tee = fn }
 
 // NewSegmentWriter writes the segmented stream header to w and returns
 // the writer positioned for the first segment.
@@ -140,6 +152,19 @@ func (sw *SegmentWriter) WriteSegment(recs []Record, dropped, dilationCycles uin
 	}
 	if err := sw.w.Flush(); err != nil {
 		return sw.fail(err)
+	}
+	if sw.tee != nil {
+		sw.tee(StreamSegment{
+			Codec: sw.codec,
+			Info: SegmentInfo{
+				Index:          sw.next,
+				Records:        uint64(len(recs)),
+				Dropped:        dropped,
+				DilationCycles: dilationCycles,
+				PayloadBytes:   uint64(sw.pay.Len()),
+			},
+			Payload: sw.pay.Bytes(),
+		})
 	}
 	sw.next++
 	return nil
