@@ -41,18 +41,18 @@ func main() {
 		memMB   = flag.Uint("mem", 8, "physical memory in MB")
 		resKB   = flag.Uint("reserved", 512, "reserved trace region in KB")
 		budget  = flag.Uint64("budget", 2_000_000_000, "instruction budget")
-		segment = flag.Uint("segment-bytes", 0, "stream segments of this buffer size to disk (0 = buffer whole trace in memory)")
 		list    = flag.Bool("list", false, "list available workloads and exit")
 		verbose = flag.Bool("v", false, "print run statistics")
-		metrics cliutil.Metrics
+		common  cliutil.CommonOptions
 	)
-	metrics.AddFlags(flag.CommandLine)
+	common.AddFlags(flag.CommandLine, cliutil.FlagSegmentBytes|cliutil.FlagMetrics)
 	flag.Parse()
 
-	segBytes, err := cliutil.SegmentBytes("segment-bytes", *segment)
-	if err != nil {
-		usage(err)
+	if err := common.Validate(); err != nil {
+		cliutil.Exit2("atum-capture", err)
 	}
+	segBytes := common.SegBytes()
+	metrics := &common.Metrics
 
 	if *list {
 		for _, w := range workload.All {
@@ -178,11 +178,4 @@ func captureSegmented(sys *kernel.System, opts atum.Options, cfg kernel.SpillCon
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "atum-capture:", err)
 	os.Exit(1)
-}
-
-// usage reports a flag-validation error with the conventional usage
-// exit code, distinct from runtime failures.
-func usage(err error) {
-	fmt.Fprintln(os.Stderr, "atum-capture:", err)
-	os.Exit(2)
 }

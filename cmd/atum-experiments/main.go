@@ -22,20 +22,16 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	md := flag.Bool("md", false, "render tables as markdown")
 	csv := flag.Bool("csv", false, "render tables as CSV")
-	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores, 1 = serial reference path)")
-	decodeW := flag.Int("decode-workers", 0, "segment decode goroutines (0 = all cores, 1 = serial reference path)")
 	stream := flag.Bool("stream", false, "run the arena sweeps through the streaming pipeline (identical reports; exercises push mode)")
-	var metrics cliutil.Metrics
-	metrics.AddFlags(flag.CommandLine)
+	var common cliutil.CommonOptions
+	common.AddFlags(flag.CommandLine,
+		cliutil.FlagWorkers|cliutil.FlagDecodeWorkers|cliutil.FlagMetrics|cliutil.FlagRemote)
 	flag.Parse()
-	if _, err := cliutil.Workers("workers", *workers); err != nil {
-		fmt.Fprintln(os.Stderr, "atum-experiments:", err)
-		os.Exit(2)
+	if err := common.Validate(); err != nil {
+		cliutil.Exit2("atum-experiments", err)
 	}
-	if _, err := cliutil.Workers("decode-workers", *decodeW); err != nil {
-		fmt.Fprintln(os.Stderr, "atum-experiments:", err)
-		os.Exit(2)
-	}
+	workers, decodeW := &common.Workers, &common.DecodeWorkers
+	metrics := &common.Metrics
 	if err := metrics.Start(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "atum-experiments:", err)
 		os.Exit(1)
@@ -60,7 +56,9 @@ func main() {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		rep, err := e.Run(experiments.Options{Workers: *workers, DecodeWorkers: *decodeW, Stream: *stream})
+		rep, err := e.Run(experiments.Options{
+			Workers: *workers, DecodeWorkers: *decodeW, Stream: *stream, Remote: common.Remote,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "atum-experiments: %s: %v\n", e.ID, err)
 			os.Exit(1)

@@ -40,22 +40,25 @@ func main() {
 		wset      = flag.Bool("wset", false, "compute working-set curve")
 		byPID     = flag.Bool("by-pid", false, "per-process breakdown table")
 		check     = flag.Bool("check", false, "lint the trace for structural violations")
-		workers   = flag.Int("workers", 0, "section worker goroutines (0 = all cores, 1 = serial reference path)")
-		decodeW   = flag.Int("decode-workers", 0, "segment decode goroutines (0 = all cores, 1 = serial reference path)")
 		metaOnly  = flag.Bool("meta-only", false, "print capture metadata and the segment index without decoding records")
 		telemetry = flag.Bool("telemetry", false, "print decode telemetry and compare throughput against the recorded baseline")
 		benchFile = flag.String("bench", "BENCH_decode.json", "decode benchmark baseline for -telemetry")
+		opts      cliutil.CommonOptions
 	)
+	opts.AddFlags(flag.CommandLine, cliutil.FlagWorkers|cliutil.FlagDecodeWorkers|cliutil.FlagRemote)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: atum-stats [flags] trace-file")
 		os.Exit(2)
 	}
-	if _, err := cliutil.Workers("workers", *workers); err != nil {
-		usage(err)
+	if err := opts.Validate(); err != nil {
+		cliutil.Exit2("atum-stats", err)
 	}
-	if _, err := cliutil.Workers("decode-workers", *decodeW); err != nil {
-		usage(err)
+	workers, decodeW := &opts.Workers, &opts.DecodeWorkers
+
+	if opts.Remote != "" {
+		remoteStats(opts.Remote, flag.Arg(0), *check, *metaOnly)
+		return
 	}
 
 	rd, err := trace.OpenFile(flag.Arg(0))
@@ -209,11 +212,6 @@ func loadBaseline(path string) (float64, error) {
 		return 0, fmt.Errorf("%s: no parallel.records_per_sec", path)
 	}
 	return doc.Parallel.RecordsPerSec, nil
-}
-
-func usage(err error) {
-	fmt.Fprintln(os.Stderr, "atum-stats:", err)
-	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -22,7 +22,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +30,7 @@ import (
 
 	"atum/internal/analyzers"
 	"atum/internal/asmcheck"
+	"atum/internal/findings"
 	"atum/internal/vax"
 )
 
@@ -57,27 +57,10 @@ func usage() {
 	os.Exit(2)
 }
 
-// finding is the one JSON schema both planes share. Go findings carry
-// file/line/col; asm findings carry file/addr/block.
-type finding struct {
-	Plane    string `json:"plane"` // "go" or "asm"
-	Check    string `json:"check"` // analyzer name or asmcheck rule ID
-	File     string `json:"file"`
-	Line     int    `json:"line,omitempty"`
-	Col      int    `json:"col,omitempty"`
-	Addr     string `json:"addr,omitempty"`
-	Block    string `json:"block,omitempty"`
-	Severity string `json:"severity"`
-	Message  string `json:"message"`
-}
-
-func emitJSON(fs []finding) {
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if fs == nil {
-		fs = []finding{}
-	}
-	if err := enc.Encode(fs); err != nil {
+// Both planes emit the shared findings schema (internal/findings), the
+// same record type trace.Lint and atum-serve's lint endpoint produce.
+func emitJSON(fs []findings.Finding) {
+	if err := findings.WriteJSON(os.Stdout, fs); err != nil {
 		fatal(err)
 	}
 }
@@ -106,7 +89,7 @@ func vetAsm(args []string) {
 	}
 
 	failed := false
-	var out []finding
+	var out []findings.Finding
 	for _, path := range fs.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
@@ -121,8 +104,8 @@ func vetAsm(args []string) {
 		diags := asmcheck.Check(prog, opts)
 		for _, d := range diags {
 			if *jsonOut {
-				out = append(out, finding{
-					Plane: "asm", Check: d.Rule, File: path,
+				out = append(out, findings.Finding{
+					Plane: findings.PlaneAsm, Check: d.Rule, File: path,
 					Addr:     fmt.Sprintf("%#x", d.Addr),
 					Block:    fmt.Sprintf("%#x", d.Block),
 					Severity: d.Sev.String(), Message: d.Msg,
@@ -151,26 +134,26 @@ func vetGo(args []string) {
 	if fs.NArg() > 0 {
 		dir = fs.Arg(0)
 	}
-	findings, err := analyzers.RunDir(dir, analyzers.All())
+	found, err := analyzers.RunDir(dir, analyzers.All())
 	if err != nil {
 		fatal(err)
 	}
 	if *jsonOut {
-		var out []finding
-		for _, f := range findings {
-			out = append(out, finding{
-				Plane: "go", Check: f.Analyzer, File: f.Pos.Filename,
+		var out []findings.Finding
+		for _, f := range found {
+			out = append(out, findings.Finding{
+				Plane: findings.PlaneGo, Check: f.Analyzer, File: f.Pos.Filename,
 				Line: f.Pos.Line, Col: f.Pos.Column,
 				Severity: "error", Message: f.Msg,
 			})
 		}
 		emitJSON(out) // RunDir sorts by file, line, analyzer, message
 	} else {
-		for _, f := range findings {
+		for _, f := range found {
 			fmt.Println(f)
 		}
 	}
-	if len(findings) > 0 {
+	if len(found) > 0 {
 		os.Exit(1)
 	}
 }

@@ -44,28 +44,35 @@ func main() {
 		entries  = flag.Uint("entries", 256, "TLB entries")
 		mattson  = flag.Bool("mattson", false, "one-pass stack-distance analysis: print the fully-associative LRU miss curve")
 		l2       = flag.String("l2", "", "two-level mode: unified L2 of this size behind split L1s of -size")
-		workers  = flag.Int("workers", 0, "sweep worker goroutines (0 = all cores, 1 = serial reference path)")
-		decodeW  = flag.Int("decode-workers", 0, "segment decode goroutines (0 = all cores, 1 = serial reference path)")
 		stream   = flag.Bool("stream", false, "stream the trace through the pipeline: one pass, memory bounded by one decode buffer; trace-file - reads stdin")
-		sampleK  = flag.Uint("sample-sets", 0, "simulate only 1 in K cache sets (0 or 1 = all sets; cheap previews)")
-		metrics  cliutil.Metrics
+		common   cliutil.CommonOptions
 	)
-	metrics.AddFlags(flag.CommandLine)
+	common.AddFlags(flag.CommandLine,
+		cliutil.FlagWorkers|cliutil.FlagDecodeWorkers|cliutil.FlagSampleSets|cliutil.FlagMetrics|cliutil.FlagRemote)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: cachesim [flags] trace-file")
 		os.Exit(2)
 	}
-	if _, err := cliutil.Workers("workers", *workers); err != nil {
-		usage(err)
+	if err := common.Validate(); err != nil {
+		cliutil.Exit2("cachesim", err)
 	}
-	if _, err := cliutil.Workers("decode-workers", *decodeW); err != nil {
-		usage(err)
-	}
+	workers, decodeW, sampleK := &common.Workers, &common.DecodeWorkers, &common.SampleSets
+	metrics := &common.Metrics
 	if err := metrics.Start(os.Stderr); err != nil {
 		fatal(err)
 	}
 	defer metrics.Finish(os.Stdout)
+
+	if common.Remote != "" {
+		remoteRun(common.Remote, flag.Arg(0), remoteFlags{
+			size: *size, block: uint32(*block), assoc: uint32(*assoc), repl: *repl, flush: *flush,
+			userOnly: *userOnly, pte: *pte, sweepArg: *sweepArg, sizesArg: *sizesArg,
+			tlb: *tlb, entries: uint32(*entries), mattson: *mattson, l2: *l2, stream: *stream,
+			workers: *workers, decodeWorkers: *decodeW, sampleSets: uint32(*sampleK),
+		})
+		return
+	}
 
 	// Batch mode decodes the whole trace into a shared arena up front;
 	// stream mode builds a pipeline and decodes one buffer at a time
@@ -111,18 +118,7 @@ func main() {
 		} else {
 			prof = stackdist.FromSource(src, sdOpts)
 		}
-		tb := &analysis.Table{
-			Title:   "fully-associative LRU miss-rate curve (one pass)",
-			Headers: []string{"capacity", "blocks", "miss rate"},
-		}
-		for _, blocks := range []int{16, 64, 256, 1024, 4096, 16384} {
-			bytes := uint32(blocks) * uint32(*block)
-			tb.AddRow(fmt.Sprintf("%dKB", bytes>>10), analysis.N(blocks),
-				analysis.Pct(prof.MissRate(blocks)))
-		}
-		fmt.Print(tb)
-		fmt.Printf("cold misses: %d of %d refs; max stack depth %d\n",
-			prof.Cold, prof.Total, prof.MaxDepth())
+		printMattson(prof, uint32(*block))
 		return
 	}
 
@@ -148,30 +144,11 @@ func main() {
 				fatal(err)
 			}
 		}
-		fmt.Printf("TB %s: accesses=%d misses=%d miss-rate=%s flushes=%d\n",
-			cfg.Name(), st.Accesses, st.Misses, analysis.Pct(st.MissRate()), st.Flushes)
+		printTB(cfg, st)
 		return
 	}
 
-	cfg := cache.Config{
-		SizeBytes:     parseSize(*size),
-		BlockBytes:    uint32(*block),
-		Assoc:         uint32(*assoc),
-		WritePolicy:   cache.WriteBack,
-		WriteAllocate: true,
-		PIDTags:       !*flush,
-		FlushOnSwitch: *flush,
-	}
-	switch *repl {
-	case "lru":
-		cfg.Replacement = cache.LRU
-	case "fifo":
-		cfg.Replacement = cache.FIFO
-	case "random":
-		cfg.Replacement = cache.Random
-	default:
-		fatal(fmt.Errorf("unknown replacement %q", *repl))
-	}
+	cfg := baseCacheConfig(*size, uint32(*block), uint32(*assoc), *repl, *flush)
 	opts := cache.RunOptions{IncludePTE: *pte, SampleSets: uint32(*sampleK)}
 
 	if *l2 != "" {
@@ -196,29 +173,11 @@ func main() {
 				fatal(err)
 			}
 		}
-		fmt.Printf("L1I: %s miss  L1D: %s miss  global L2: %s  memory accesses: %d\n",
-			analysis.Pct(res.L1I.MissRate()), analysis.Pct(res.L1D.MissRate()),
-			analysis.Pct(res.GlobalL2MissRate), res.MemoryAccesses)
+		printHierarchy(res)
 		return
 	}
 
-	var cfgs []cache.Config
-	switch *sweepArg {
-	case "":
-		cfgs = []cache.Config{cfg}
-	case "sizes":
-		var sizes []uint32
-		for _, s := range strings.Split(*sizesArg, ",") {
-			sizes = append(sizes, parseSize(s))
-		}
-		cfgs = cache.SizeConfigs(cfg, sizes)
-	case "blocks":
-		cfgs = cache.BlockConfigs(cfg, []uint32{4, 8, 16, 32, 64, 128})
-	case "assoc":
-		cfgs = cache.AssocConfigs(cfg, []uint32{1, 2, 4, 8})
-	default:
-		fatal(fmt.Errorf("unknown sweep %q", *sweepArg))
-	}
+	cfgs := sweepConfigs(cfg, *sweepArg, *sizesArg)
 	var (
 		res []cache.Result
 		err error
@@ -277,6 +236,82 @@ func feedStream(p *sweep.Pipeline, path string) {
 	p.FeedReader(rd)
 }
 
+// baseCacheConfig assembles the single-level config the flags describe;
+// both the local and -remote paths run exactly this config.
+func baseCacheConfig(size string, block, assoc uint32, repl string, flush bool) cache.Config {
+	cfg := cache.Config{
+		SizeBytes:     parseSize(size),
+		BlockBytes:    block,
+		Assoc:         assoc,
+		WritePolicy:   cache.WriteBack,
+		WriteAllocate: true,
+		PIDTags:       !flush,
+		FlushOnSwitch: flush,
+	}
+	switch repl {
+	case "lru":
+		cfg.Replacement = cache.LRU
+	case "fifo":
+		cfg.Replacement = cache.FIFO
+	case "random":
+		cfg.Replacement = cache.Random
+	default:
+		fatal(fmt.Errorf("unknown replacement %q", repl))
+	}
+	return cfg
+}
+
+// sweepConfigs expands -sweep into the config list.
+func sweepConfigs(cfg cache.Config, sweepArg, sizesArg string) []cache.Config {
+	switch sweepArg {
+	case "":
+		return []cache.Config{cfg}
+	case "sizes":
+		var sizes []uint32
+		for _, s := range strings.Split(sizesArg, ",") {
+			sizes = append(sizes, parseSize(s))
+		}
+		return cache.SizeConfigs(cfg, sizes)
+	case "blocks":
+		return cache.BlockConfigs(cfg, []uint32{4, 8, 16, 32, 64, 128})
+	case "assoc":
+		return cache.AssocConfigs(cfg, []uint32{1, 2, 4, 8})
+	default:
+		fatal(fmt.Errorf("unknown sweep %q", sweepArg))
+		return nil
+	}
+}
+
+// printMattson renders the stack-distance profile; local and -remote
+// runs print through this one function, so their bytes match.
+func printMattson(prof *stackdist.Profile, block uint32) {
+	tb := &analysis.Table{
+		Title:   "fully-associative LRU miss-rate curve (one pass)",
+		Headers: []string{"capacity", "blocks", "miss rate"},
+	}
+	for _, blocks := range []int{16, 64, 256, 1024, 4096, 16384} {
+		bytes := uint32(blocks) * block
+		tb.AddRow(fmt.Sprintf("%dKB", bytes>>10), analysis.N(blocks),
+			analysis.Pct(prof.MissRate(blocks)))
+	}
+	fmt.Print(tb)
+	fmt.Printf("cold misses: %d of %d refs; max stack depth %d\n",
+		prof.Cold, prof.Total, prof.MaxDepth())
+}
+
+// printTB renders one translation-buffer result.
+func printTB(cfg tlbsim.Config, st tlbsim.Stats) {
+	fmt.Printf("TB %s: accesses=%d misses=%d miss-rate=%s flushes=%d\n",
+		cfg.Name(), st.Accesses, st.Misses, analysis.Pct(st.MissRate()), st.Flushes)
+}
+
+// printHierarchy renders one two-level result.
+func printHierarchy(res cache.HierarchyResult) {
+	fmt.Printf("L1I: %s miss  L1D: %s miss  global L2: %s  memory accesses: %d\n",
+		analysis.Pct(res.L1I.MissRate()), analysis.Pct(res.L1D.MissRate()),
+		analysis.Pct(res.GlobalL2MissRate), res.MemoryAccesses)
+}
+
 func report(results []cache.Result) {
 	tb := &analysis.Table{
 		Headers: []string{"config", "accesses", "misses", "miss rate", "cold", "writebacks"},
@@ -307,9 +342,4 @@ func parseSize(s string) uint32 {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cachesim:", err)
 	os.Exit(1)
-}
-
-func usage(err error) {
-	fmt.Fprintln(os.Stderr, "cachesim:", err)
-	os.Exit(2)
 }

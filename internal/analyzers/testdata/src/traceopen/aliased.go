@@ -1,14 +1,15 @@
-// The analyzer resolves the local import name, so an aliased import
-// of internal/trace is still caught.
-package fixtures
+// vet:dir internal/trace
+//
+// A method sharing a deleted wrapper's name is not a reintroduction:
+// the declaration check exempts receivers, mirroring the call check's
+// method exemption outside the package.
+package trace
 
-import (
-	"os"
+import "io"
 
-	trc "atum/internal/trace"
-)
+type store struct{}
 
-func badAliased(f *os.File) {
-	trc.ReadFile(f) // want "deprecated trace.ReadFile"
-	trc.Open(f)     // fine: the unified entry point
+func (store) ReadFile(string) {}
+func (store) NewDecoder(r io.Reader) (any, error) {
+	return nil, nil
 }

@@ -1,16 +1,27 @@
-// Fixtures for the traceopen analyzer: deprecated trace read entry
-// points called outside internal/trace.
-package fixtures
+// vet:dir internal/trace
+//
+// Reintroducing a deleted one-call wrapper inside internal/trace is the
+// only way a caller could come to exist again (a call to a function
+// that does not exist is a build error, not an analyzer finding), so
+// the declaration itself is the thing flagged.
+package trace
 
-import (
-	"os"
+import "io"
 
-	"atum/internal/trace"
-)
+type rec struct{}
 
-func badReadFile(f *os.File) {
-	trace.ReadFile(f)     // want "deprecated trace.ReadFile"
-	trace.ReadFileMeta(f) // want "deprecated trace.ReadFileMeta"
-	trace.ReadArena(f)    // want "deprecated trace.ReadArena"
-	trace.NewDecoder(f)   // want "deprecated trace.NewDecoder"
+func ReadFile(r io.Reader) ([]rec, error) { // want "reintroduced deleted entry point ReadFile"
+	return nil, nil
+}
+
+func ReadFileMeta(r io.Reader) ([]rec, string, error) { // want "reintroduced deleted entry point ReadFileMeta"
+	return nil, "", nil
+}
+
+func ReadArena(r io.Reader) (any, string, error) { // want "reintroduced deleted entry point ReadArena"
+	return nil, "", nil
+}
+
+func NewDecoder(r io.Reader) (any, error) { // want "reintroduced deleted entry point NewDecoder"
+	return nil, nil
 }

@@ -1,17 +1,18 @@
 // vet:dir internal/trace
 //
-// The wrappers call each other inside internal/trace; the package is
-// exempt so the deprecated implementations themselves don't trip the
-// gate.
+// Inside internal/trace only declarations are checked: calls to
+// same-named functions elsewhere (os.ReadFile here) and test helpers
+// that merely wrap Open under a different name are fine.
 package trace
 
 import (
+	"io"
 	"os"
 
 	"atum/internal/trace"
 )
 
-func okSamePackage(f *os.File) {
-	trace.ReadFile(f)
-	trace.ReadArena(f)
+func okSamePackage(r io.Reader) {
+	os.ReadFile("x")
+	trace.Open(r)
 }

@@ -5,21 +5,27 @@ import (
 	"go/types"
 )
 
-// TraceOpen flags calls to the deprecated trace read entry points —
-// ReadFile, ReadFileMeta, ReadArena, NewDecoder — outside
-// internal/trace itself. They survive as one-line wrappers for
-// compatibility, but every caller in this repository goes through
-// trace.Open, which serves both the monolithic and the segmented
-// container; a caller on a wrapper is a caller that silently predates
-// segmented streams.
+// TraceOpen keeps trace reading on the one public entry point. The
+// deprecated one-call wrappers — ReadFile, ReadFileMeta, ReadArena,
+// NewDecoder — were deleted once every caller had migrated to
+// trace.Open (which serves both the monolithic and the segmented
+// container); this pass makes the deletion stick in both directions:
 //
-// The pass is type-aware: the callee must resolve to a function
+//   - outside internal/trace, any call that resolves to a function with
+//     one of those names declared in internal/trace is flagged — a
+//     caller on a wrapper is a caller that silently predates segmented
+//     streams;
+//   - inside internal/trace, any top-level function *declaration* with
+//     one of those names is flagged, so the wrappers cannot quietly
+//     come back.
+//
+// The call check is type-aware: the callee must resolve to a function
 // declared in internal/trace, so import aliasing is handled by object
 // identity rather than import-name scanning, and a same-named function
 // or method anywhere else is out of scope.
 var TraceOpen = &Analyzer{
 	Name: "traceopen",
-	Doc:  "deprecated trace read entry points (ReadFile/ReadFileMeta/ReadArena/NewDecoder); use trace.Open",
+	Doc:  "deleted trace read entry points (ReadFile/ReadFileMeta/ReadArena/NewDecoder); use trace.Open",
 	Run:  runTraceOpen,
 }
 
@@ -31,8 +37,19 @@ var deprecatedTraceReaders = map[string]bool{
 }
 
 func runTraceOpen(p *Pass) {
-	// The wrappers themselves (and their direct tests) live here.
 	if p.Dir == "internal/trace" {
+		// Inside the package the wrappers can only reappear as
+		// declarations; flag those instead of call sites (package-local
+		// helpers may legitimately share a name in tests).
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv != nil || !deprecatedTraceReaders[fd.Name.Name] {
+					continue
+				}
+				p.Reportf(fd.Name.Pos(), "reintroduced deleted entry point %s; fold it into trace.Open", fd.Name.Name)
+			}
+		}
 		return
 	}
 	for _, f := range p.Files {
@@ -51,7 +68,7 @@ func runTraceOpen(p *Pass) {
 			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
 				return true // a method sharing the name is not the wrapper
 			}
-			p.Reportf(call.Pos(), "deprecated trace.%s; use trace.Open (reads segmented captures too)", fn.Name())
+			p.Reportf(call.Pos(), "deleted trace.%s; use trace.Open (reads segmented captures too)", fn.Name())
 			return true
 		})
 	}

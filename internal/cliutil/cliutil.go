@@ -1,19 +1,112 @@
-// Package cliutil holds the flag plumbing the atum commands share: one
-// validator for the worker-count flags (so -workers and -decode-workers
-// reject nonsense identically everywhere instead of each command
-// clamping its own way), one for segment sizing, and the
-// -metrics-addr/-metrics-dump wiring that exposes the obs registry from
-// any command.
+// Package cliutil holds the flag plumbing the atum commands share.
+// CommonOptions is the one registration + validation surface: a command
+// says which of the shared flags it takes (workers, decode-workers,
+// segment-bytes, sample-sets, metrics-addr/-dump, remote) and gets
+// identical help text, identical validation and the conventional exit
+// codes everywhere, instead of each command clamping its own way.
 package cliutil
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 
 	"atum/internal/obs"
 	"atum/internal/trace"
 )
+
+// Flag selects which shared flags a command registers; commands OR
+// together the ones they take.
+type Flag uint
+
+const (
+	FlagWorkers       Flag = 1 << iota // -workers: simulation/section fan-out
+	FlagDecodeWorkers                  // -decode-workers: segment decode fan-out
+	FlagSegmentBytes                   // -segment-bytes: spill buffer sizing
+	FlagSampleSets                     // -sample-sets: 1-in-K set sampling
+	FlagMetrics                        // -metrics-addr / -metrics-dump
+	FlagRemote                         // -remote: run against an atum-serve daemon
+)
+
+// CommonOptions carries the shared flag values. Register with AddFlags,
+// then call Validate exactly once after fs.Parse; Validate checks only
+// the flags that were registered, so a command never rejects input on a
+// flag it does not expose.
+type CommonOptions struct {
+	Workers       int
+	DecodeWorkers int
+	SegmentBytes  uint
+	SampleSets    uint
+	Remote        string
+	Metrics       Metrics
+
+	registered Flag
+	segBytes   uint32
+}
+
+// AddFlags registers the selected flags on fs with the shared help
+// strings.
+func (o *CommonOptions) AddFlags(fs *flag.FlagSet, which Flag) {
+	o.registered |= which
+	if which&FlagWorkers != 0 {
+		fs.IntVar(&o.Workers, "workers", 0, "worker goroutines (0 = all cores, 1 = serial reference path)")
+	}
+	if which&FlagDecodeWorkers != 0 {
+		fs.IntVar(&o.DecodeWorkers, "decode-workers", 0, "segment decode goroutines (0 = all cores, 1 = serial reference path)")
+	}
+	if which&FlagSegmentBytes != 0 {
+		fs.UintVar(&o.SegmentBytes, "segment-bytes", 0, "stream segments of this buffer size (0 = buffer whole trace in memory)")
+	}
+	if which&FlagSampleSets != 0 {
+		fs.UintVar(&o.SampleSets, "sample-sets", 0, "simulate only 1 in K cache sets (0 or 1 = all sets; cheap previews)")
+	}
+	if which&FlagMetrics != 0 {
+		o.Metrics.AddFlags(fs)
+	}
+	if which&FlagRemote != 0 {
+		fs.StringVar(&o.Remote, "remote", "", "run against an atum-serve daemon at this base URL or host:port instead of locally")
+	}
+}
+
+// Validate checks every registered flag's parsed value; the first error
+// is returned with the offending flag named, ready for Exit2.
+func (o *CommonOptions) Validate() error {
+	if o.registered&FlagWorkers != 0 {
+		if _, err := Workers("workers", o.Workers); err != nil {
+			return err
+		}
+	}
+	if o.registered&FlagDecodeWorkers != 0 {
+		if _, err := Workers("decode-workers", o.DecodeWorkers); err != nil {
+			return err
+		}
+	}
+	if o.registered&FlagSegmentBytes != 0 {
+		sb, err := SegmentBytes("segment-bytes", o.SegmentBytes)
+		if err != nil {
+			return err
+		}
+		o.segBytes = sb
+	}
+	return nil
+}
+
+// SegBytes returns the validated segment-buffer size; valid only after
+// Validate has succeeded.
+func (o *CommonOptions) SegBytes() uint32 { return o.segBytes }
+
+// osExit is swapped out by the cliutil tests so exit-code behavior is
+// testable in-process.
+var osExit = os.Exit
+
+// Exit2 reports a flag-validation error the conventional way: the
+// command name, the error, exit status 2 — distinct from runtime
+// failures (status 1).
+func Exit2(cmd string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+	osExit(2)
+}
 
 // Workers validates a worker-count flag value: 0 means "all available
 // cores" (the documented default), positive values size the pool, and

@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"errors"
 	"flag"
 	"io"
 	"strings"
@@ -9,6 +10,116 @@ import (
 	"atum/internal/obs"
 	"atum/internal/trace"
 )
+
+// TestCommonOptionsRegistration pins which flags each mask registers: a
+// command asking for a subset must get exactly that subset, so no
+// command grows (or loses) a shared flag by accident.
+func TestCommonOptionsRegistration(t *testing.T) {
+	all := []string{"workers", "decode-workers", "segment-bytes", "sample-sets", "metrics-addr", "metrics-dump", "remote"}
+	cases := []struct {
+		name string
+		mask Flag
+		want []string
+	}{
+		{"none", 0, nil},
+		{"workers-only", FlagWorkers, []string{"workers"}},
+		{"capture", FlagSegmentBytes | FlagMetrics, []string{"segment-bytes", "metrics-addr", "metrics-dump"}},
+		{"stats", FlagWorkers | FlagDecodeWorkers | FlagRemote, []string{"workers", "decode-workers", "remote"}},
+		{"cachesim", FlagWorkers | FlagDecodeWorkers | FlagSampleSets | FlagMetrics | FlagRemote,
+			[]string{"workers", "decode-workers", "sample-sets", "metrics-addr", "metrics-dump", "remote"}},
+		{"everything", FlagWorkers | FlagDecodeWorkers | FlagSegmentBytes | FlagSampleSets | FlagMetrics | FlagRemote, all},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fs := flag.NewFlagSet(c.name, flag.ContinueOnError)
+			var o CommonOptions
+			o.AddFlags(fs, c.mask)
+			got := map[string]bool{}
+			fs.VisitAll(func(f *flag.Flag) { got[f.Name] = true })
+			if len(got) != len(c.want) {
+				t.Errorf("registered %d flags, want %d (%v)", len(got), len(c.want), got)
+			}
+			for _, name := range c.want {
+				if !got[name] {
+					t.Errorf("flag -%s not registered", name)
+				}
+			}
+			for _, name := range all {
+				wanted := false
+				for _, w := range c.want {
+					if w == name {
+						wanted = true
+					}
+				}
+				if got[name] && !wanted {
+					t.Errorf("flag -%s registered but not requested", name)
+				}
+			}
+		})
+	}
+}
+
+// TestCommonOptionsValidate is the one validation table for every
+// command: good values pass, bad values fail with the flag named, and
+// flags that were not registered are never validated.
+func TestCommonOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mask    Flag
+		args    []string
+		wantErr string // substring; "" = valid
+		segOut  uint32
+	}{
+		{"defaults", FlagWorkers | FlagDecodeWorkers | FlagSegmentBytes, nil, "", 0},
+		{"workers-ok", FlagWorkers, []string{"-workers", "8"}, "", 0},
+		{"workers-negative", FlagWorkers, []string{"-workers", "-1"}, "-workers -1", 0},
+		{"decode-workers-negative", FlagDecodeWorkers, []string{"-decode-workers", "-3"}, "-decode-workers -3", 0},
+		{"segment-too-small", FlagSegmentBytes, []string{"-segment-bytes", "5"}, "-segment-bytes 5", 0},
+		{"segment-ok", FlagSegmentBytes, []string{"-segment-bytes", "65536"}, "", 65536},
+		{"segment-zero-disables", FlagSegmentBytes, []string{"-segment-bytes", "0"}, "", 0},
+		{"unregistered-not-validated", FlagSampleSets, nil, "", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fs := flag.NewFlagSet(c.name, flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			var o CommonOptions
+			o.AddFlags(fs, c.mask)
+			if err := fs.Parse(c.args); err != nil {
+				t.Fatal(err)
+			}
+			err := o.Validate()
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				if o.SegBytes() != c.segOut {
+					t.Errorf("SegBytes() = %d, want %d", o.SegBytes(), c.segOut)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("Validate() = %q, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestExit2 pins the usage exit code: flag-validation failures exit 2
+// (usage), never 1 (runtime failure).
+func TestExit2(t *testing.T) {
+	orig := osExit
+	defer func() { osExit = orig }()
+	code := -1
+	osExit = func(c int) { code = c }
+	Exit2("testcmd", errors.New("boom"))
+	if code != 2 {
+		t.Fatalf("Exit2 exited with %d, want 2", code)
+	}
+}
 
 func TestWorkers(t *testing.T) {
 	for _, tc := range []struct {

@@ -8,7 +8,9 @@ package experiments
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"fmt"
+	"reflect"
 	"sync"
 
 	"atum/internal/analysis"
@@ -17,6 +19,8 @@ import (
 	"atum/internal/cache"
 	"atum/internal/kernel"
 	"atum/internal/micro"
+	"atum/internal/serve"
+	"atum/internal/serve/api"
 	"atum/internal/stackdist"
 	"atum/internal/sweep"
 	"atum/internal/tlbsim"
@@ -72,11 +76,29 @@ type Options struct {
 	// pipeline's determinism harness pins — so this is an execution-mode
 	// knob, never a result knob.
 	Stream bool
+
+	// Remote routes the sweeps through an atum-serve daemon at this
+	// base URL (or host:port) instead of simulating locally: the trace
+	// is uploaded once under its content hash and each sweep becomes an
+	// analysis request. Like Workers and Stream this is an
+	// execution-mode knob — the daemon returns the same result structs,
+	// so reports are byte-identical to a local run.
+	Remote string
 }
 
 // sweepCaches replays src through every cache configuration, via the
-// engine Options.Stream selects.
+// engine Options.Stream and Options.Remote select.
 func (o Options) sweepCaches(src trace.Source, cfgs []cache.Config, opts cache.RunOptions) ([]cache.Result, error) {
+	if o.Remote != "" {
+		req := o.remoteRequest(api.KindCaches)
+		req.Caches = cfgs
+		req.Run = opts
+		resp, err := o.remoteAnalyze(src, req)
+		if err != nil {
+			return nil, err
+		}
+		return resp.Caches, nil
+	}
 	if o.Stream {
 		return sweep.StreamCaches(src, cfgs, opts, o.Workers)
 	}
@@ -85,6 +107,16 @@ func (o Options) sweepCaches(src trace.Source, cfgs []cache.Config, opts cache.R
 
 // sweepHierarchies is sweepCaches for two-level hierarchies.
 func (o Options) sweepHierarchies(src trace.Source, cfgs []cache.HierarchyConfig, opts cache.RunOptions) ([]cache.HierarchyResult, error) {
+	if o.Remote != "" {
+		req := o.remoteRequest(api.KindHierarchies)
+		req.Hierarchies = cfgs
+		req.Run = opts
+		resp, err := o.remoteAnalyze(src, req)
+		if err != nil {
+			return nil, err
+		}
+		return resp.Hierarchies, nil
+	}
 	if o.Stream {
 		return sweep.StreamHierarchies(src, cfgs, opts, o.Workers)
 	}
@@ -93,10 +125,80 @@ func (o Options) sweepHierarchies(src trace.Source, cfgs []cache.HierarchyConfig
 
 // sweepTBs is sweepCaches for translation buffers.
 func (o Options) sweepTBs(src trace.Source, cfgs []tlbsim.Config) ([]tlbsim.Stats, error) {
+	if o.Remote != "" {
+		req := o.remoteRequest(api.KindTBs)
+		req.TBs = cfgs
+		resp, err := o.remoteAnalyze(src, req)
+		if err != nil {
+			return nil, err
+		}
+		return resp.TBs, nil
+	}
 	if o.Stream {
 		return sweep.StreamTBs(src, cfgs, o.Workers)
 	}
 	return sweep.TBs(src, cfgs, o.Workers)
+}
+
+// remoteTenant is the namespace the experiment suite's uploads land in.
+const remoteTenant = "experiments"
+
+// remoteRequest seeds an analysis request with the execution-mode knobs
+// every remote sweep shares.
+func (o Options) remoteRequest(kind string) api.AnalysisRequest {
+	return api.AnalysisRequest{
+		Kind:          kind,
+		Stream:        o.Stream,
+		Workers:       o.Workers,
+		DecodeWorkers: o.DecodeWorkers,
+	}
+}
+
+// remoteUploads memoizes content-hash trace names per source so each
+// distinct arena is encoded and uploaded once per process, however many
+// sweeps replay it (the daemon's arena cache then serves every decode
+// after the first). Only comparable sources (the *trace.Arena pointers
+// every experiment uses) are memoizable; slice-backed sources fall back
+// to re-hashing, where the daemon-side existence check still dedupes
+// the actual upload.
+var remoteUploads sync.Map // trace.Source -> string (stored-trace name)
+
+// remoteAnalyze uploads src (once) and runs req against the daemon.
+// The daemon executes the same sweep functions over the same decoded
+// records and returns the same result structs, so the caller's rendered
+// report is byte-identical to a local run.
+func (o Options) remoteAnalyze(src trace.Source, req api.AnalysisRequest) (api.AnalysisResponse, error) {
+	c := serve.NewClient(o.Remote, remoteTenant)
+	memoizable := reflect.TypeOf(src).Comparable()
+	var name string
+	if memoizable {
+		if v, ok := remoteUploads.Load(src); ok {
+			name = v.(string)
+		}
+	}
+	if name == "" {
+		var buf bytes.Buffer
+		var recs []trace.Record
+		_ = src.EachChunk(func(chunk []trace.Record) error {
+			recs = append(recs, chunk...)
+			return nil
+		})
+		if err := trace.WriteFile(&buf, recs, trace.CodecDelta); err != nil {
+			return api.AnalysisResponse{}, err
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		name = fmt.Sprintf("t%x", sum[:8])
+		if info, err := c.Trace(name); err != nil || !info.Complete {
+			if _, err := c.UploadTrace(name, buf.Bytes()); err != nil {
+				return api.AnalysisResponse{}, err
+			}
+		}
+		if memoizable {
+			remoteUploads.Store(src, name)
+		}
+	}
+	req.Trace = name
+	return c.Analyze(req)
 }
 
 // Runner produces a report.

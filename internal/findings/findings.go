@@ -1,0 +1,119 @@
+// Package findings defines the one diagnostic record every static and
+// dynamic checker in this repository emits: the Go analyzers
+// (internal/analyzers), the assembly verifier (internal/asmcheck) and
+// the trace linter (trace.Lint) all render into a Finding, so atum-vet
+// -json, the atum-serve lint endpoint and CI artifacts share a single
+// schema instead of three near-identical ones.
+//
+// A finding is identified by its (Plane, Check) pair, both stable IDs:
+// Plane names the checker family ("go", "asm", "trace") and Check the
+// individual rule — an analyzer name, an asmcheck rule ID or a
+// trace.Lint class. Tooling matches on these identifiers, never on
+// message prose.
+package findings
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Plane values. Every producer uses one of these constants so consumers
+// can switch on them.
+const (
+	PlaneGo    = "go"    // internal/analyzers over the Go module
+	PlaneAsm   = "asm"   // internal/asmcheck over assembly programs
+	PlaneTrace = "trace" // trace.Lint over captured records
+)
+
+// Finding is one diagnostic in the shared schema. The location fields
+// are per-plane: Go findings carry File/Line/Col, asm findings carry
+// File/Addr/Block, trace findings carry Record (the first offending
+// record index) and Count (how many records hit the same class — the
+// linter's flood cap aggregates per class).
+type Finding struct {
+	Plane    string  `json:"plane"`
+	Check    string  `json:"check"`
+	File     string  `json:"file,omitempty"`
+	Line     int     `json:"line,omitempty"`
+	Col      int     `json:"col,omitempty"`
+	Addr     string  `json:"addr,omitempty"`
+	Block    string  `json:"block,omitempty"`
+	Record   *uint64 `json:"record,omitempty"`
+	Count    uint64  `json:"count,omitempty"`
+	Severity string  `json:"severity"`
+	Message  string  `json:"message"`
+}
+
+// RecordIndex is a convenience for building trace-plane findings: it
+// returns a pointer to idx (the Record field is a pointer so record 0
+// survives omitempty on the other planes).
+func RecordIndex(idx uint64) *uint64 { return &idx }
+
+// String renders the finding in its plane's traditional textual form —
+// the exact strings the pre-unification tools printed, so a consumer
+// that renders findings (atum-stats -check, the CLI lint output) is
+// byte-identical to the plane's native renderer.
+func (f Finding) String() string {
+	switch f.Plane {
+	case PlaneTrace:
+		rec := uint64(0)
+		if f.Record != nil {
+			rec = *f.Record
+		}
+		return fmt.Sprintf("record %d: [%s] %s (%d occurrence(s))", rec, f.Check, f.Message, f.Count)
+	case PlaneAsm:
+		return fmt.Sprintf("%s: %s[%s] %s (block %s): %s", f.File, f.Severity, f.Check, f.Addr, f.Block, f.Message)
+	default: // PlaneGo and anything future
+		return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Check)
+	}
+}
+
+// Sort orders findings deterministically: by file, line, column, then
+// the plane-specific positions (address, record index), then check ID
+// and message. All producers sort before emitting, so concatenated
+// artifacts diff cleanly.
+func Sort(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		ar, br := recOrZero(a.Record), recOrZero(b.Record)
+		if ar != br {
+			return ar < br
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+func recOrZero(p *uint64) uint64 {
+	if p == nil {
+		return 0
+	}
+	return *p
+}
+
+// WriteJSON emits the findings as an indented JSON array; nil renders
+// as [] so "no findings" is a valid document, not null.
+func WriteJSON(w io.Writer, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fs)
+}

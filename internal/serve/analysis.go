@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+
+	"atum/internal/cache"
+	"atum/internal/serve/api"
+	"atum/internal/stackdist"
+	"atum/internal/sweep"
+	"atum/internal/tlbsim"
+	"atum/internal/trace"
+)
+
+// runAnalysis executes one analysis request against a stored trace.
+// The trace must be complete: a live capture's spool can end mid-byte
+// of anything, and the point of a stored analysis is a reproducible
+// answer over fixed bytes. Results are exactly what the local tools
+// produce over the same trace — the sweeps run the very same functions
+// over the very same decoded records, so a -remote run marshals
+// byte-identical reports.
+func (s *Server) runAnalysis(t *tenant, req api.AnalysisRequest) (*api.AnalysisResponse, error) {
+	st, err := t.trace(req.Trace)
+	if err != nil {
+		return nil, err
+	}
+	buf, complete := st.snapshot()
+	if !complete {
+		return nil, fmt.Errorf("trace %q is still capturing; analyses need a complete trace", req.Trace)
+	}
+	f, err := trace.OpenReaderAt(bytes.NewReader(buf), int64(len(buf)))
+	if err != nil {
+		return nil, fmt.Errorf("trace %q: %w", req.Trace, err)
+	}
+	defer f.Close()
+
+	chunks, err := s.arenas.segments(arenaKey{tenant: t.name, trace: st.name, gen: st.gen}, f, req.DecodeWorkers)
+	if err != nil {
+		return nil, fmt.Errorf("trace %q: %w", req.Trace, err)
+	}
+	var src trace.Source = trace.NewArenaFromChunks(chunks)
+	if req.UserOnly {
+		src = src.(*trace.Arena).FilterUser()
+	}
+
+	resp := &api.AnalysisResponse{Trace: req.Trace, Kind: req.Kind}
+	switch req.Kind {
+	case api.KindCaches:
+		if len(req.Caches) == 0 {
+			return nil, fmt.Errorf("kind %q needs at least one cache config", req.Kind)
+		}
+		if req.Stream {
+			resp.Caches, resp.DroppedRecords, err = streamSweep(src, req, req.Caches, func(cfg cache.Config) (namedSim[cache.Result], error) {
+				sim, err := cache.NewUnifiedSim(cfg, req.Run)
+				return namedSim[cache.Result]{cfg.Name(), sim}, err
+			})
+		} else {
+			resp.Caches, err = sweep.Caches(src, req.Caches, req.Run, req.Workers)
+		}
+	case api.KindHierarchies:
+		if len(req.Hierarchies) == 0 {
+			return nil, fmt.Errorf("kind %q needs at least one hierarchy config", req.Kind)
+		}
+		if req.Stream {
+			resp.Hierarchies, resp.DroppedRecords, err = streamSweep(src, req, req.Hierarchies, func(cfg cache.HierarchyConfig) (namedSim[cache.HierarchyResult], error) {
+				sim, err := cache.NewHierarchySim(cfg, req.Run)
+				return namedSim[cache.HierarchyResult]{cfg.Name(), sim}, err
+			})
+		} else {
+			resp.Hierarchies, err = sweep.Hierarchies(src, req.Hierarchies, req.Run, req.Workers)
+		}
+	case api.KindTBs:
+		if len(req.TBs) == 0 {
+			return nil, fmt.Errorf("kind %q needs at least one TB config", req.Kind)
+		}
+		if req.Stream {
+			resp.TBs, resp.DroppedRecords, err = streamSweep(src, req, req.TBs, func(cfg tlbsim.Config) (namedSim[tlbsim.Stats], error) {
+				sim, err := tlbsim.NewSim(cfg)
+				return namedSim[tlbsim.Stats]{cfg.Name(), sim}, err
+			})
+		} else {
+			resp.TBs, err = sweep.TBs(src, req.TBs, req.Workers)
+		}
+	case api.KindStackdist:
+		opts := stackdist.Options{}
+		if req.Stackdist != nil {
+			opts = *req.Stackdist
+		}
+		resp.Stackdist = stackdist.FromSource(src, opts)
+	case api.KindSummary:
+		sum := trace.SummarizeSource(src)
+		resp.Summary = &sum
+	default:
+		return nil, fmt.Errorf("unknown analysis kind %q", req.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// namedSim pairs a simulator with its config label for pipeline
+// registration.
+type namedSim[R any] struct {
+	name string
+	sim  sweep.Sim[R]
+}
+
+// streamSweep is the push-mode sweep with the request's backpressure
+// policy applied: Block replays every record (results identical to the
+// arena sweep); Drop sheds counted records when the bounded queue backs
+// up — the same degrade-never-stall stance the capture side takes.
+func streamSweep[R any, C any](src trace.Source, req api.AnalysisRequest, cfgs []C, mk func(C) (namedSim[R], error)) ([]R, uint64, error) {
+	policy, err := sweep.ParseBackpressure(req.Backpressure)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := sweep.NewPipeline(req.Workers)
+	collect := make([]func() (R, error), len(cfgs))
+	for i, cfg := range cfgs {
+		ns, err := mk(cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		collect[i] = sweep.AddSim[R](p, ns.name, ns.sim)
+	}
+	p.SetBackpressure(policy, req.QueueChunks)
+	p.FeedSource(src)
+	if err := p.Drain(); err != nil {
+		return nil, 0, err
+	}
+	out := make([]R, len(collect))
+	for i, c := range collect {
+		r, err := c()
+		if err != nil {
+			return nil, 0, err
+		}
+		out[i] = r
+	}
+	return out, p.DroppedRecords(), nil
+}

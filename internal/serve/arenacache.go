@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"atum/internal/obs"
+	"atum/internal/par"
+	"atum/internal/trace"
+)
+
+// Arena cache telemetry, on the global registry: the cache is shared
+// across tenants (decoded segments are immutable, so sharing leaks no
+// data — keys carry the tenant name, and a tenant can only ask for its
+// own traces), and its effectiveness is a property of the daemon, not
+// of any one tenant.
+var (
+	mArenaHits  = obs.Default().Counter("atum_serve_arena_cache_hits_total")
+	mArenaMiss  = obs.Default().Counter("atum_serve_arena_cache_misses_total")
+	mArenaEvict = obs.Default().Counter("atum_serve_arena_cache_evictions_total")
+	mArenaBytes = obs.Default().Gauge("atum_serve_arena_cache_bytes")
+)
+
+// arenaKey identifies one decoded unit: a single segment of a stored
+// trace, or the whole record block of a monolithic capture (seg == -1).
+// The generation distinguishes re-uploads under the same name, so a
+// stale decode can never be served for new bytes.
+type arenaKey struct {
+	tenant string
+	trace  string
+	gen    uint64
+	seg    int
+}
+
+// arenaCache is a byte-budgeted LRU of decoded record slices. Analyses
+// over stored traces decode each segment at most once while it stays
+// resident; repeated sweeps over the same trace — the daemon's hot path
+// — skip decode entirely.
+type arenaCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List // front = most recent; values are *arenaEntry
+	byKey  map[arenaKey]*list.Element
+}
+
+type arenaEntry struct {
+	key   arenaKey
+	recs  []trace.Record
+	bytes int64
+}
+
+func newArenaCache(budgetBytes int64) *arenaCache {
+	return &arenaCache{budget: budgetBytes, lru: list.New(), byKey: map[arenaKey]*list.Element{}}
+}
+
+// get returns the cached slice (callers must treat it as immutable) or
+// nil on miss.
+func (c *arenaCache) get(k arenaKey) []trace.Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.byKey[k]; el != nil {
+		c.lru.MoveToFront(el)
+		mArenaHits.Inc()
+		return el.Value.(*arenaEntry).recs
+	}
+	mArenaMiss.Inc()
+	return nil
+}
+
+// put inserts a decoded slice and evicts from the cold end until the
+// budget holds again. A slice larger than the whole budget is not
+// cached at all (it would only evict everything to be evicted next).
+func (c *arenaCache) put(k arenaKey, recs []trace.Record) {
+	sz := int64(len(recs)) * trace.RecordBytes
+	if sz > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[k]; ok {
+		return // racing decoders; first one wins
+	}
+	for c.used+sz > c.budget {
+		el := c.lru.Back()
+		if el == nil {
+			break
+		}
+		ent := el.Value.(*arenaEntry)
+		c.lru.Remove(el)
+		delete(c.byKey, ent.key)
+		c.used -= ent.bytes
+		mArenaEvict.Inc()
+	}
+	ent := &arenaEntry{key: k, recs: recs, bytes: sz}
+	c.byKey[k] = c.lru.PushFront(ent)
+	c.used += sz
+	mArenaBytes.Set(float64(c.used))
+}
+
+// segments assembles the decoded chunks of every segment of f — cache
+// hits as-is, misses decoded via f.Segment (in parallel across workers)
+// and inserted — in segment order. For a monolithic file the whole
+// record block is one chunk under seg == -1.
+func (c *arenaCache) segments(k arenaKey, f *trace.File, workers int) ([][]trace.Record, error) {
+	if !f.Segmented() {
+		mk := k
+		mk.seg = -1
+		if recs := c.get(mk); recs != nil {
+			return [][]trace.Record{recs}, nil
+		}
+		recs, err := f.Records(workers)
+		if err != nil {
+			return nil, err
+		}
+		c.put(mk, recs)
+		return [][]trace.Record{recs}, nil
+	}
+	n := len(f.Segments())
+	chunks := make([][]trace.Record, n)
+	var miss []int
+	for i := 0; i < n; i++ {
+		sk := k
+		sk.seg = i
+		if recs := c.get(sk); recs != nil {
+			chunks[i] = recs
+			continue
+		}
+		miss = append(miss, i)
+	}
+	if len(miss) == 0 {
+		return chunks, nil
+	}
+	decoded, err := par.Map(workers, len(miss), func(j int) ([]trace.Record, error) {
+		return f.Segment(miss[j])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for j, recs := range decoded {
+		sk := k
+		sk.seg = miss[j]
+		c.put(sk, recs)
+		chunks[miss[j]] = recs
+	}
+	return chunks, nil
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"testing"
+
+	"atum/internal/trace"
+)
+
+func slice(n int) []trace.Record { return make([]trace.Record, n) }
+
+// TestArenaCacheLRU exercises the cache against its internal state:
+// budget adherence, cold-end eviction order, recency promotion on hit,
+// oversize rejection, and generation-key separation.
+func TestArenaCacheLRU(t *testing.T) {
+	key := func(name string, gen uint64, seg int) arenaKey {
+		return arenaKey{tenant: "t", trace: name, gen: gen, seg: seg}
+	}
+	// Budget for exactly three 100-record slices.
+	c := newArenaCache(3 * 100 * trace.RecordBytes)
+
+	for i := 0; i < 3; i++ {
+		c.put(key("a", 1, i), slice(100))
+	}
+	if c.used != 3*100*trace.RecordBytes {
+		t.Fatalf("used = %d after three inserts", c.used)
+	}
+
+	// Touch segment 0 so segment 1 becomes the cold end, then insert a
+	// fourth slice: 1 must be evicted, 0 and 2 must survive.
+	if c.get(key("a", 1, 0)) == nil {
+		t.Fatal("miss on resident entry")
+	}
+	c.put(key("a", 1, 3), slice(100))
+	if c.get(key("a", 1, 1)) != nil {
+		t.Fatal("cold entry survived eviction")
+	}
+	for _, seg := range []int{0, 2, 3} {
+		if c.get(key("a", 1, seg)) == nil {
+			t.Fatalf("warm entry %d was evicted", seg)
+		}
+	}
+	if c.used > c.budget {
+		t.Fatalf("used %d exceeds budget %d", c.used, c.budget)
+	}
+
+	// A slice larger than the whole budget is rejected without touching
+	// residents.
+	c.put(key("huge", 1, 0), slice(400))
+	if c.get(key("huge", 1, 0)) != nil {
+		t.Fatal("oversize slice was cached")
+	}
+	if c.get(key("a", 1, 0)) == nil {
+		t.Fatal("oversize insert disturbed residents")
+	}
+
+	// A re-upload bumps the generation; the old decode must not answer
+	// for the new bytes.
+	if c.get(key("a", 2, 0)) != nil {
+		t.Fatal("stale generation served")
+	}
+
+	// Racing decoders: a second put under a live key is a no-op and the
+	// original slice keeps being served.
+	first := slice(50)
+	first[0].Addr = 0xdead
+	c.put(key("b", 1, 0), first)
+	c.put(key("b", 1, 0), slice(50))
+	if got := c.get(key("b", 1, 0)); got[0].Addr != 0xdead {
+		t.Fatal("second racing put replaced the first decode")
+	}
+}

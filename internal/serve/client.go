@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"atum/internal/serve/api"
+)
+
+// Client is the Go face of the daemon's API: every method is one
+// endpoint, every payload one of the api package's types — the same
+// structs the server marshals, which is what makes remote results
+// byte-identical to local ones.
+type Client struct {
+	base   string // http://host:port, no trailing slash
+	tenant string
+	hc     *http.Client
+}
+
+// NewClient targets one tenant on one daemon. addr is host:port or a
+// full http:// URL.
+func NewClient(addr, tenant string) *Client {
+	base := strings.TrimRight(addr, "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	return &Client{base: base, tenant: tenant, hc: http.DefaultClient}
+}
+
+// url joins the tenant-scoped path parts under the version prefix.
+func (c *Client) url(parts ...string) string {
+	u := c.base + "/" + api.Version + "/tenants/" + c.tenant
+	for _, p := range parts {
+		u += "/" + p
+	}
+	return u
+}
+
+// do runs one request, decoding a 2xx JSON body into out (skipped when
+// out is nil) and a non-2xx body into the API's error envelope.
+func (c *Client) do(method, url string, body io.Reader, ctype string, out any) error {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return err
+	}
+	if ctype != "" {
+		req.Header.Set("Content-Type", ctype)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e api.Error
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s", method, url, e.Error)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, url, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postJSON marshals in and decodes the response into out.
+func (c *Client) postJSON(url string, in, out any) error {
+	b, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.do("POST", url, bytes.NewReader(b), "application/json", out)
+}
+
+// CreateSession starts a capture session and returns its initial state.
+func (c *Client) CreateSession(req api.CreateSessionRequest) (api.SessionInfo, error) {
+	var info api.SessionInfo
+	err := c.postJSON(c.url("sessions"), req, &info)
+	return info, err
+}
+
+// Sessions lists the tenant's sessions.
+func (c *Client) Sessions() ([]api.SessionInfo, error) {
+	var infos []api.SessionInfo
+	err := c.do("GET", c.url("sessions"), nil, "", &infos)
+	return infos, err
+}
+
+// Session fetches one session's current state.
+func (c *Client) Session(name string) (api.SessionInfo, error) {
+	var info api.SessionInfo
+	err := c.do("GET", c.url("sessions", name), nil, "", &info)
+	return info, err
+}
+
+// CloseSession stops a capture and returns its final accounting
+// (Recorded == Spilled + Lost by the time this returns).
+func (c *Client) CloseSession(name string) (api.SessionInfo, error) {
+	var info api.SessionInfo
+	err := c.do("DELETE", c.url("sessions", name), nil, "", &info)
+	return info, err
+}
+
+// StreamSegments opens the live byte stream of a session's trace; the
+// reader ends when the capture closes. While open, the caller is part
+// of the capture's backpressure accounting: drain promptly or the
+// capture degrades to counted drops.
+func (c *Client) StreamSegments(name string) (io.ReadCloser, error) {
+	resp, err := c.hc.Get(c.url("sessions", name, "segments"))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		var e api.Error
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("stream %s: %s", name, e.Error)
+		}
+		return nil, fmt.Errorf("stream %s: HTTP %d", name, resp.StatusCode)
+	}
+	return resp.Body, nil
+}
+
+// UploadTrace stores complete trace bytes under name.
+func (c *Client) UploadTrace(name string, data []byte) (api.TraceInfo, error) {
+	var info api.TraceInfo
+	err := c.do("PUT", c.url("traces", name), bytes.NewReader(data), "application/octet-stream", &info)
+	return info, err
+}
+
+// Traces lists the tenant's stored traces.
+func (c *Client) Traces() ([]api.TraceInfo, error) {
+	var infos []api.TraceInfo
+	err := c.do("GET", c.url("traces"), nil, "", &infos)
+	return infos, err
+}
+
+// Trace fetches one stored trace's header-only description.
+func (c *Client) Trace(name string) (api.TraceInfo, error) {
+	var info api.TraceInfo
+	err := c.do("GET", c.url("traces", name), nil, "", &info)
+	return info, err
+}
+
+// TraceData downloads the stored bytes.
+func (c *Client) TraceData(name string) ([]byte, error) {
+	resp, err := c.hc.Get(c.url("traces", name, "data"))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("trace data %s: HTTP %d", name, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Analyze runs one sweep/profile/summary on the daemon.
+func (c *Client) Analyze(req api.AnalysisRequest) (api.AnalysisResponse, error) {
+	var resp api.AnalysisResponse
+	err := c.postJSON(c.url("analyses"), req, &resp)
+	return resp, err
+}
+
+// Lint runs the stored-trace lint checks on the daemon.
+func (c *Client) Lint(traceName string) (api.LintResponse, error) {
+	var resp api.LintResponse
+	err := c.do("GET", c.url("traces", traceName, "lint"), nil, "", &resp)
+	return resp, err
+}
+
+// MetricsText fetches the tenant's isolated metrics page.
+func (c *Client) MetricsText() (string, error) {
+	resp, err := c.hc.Get(c.url("metrics"))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return "", fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

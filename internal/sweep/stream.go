@@ -13,7 +13,10 @@
 package sweep
 
 import (
+	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"atum/internal/cache"
@@ -27,14 +30,61 @@ import (
 // Streaming telemetry: segments and records that entered the pipeline,
 // the payload bytes they arrived as, per-chunk fan-out latency, and the
 // most recent feed rate — the live counters monitor `status` surfaces
-// during a capture.
+// during a capture. The backpressure family reports what the explicit
+// policy did: how often (and for how long) a blocking producer waited
+// on the simulators, how many records a dropping producer shed, and the
+// current queue depth.
 var (
 	mStreamSegments = obs.Default().Counter("atum_stream_segments_total")
 	mStreamRecords  = obs.Default().Counter("atum_stream_records_total")
 	mStreamBytes    = obs.Default().Counter("atum_stream_payload_bytes_total")
 	mStreamFeedSecs = obs.Default().Histogram("atum_stream_feed_seconds", obs.DefSecondsBuckets)
 	mStreamRate     = obs.Default().Gauge("atum_stream_replay_rate_recs_per_sec")
+
+	mBPBlocks  = obs.Default().Counter("atum_stream_backpressure_blocks_total")
+	mBPWait    = obs.Default().Histogram("atum_stream_backpressure_wait_seconds", obs.DefSecondsBuckets)
+	mBPDropped = obs.Default().Counter("atum_stream_backpressure_dropped_records_total")
+	mBPQueue   = obs.Default().Gauge("atum_stream_backpressure_queue_chunks")
 )
+
+// Backpressure is the pipeline's policy when the producer outruns the
+// simulators: Block (the default, and the only behavior before the
+// policy existed) makes Feed wait until every simulator has consumed
+// the chunk; Drop hands the chunk to a bounded queue drained by a
+// background goroutine and sheds whole chunks — with an exact dropped
+// count — when the queue is full, so a capture machine is never stalled
+// by a slow analysis tee. Block keeps the byte-identical determinism
+// guarantee; Drop trades it for bounded producer latency, exactly like
+// the collector's own buffer-full protocol.
+type Backpressure int
+
+const (
+	BackpressureBlock Backpressure = iota
+	BackpressureDrop
+)
+
+// String returns the wire name used by flags and the serve API.
+func (b Backpressure) String() string {
+	switch b {
+	case BackpressureBlock:
+		return "block"
+	case BackpressureDrop:
+		return "drop"
+	}
+	return fmt.Sprintf("Backpressure(%d)", int(b))
+}
+
+// ParseBackpressure maps the wire name back; "" means Block (the
+// default policy).
+func ParseBackpressure(s string) (Backpressure, error) {
+	switch s {
+	case "", "block":
+		return BackpressureBlock, nil
+	case "drop":
+		return BackpressureDrop, nil
+	}
+	return 0, fmt.Errorf("sweep: unknown backpressure policy %q (want block or drop)", s)
+}
 
 // Sim is the incremental simulator contract the pipeline drives: Feed
 // consumes one read-only record chunk (which the pipeline reuses after
@@ -68,7 +118,9 @@ type Pipeline struct {
 
 	// err is the sticky first failure (lowest simulator index within the
 	// failing chunk, par.Map's contract); once set the pipeline drops
-	// further input and every collector reports it.
+	// further input and every collector reports it. Guarded by mu: in
+	// Drop mode the drain goroutine sets it while the producer reads it.
+	mu  sync.Mutex
 	err error
 
 	// buf is the reused segment-decode buffer: its capacity tracks the
@@ -83,7 +135,16 @@ type Pipeline struct {
 
 	filter func(trace.Record) bool
 	fbuf   []trace.Record // reused filter scratch
-	fed    uint64         // records the simulators consumed (post-filter)
+	fed    atomic.Uint64  // records the simulators consumed (post-filter)
+
+	// Backpressure state. explicit marks that SetBackpressure was
+	// called, which turns on the wait telemetry in Block mode; queue and
+	// drained exist only in Drop mode.
+	explicit bool
+	queue    chan []trace.Record
+	drained  chan struct{}
+	dropped  atomic.Uint64
+	pool     sync.Pool // recycled chunk copies for the drop queue
 }
 
 // NewPipeline returns an empty pipeline; workers bounds the per-chunk
@@ -102,9 +163,9 @@ func AddSim[R any](p *Pipeline, name string, sim Sim[R]) func() (R, error) {
 	p.feeders = append(p.feeders, sim.Feed)
 	p.names = append(p.names, name)
 	return func() (R, error) {
-		if p.err != nil {
+		if err := p.Err(); err != nil {
 			var zero R
-			return zero, p.err
+			return zero, err
 		}
 		return sim.Result()
 	}
@@ -115,20 +176,80 @@ func AddSim[R any](p *Pipeline, name string, sim Sim[R]) func() (R, error) {
 // before the first Feed.
 func (p *Pipeline) SetFilter(keep func(trace.Record) bool) { p.filter = keep }
 
+// SetBackpressure selects the policy for a producer that outruns the
+// simulators; call it after registration and before the first Feed. In
+// Drop mode queueChunks bounds the number of in-flight chunk copies
+// (<= 0 selects a small default) and a background goroutine drains the
+// queue: the caller must Drain() after the last Feed and before reading
+// collectors. In Block mode nothing changes except the wait telemetry
+// turning on.
+func (p *Pipeline) SetBackpressure(policy Backpressure, queueChunks int) {
+	p.explicit = true
+	if policy != BackpressureDrop {
+		return
+	}
+	if queueChunks <= 0 {
+		queueChunks = 4
+	}
+	p.queue = make(chan []trace.Record, queueChunks)
+	p.drained = make(chan struct{})
+	go func() {
+		defer close(p.drained)
+		for chunk := range p.queue {
+			mBPQueue.Set(float64(len(p.queue)))
+			p.fanOut(chunk)
+			p.pool.Put(&chunk)
+		}
+		mBPQueue.Set(0)
+	}()
+}
+
+// Drain closes the Drop-mode queue and waits for the background drain
+// to finish feeding everything that was accepted; collectors are
+// consistent only after it returns. It returns the sticky error, if
+// any, and is a no-op (beyond that) under the Block policy.
+func (p *Pipeline) Drain() error {
+	if p.queue != nil {
+		close(p.queue)
+		<-p.drained
+		p.queue = nil
+	}
+	return p.Err()
+}
+
 // Err returns the sticky pipeline error, if any.
-func (p *Pipeline) Err() error { return p.err }
+func (p *Pipeline) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// fail records the sticky first failure.
+func (p *Pipeline) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
 
 // RecordsFed returns how many records the simulators have consumed
-// (post-filter).
-func (p *Pipeline) RecordsFed() uint64 { return p.fed }
+// (post-filter). In Drop mode it is consistent after Drain.
+func (p *Pipeline) RecordsFed() uint64 { return p.fed.Load() }
 
-// Feed fans one chunk across every registered simulator and blocks
-// until all have consumed it; the chunk may be reused afterwards. A
-// simulator error is sticky: later chunks are dropped and every
-// collector reports it.
+// DroppedRecords returns how many records the Drop policy shed because
+// the queue was full; always 0 under Block.
+func (p *Pipeline) DroppedRecords() uint64 { return p.dropped.Load() }
+
+// Feed accepts one chunk from the producer; the chunk may be reused as
+// soon as Feed returns. Under the Block policy (the default) it fans
+// the chunk across every registered simulator and waits for all of
+// them; a simulator error is sticky and every collector reports it.
+// Under Drop it copies the chunk into the bounded queue — or sheds it,
+// counted, when the queue is full — and returns immediately.
 func (p *Pipeline) Feed(chunk []trace.Record) error {
-	if p.err != nil {
-		return p.err
+	if err := p.Err(); err != nil {
+		return err
 	}
 	if p.filter != nil {
 		p.fbuf = p.fbuf[:0]
@@ -142,6 +263,35 @@ func (p *Pipeline) Feed(chunk []trace.Record) error {
 	if len(chunk) == 0 {
 		return nil
 	}
+	if p.queue != nil {
+		var cp []trace.Record
+		if bp := p.pool.Get(); bp != nil {
+			cp = (*bp.(*[]trace.Record))[:0]
+		}
+		cp = append(cp, chunk...)
+		select {
+		case p.queue <- cp:
+			mBPQueue.Set(float64(len(p.queue)))
+		default:
+			p.pool.Put(&cp)
+			p.dropped.Add(uint64(len(chunk)))
+			mBPDropped.Add(uint64(len(chunk)))
+		}
+		return p.Err()
+	}
+	start := time.Now()
+	p.fanOut(chunk)
+	if p.explicit {
+		mBPBlocks.Inc()
+		mBPWait.Observe(time.Since(start).Seconds())
+	}
+	return p.Err()
+}
+
+// fanOut feeds one chunk to every simulator over the worker pool and
+// does the shared accounting; it is the single consumer-side path for
+// both policies.
+func (p *Pipeline) fanOut(chunk []trace.Record) {
 	start := time.Now()
 	_, err := par.Map(p.workers, len(p.feeders), func(i int) (struct{}, error) {
 		return struct{}{}, p.feeders[i](chunk)
@@ -149,14 +299,13 @@ func (p *Pipeline) Feed(chunk []trace.Record) error {
 	secs := time.Since(start).Seconds()
 	mStreamFeedSecs.Observe(secs)
 	mStreamRecords.Add(uint64(len(chunk)))
-	p.fed += uint64(len(chunk))
+	p.fed.Add(uint64(len(chunk)))
 	if secs > 0 {
 		mStreamRate.Set(float64(len(chunk)) / secs)
 	}
 	if err != nil {
-		p.err = err
+		p.fail(err)
 	}
-	return p.err
 }
 
 // HandleSegment decodes one teed segment into the pipeline's reusable
@@ -166,8 +315,8 @@ func (p *Pipeline) Feed(chunk []trace.Record) error {
 // re-read of the stream would produce — and stays failed, like the
 // batch path's lowest-index error.
 func (p *Pipeline) HandleSegment(seg trace.StreamSegment) error {
-	if p.err != nil {
-		return p.err
+	if err := p.Err(); err != nil {
+		return err
 	}
 	recs, derr := trace.DecodeSegment(seg.Codec, seg.Info, seg.Payload, p.buf, p.decoded)
 	if cap(recs) > cap(p.buf) {
@@ -179,10 +328,10 @@ func (p *Pipeline) HandleSegment(seg trace.StreamSegment) error {
 	if len(recs) > 0 {
 		p.Feed(recs)
 	}
-	if derr != nil && p.err == nil {
-		p.err = derr
+	if derr != nil {
+		p.fail(derr)
 	}
-	return p.err
+	return p.Err()
 }
 
 // OnSegment adapts the pipeline to kernel.SpillConfig.OnSegment: every
@@ -198,7 +347,7 @@ func (p *Pipeline) OnSegment() func(trace.StreamSegment) {
 // pipeline, chunk by chunk.
 func (p *Pipeline) FeedSource(src trace.Source) error {
 	_ = src.EachChunk(func(chunk []trace.Record) error { return p.Feed(chunk) })
-	return p.err
+	return p.Err()
 }
 
 // feedReaderChunk sizes FeedReader's reused decode buffer.
@@ -213,7 +362,7 @@ func (p *Pipeline) FeedReader(rd *trace.Reader) error {
 		p.buf = make([]trace.Record, feedReaderChunk)
 	}
 	buf := p.buf[:cap(p.buf)]
-	for p.err == nil {
+	for p.Err() == nil {
 		n, err := rd.Decode(buf)
 		p.decoded += uint64(n)
 		if n > 0 {
@@ -223,13 +372,11 @@ func (p *Pipeline) FeedReader(rd *trace.Reader) error {
 			break
 		}
 		if err != nil {
-			if p.err == nil {
-				p.err = err
-			}
+			p.fail(err)
 			break
 		}
 	}
-	return p.err
+	return p.Err()
 }
 
 // StreamCaches replays src through every cache configuration in one

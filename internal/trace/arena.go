@@ -32,8 +32,8 @@ func (r Records) EachChunk(fn func([]Record) error) error {
 	return fn(r)
 }
 
-// arenaChunkRecords sizes the chunks ReadArena and Arena.Filter decode
-// into: 64K records (768 KB) keeps allocation spikes bounded — the
+// arenaChunkRecords sizes the chunks Reader.Arena and Arena.Filter
+// decode into: 64K records (768 KB) keeps allocation spikes bounded — the
 // append-doubling of a contiguous decode transiently holds a trace
 // twice — while staying far above per-chunk overhead.
 const arenaChunkRecords = 1 << 16
@@ -94,21 +94,21 @@ func (r *Reader) Arena() (*Arena, error) {
 	return a, nil
 }
 
-// ReadArena decodes a trace stream directly into arena chunks and
-// returns it with the stream's provenance string.
-//
-// Deprecated: Use Open; Reader.Arena and Reader.Meta replace the two
-// results.
-func ReadArena(r io.Reader) (*Arena, string, error) {
-	rd, err := Open(r)
-	if err != nil {
-		return nil, "", err
+// NewArenaFromChunks wraps pre-decoded record chunks as an arena
+// without copying: the fan-in side for callers (like the serve layer's
+// segment cache) that already hold per-segment slices and want the
+// one-pass-many-configs replay contract over them. Empty chunks are
+// skipped; the caller must not mutate any chunk afterwards.
+func NewArenaFromChunks(chunks [][]Record) *Arena {
+	a := &Arena{}
+	for _, c := range chunks {
+		if len(c) == 0 {
+			continue
+		}
+		a.chunks = append(a.chunks, c)
+		a.n += len(c)
 	}
-	a, err := rd.Arena()
-	if err != nil {
-		return nil, "", err
-	}
-	return a, rd.Meta(), nil
+	return a
 }
 
 // NumRecords implements Source.

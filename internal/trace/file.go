@@ -122,7 +122,13 @@ type Reader struct {
 
 // Open reads and validates a trace stream header (monolithic or
 // segmented) and returns the read handle positioned at the first
-// record.
+// record. It is the only streaming entry point: one-call decodes that
+// used to go through ReadFile/ReadFileMeta/ReadArena are Open followed
+// by Records/Arena (plus Meta for the provenance string), and the
+// batch-pulling loop the old NewDecoder served is Open followed by
+// Decode. For random access over an io.ReaderAt, use OpenReaderAt. The
+// traceopen analyzer keeps this the case repo-wide: reintroducing a
+// wrapper (or calling one) is a vet finding.
 func Open(r io.Reader) (*Reader, error) {
 	d, err := newDecoder(r)
 	if err != nil {
@@ -180,31 +186,6 @@ func (r *Reader) Records() ([]Record, error) {
 	}
 }
 
-// ReadFile decodes a trace stream, discarding any metadata.
-//
-// Deprecated: Use Open and Reader.Records.
-func ReadFile(r io.Reader) ([]Record, error) {
-	recs, _, err := ReadFileMeta(r)
-	return recs, err
-}
-
-// ReadFileMeta decodes a trace stream into one contiguous slice and
-// returns its provenance string.
-//
-// Deprecated: Use Open; Reader.Records and Reader.Meta replace the two
-// results.
-func ReadFileMeta(r io.Reader) ([]Record, string, error) {
-	rd, err := Open(r)
-	if err != nil {
-		return nil, "", err
-	}
-	recs, err := rd.Records()
-	if err != nil {
-		return nil, "", err
-	}
-	return recs, rd.Meta(), nil
-}
-
 // decodeBufBytes sizes the streaming decoder's read buffer. Batches
 // decode from Peek windows of up to this size, so it is also the unit
 // of work between refills; 64KB keeps the window well above the largest
@@ -236,12 +217,6 @@ type Decoder struct {
 	// Delta-codec inter-record state (reset at segment boundaries).
 	st deltaState
 }
-
-// NewDecoder reads and validates the stream header, leaving the decoder
-// positioned at the first record.
-//
-// Deprecated: Use Open; Reader.Decode streams batches the same way.
-func NewDecoder(r io.Reader) (*Decoder, error) { return newDecoder(r) }
 
 func newDecoder(r io.Reader) (*Decoder, error) {
 	br := bufio.NewReaderSize(r, decodeBufBytes)

@@ -49,7 +49,7 @@ func FuzzReadFile(f *testing.F) {
 	overrun[8+8+4+4+4+8+8+8] ^= 0x40
 	f.Add(overrun)
 	f.Fuzz(func(t *testing.T, b []byte) {
-		recs, err := ReadFile(bytes.NewReader(b))
+		recs, err := readAll(bytes.NewReader(b))
 		// The random-access pipeline must agree with the streaming one
 		// on every input: both succeed with identical records, or both
 		// fail.
@@ -115,7 +115,7 @@ func FuzzDeltaRoundTrip(f *testing.F) {
 		if err := WriteFile(&buf, recs, CodecDelta); err != nil {
 			t.Fatalf("delta encode: %v", err)
 		}
-		back, err := ReadFile(bytes.NewReader(buf.Bytes()))
+		back, err := readAll(bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			t.Fatalf("delta decode of own output: %v", err)
 		}

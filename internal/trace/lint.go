@@ -3,6 +3,8 @@ package trace
 import (
 	"fmt"
 	"sort"
+
+	"atum/internal/findings"
 )
 
 // Lint violation class IDs. Each rendered violation carries its class
@@ -53,6 +55,21 @@ func LintClasses() []string {
 //     patch fired on a context *load*, not a context *change*, double-
 //     counting switches and splitting one process's stream in two.
 func Lint(recs []Record) []string {
+	fs := LintFindings(recs)
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String()
+	}
+	return out
+}
+
+// LintFindings is Lint in the shared findings schema
+// (internal/findings): one trace-plane finding per violation class,
+// carrying the class ID as Check, the first offending record index and
+// the occurrence count. Lint renders exactly these findings, so the
+// string and structured forms cannot drift; atum-vet, atum-stats
+// -check and atum-serve's lint endpoint all emit this shape.
+func LintFindings(recs []Record) []findings.Finding {
 	type violation struct {
 		class string
 		count int
@@ -139,9 +156,16 @@ func Lint(recs []Record) []string {
 		}
 		return vs[i].msg < vs[j].msg
 	})
-	out := make([]string, len(vs))
+	out := make([]findings.Finding, len(vs))
 	for i, v := range vs {
-		out[i] = fmt.Sprintf("record %d: [%s] %s (%d occurrence(s))", v.first, v.class, v.msg, v.count)
+		out[i] = findings.Finding{
+			Plane:    findings.PlaneTrace,
+			Check:    v.class,
+			Record:   findings.RecordIndex(uint64(v.first)),
+			Count:    uint64(v.count),
+			Severity: "error",
+			Message:  v.msg,
+		}
 	}
 	return out
 }

@@ -237,7 +237,7 @@ func (f *File) Arena(workers int) (*Arena, error) {
 		}
 		return rd.Arena()
 	}
-	chunks, err := par.Map(workers, len(f.segs), f.decodeSegment)
+	chunks, err := par.Map(workers, len(f.segs), f.Segment)
 	if err != nil {
 		return nil, err
 	}
@@ -267,10 +267,14 @@ func (f *File) Records(workers int) ([]Record, error) {
 // allocation.
 const minEncRecordBytes = 2
 
-// decodeSegment decodes segment i into a fresh arena chunk, reporting
-// errors exactly as the streaming decoder would: truncation wraps
-// io.ErrUnexpectedEOF and names the absolute record index.
-func (f *File) decodeSegment(i int) ([]Record, error) {
+// Segment decodes segment i (0-based in Segments() order) into a fresh
+// record slice, reporting errors exactly as the streaming decoder
+// would: truncation wraps io.ErrUnexpectedEOF and names the absolute
+// record index. Each segment is an independent decode job (the delta
+// codec resets at segment boundaries), which is what makes per-segment
+// caching sound: a cached slice is identical to a fresh decode. Safe
+// for concurrent callers.
+func (f *File) Segment(i int) ([]Record, error) {
 	start := time.Now()
 	defer func() { mDecodeSegSecs.Observe(time.Since(start).Seconds()) }()
 	info := f.segs[i]

@@ -48,7 +48,7 @@ func TestSegmentStitchingDeterminism(t *testing.T) {
 		if err := WriteFileMeta(&mono, recs, codec, "stitch-test"); err != nil {
 			t.Fatalf("WriteFileMeta: %v", err)
 		}
-		want, wantMeta, err := ReadFileMeta(bytes.NewReader(mono.Bytes()))
+		want, wantMeta, err := readAllMeta(bytes.NewReader(mono.Bytes()))
 		if err != nil {
 			t.Fatalf("monolithic decode: %v", err)
 		}
@@ -162,7 +162,7 @@ func TestSegmentEmptySegments(t *testing.T) {
 	if err := sw.Close(); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadFile(bytes.NewReader(buf.Bytes()))
+	got, err := readAll(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}

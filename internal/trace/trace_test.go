@@ -3,12 +3,36 @@ package trace
 import (
 	"bytes"
 	"encoding/binary"
+	"io"
 	"math/rand"
 	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
 )
+
+// readAll / readAllMeta are the one-call decode helpers the tests in
+// this package share now that the public surface is Open-only: Open
+// then Records (plus Meta), exactly what callers write.
+func readAll(r io.Reader) ([]Record, error) {
+	rd, err := Open(r)
+	if err != nil {
+		return nil, err
+	}
+	return rd.Records()
+}
+
+func readAllMeta(r io.Reader) ([]Record, string, error) {
+	rd, err := Open(r)
+	if err != nil {
+		return nil, "", err
+	}
+	recs, err := rd.Records()
+	if err != nil {
+		return nil, "", err
+	}
+	return recs, rd.Meta(), nil
+}
 
 // randomRecord generates structurally valid records for property tests:
 // memory references carry width 1/2/4, markers carry width 0.
@@ -94,7 +118,7 @@ func TestFileRoundTripBothCodecs(t *testing.T) {
 		if err := WriteFile(&buf, recs, codec); err != nil {
 			t.Fatalf("codec %d write: %v", codec, err)
 		}
-		got, err := ReadFile(&buf)
+		got, err := readAll(&buf)
 		if err != nil {
 			t.Fatalf("codec %d read: %v", codec, err)
 		}
@@ -111,7 +135,7 @@ func TestFileMetadataRoundTrip(t *testing.T) {
 	if err := WriteFileMeta(&buf, recs, CodecDelta, meta); err != nil {
 		t.Fatal(err)
 	}
-	got, gotMeta, err := ReadFileMeta(&buf)
+	got, gotMeta, err := readAllMeta(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,12 +145,12 @@ func TestFileMetadataRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(got, recs) {
 		t.Error("records differ")
 	}
-	// Empty metadata path still round-trips via plain ReadFile.
+	// Empty metadata path still round-trips.
 	buf.Reset()
 	if err := WriteFile(&buf, recs, CodecRaw); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadFile(&buf); err != nil {
+	if _, err := readAll(&buf); err != nil {
 		t.Fatal(err)
 	}
 	// Oversized metadata rejected on write.
@@ -152,7 +176,7 @@ func TestDeltaCodecCompresses(t *testing.T) {
 }
 
 func TestFileErrors(t *testing.T) {
-	if _, err := ReadFile(strings.NewReader("not a trace")); err == nil {
+	if _, err := readAll(strings.NewReader("not a trace")); err == nil {
 		t.Error("bad magic accepted")
 	}
 	var buf bytes.Buffer
@@ -165,7 +189,7 @@ func TestFileErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	trunc := ok.Bytes()[:ok.Len()-4]
-	if _, err := ReadFile(bytes.NewReader(trunc)); err == nil {
+	if _, err := readAll(bytes.NewReader(trunc)); err == nil {
 		t.Error("truncated file accepted")
 	}
 }
@@ -179,7 +203,7 @@ func TestDeltaRejectsInvalidKind(t *testing.T) {
 	}
 	data := buf.Bytes()
 	data[20] |= 0x07 // corrupt the first record's kind bits
-	if _, err := ReadFile(bytes.NewReader(data)); err == nil {
+	if _, err := readAll(bytes.NewReader(data)); err == nil {
 		t.Error("invalid kind accepted")
 	}
 }
@@ -194,7 +218,7 @@ func TestReadFileHugeCountDoesNotPreallocate(t *testing.T) {
 	}
 	data := buf.Bytes()
 	binary.LittleEndian.PutUint64(data[12:], 1<<33) // count field
-	if _, err := ReadFile(bytes.NewReader(data)); err == nil {
+	if _, err := readAll(bytes.NewReader(data)); err == nil {
 		t.Error("truncated huge-count stream accepted")
 	}
 }
