@@ -15,6 +15,12 @@
 // and the stream stays valid up to the last complete segment.
 //
 //	atum-capture -o long.trc -segment-bytes 65536 -workloads sort,sieve
+//
+// -compress stores each spilled segment flate-compressed (container v2
+// per-segment encoding) on top of whatever codec is selected; decode
+// output is identical, only the file shrinks. It requires the
+// segmented path (-segment-bytes), since monolithic captures have no
+// segments to encode.
 package main
 
 import (
@@ -33,17 +39,18 @@ import (
 
 func main() {
 	var (
-		out     = flag.String("o", "atum.trc", "output trace file")
-		loads   = flag.String("workloads", strings.Join(workload.StandardMix, ","), "comma-separated workload names")
-		codec   = flag.String("codec", "delta", "trace codec: raw or delta")
-		cost    = flag.Uint("cost", 56, "microcycles per trace record")
-		quantum = flag.Uint("quantum", 10000, "interval-timer period in microcycles")
-		memMB   = flag.Uint("mem", 8, "physical memory in MB")
-		resKB   = flag.Uint("reserved", 512, "reserved trace region in KB")
-		budget  = flag.Uint64("budget", 2_000_000_000, "instruction budget")
-		list    = flag.Bool("list", false, "list available workloads and exit")
-		verbose = flag.Bool("v", false, "print run statistics")
-		common  cliutil.CommonOptions
+		out      = flag.String("o", "atum.trc", "output trace file")
+		loads    = flag.String("workloads", strings.Join(workload.StandardMix, ","), "comma-separated workload names")
+		codec    = flag.String("codec", "delta", "trace codec: raw or delta")
+		cost     = flag.Uint("cost", 56, "microcycles per trace record")
+		quantum  = flag.Uint("quantum", 10000, "interval-timer period in microcycles")
+		memMB    = flag.Uint("mem", 8, "physical memory in MB")
+		resKB    = flag.Uint("reserved", 512, "reserved trace region in KB")
+		budget   = flag.Uint64("budget", 2_000_000_000, "instruction budget")
+		compress = flag.Bool("compress", false, "flate-compress stored segments (requires -segment-bytes)")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		verbose  = flag.Bool("v", false, "print run statistics")
+		common   cliutil.CommonOptions
 	)
 	common.AddFlags(flag.CommandLine, cliutil.FlagSegmentBytes|cliutil.FlagMetrics)
 	flag.Parse()
@@ -53,6 +60,9 @@ func main() {
 	}
 	segBytes := common.SegBytes()
 	metrics := &common.Metrics
+	if *compress && segBytes == 0 {
+		cliutil.Exit2("atum-capture", fmt.Errorf("-compress requires -segment-bytes (segments are the unit of compression)"))
+	}
 
 	if *list {
 		for _, w := range workload.All {
@@ -105,8 +115,12 @@ func main() {
 		*loads, *memMB, *resKB, *quantum, *cost)
 
 	if segBytes > 0 {
+		enc := trace.SegEncRaw
+		if *compress {
+			enc = trace.SegEncFlate
+		}
 		captureSegmented(sys, opts, kernel.SpillConfig{
-			SegmentBytes: segBytes, Codec: codecID, Meta: cfgMeta,
+			SegmentBytes: segBytes, Codec: codecID, Encoding: enc, Meta: cfgMeta,
 		}, *out, runMix, *verbose)
 		metrics.Finish(os.Stdout)
 		return

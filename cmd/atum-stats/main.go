@@ -80,11 +80,20 @@ func main() {
 	}
 	if *metaOnly {
 		// The segment index was built from headers alone; no payload has
-		// been read, which is the point of this mode on huge captures.
+		// been read — compressed or not — which is the point of this mode
+		// on huge captures (headers carry both the stored and uncompressed
+		// sizes, so the compression ratio is free).
 		fmt.Printf("records: %d (per stream headers; payloads not decoded)\n", rd.NumRecords())
+		var stored, raw uint64
 		for _, s := range rd.Segments() {
-			fmt.Printf("  segment %d: %d records, %d bytes, %d dropped, %d dilation cycles\n",
-				s.Index, s.Records, s.PayloadBytes, s.Dropped, s.DilationCycles)
+			stored += s.PayloadBytes
+			raw += s.RawBytes
+			fmt.Printf("  segment %d: %d records, %d bytes stored (%s, %d uncompressed), %d dropped, %d dilation cycles\n",
+				s.Index, s.Records, s.PayloadBytes, trace.EncodingName(s.Encoding), s.RawBytes, s.Dropped, s.DilationCycles)
+		}
+		if len(rd.Segments()) > 0 && stored > 0 {
+			fmt.Printf("payload: %d bytes stored for %d uncompressed (%.2fx compression)\n",
+				stored, raw, float64(raw)/float64(stored))
 		}
 		return
 	}
@@ -113,6 +122,12 @@ func main() {
 	if *check {
 		sections = append(sections, func() string {
 			violations := trace.Lint(arena.Flatten())
+			// Container-framing checks ride along: a compressed segment
+			// whose header lies about its uncompressed length decodes
+			// cleanly, so only this pass can catch it.
+			for _, f := range rd.LintContainer() {
+				violations = append(violations, f.String())
+			}
 			if len(violations) == 0 {
 				return "lint: trace is well-formed\n"
 			}

@@ -61,6 +61,12 @@ type CreateSessionRequest struct {
 	// Codec is "raw" or "delta" (default).
 	Codec string `json:"codec,omitempty"`
 
+	// Compress stores each spilled segment flate-compressed (the
+	// container v2 per-segment encoding). Decode and analysis results
+	// are byte-identical to an uncompressed capture; only the stored
+	// bytes shrink.
+	Compress bool `json:"compress,omitempty"`
+
 	// CostPerRecord overrides the per-record microcycle cost (default
 	// 56, the paper's measured dilation). Budget bounds the run in
 	// instructions; zero picks the server's default.

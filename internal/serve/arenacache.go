@@ -24,12 +24,17 @@ var (
 // arenaKey identifies one decoded unit: a single segment of a stored
 // trace, or the whole record block of a monolithic capture (seg == -1).
 // The generation distinguishes re-uploads under the same name, so a
-// stale decode can never be served for new bytes.
+// stale decode can never be served for new bytes. The payload encoding
+// is part of the key: a decoded slice cached from a compressed segment
+// must never satisfy a lookup that believes the segment is raw (or
+// vice versa) — the generation usually separates them already, but the
+// key makes the separation structural.
 type arenaKey struct {
 	tenant string
 	trace  string
 	gen    uint64
 	seg    int
+	enc    uint8
 }
 
 // arenaCache is a byte-budgeted LRU of decoded record slices. Analyses
@@ -116,12 +121,14 @@ func (c *arenaCache) segments(k arenaKey, f *trace.File, workers int) ([][]trace
 		c.put(mk, recs)
 		return [][]trace.Record{recs}, nil
 	}
-	n := len(f.Segments())
+	segs := f.Segments()
+	n := len(segs)
 	chunks := make([][]trace.Record, n)
 	var miss []int
 	for i := 0; i < n; i++ {
 		sk := k
 		sk.seg = i
+		sk.enc = segs[i].Encoding
 		if recs := c.get(sk); recs != nil {
 			chunks[i] = recs
 			continue
@@ -140,6 +147,7 @@ func (c *arenaCache) segments(k arenaKey, f *trace.File, workers int) ([][]trace
 	for j, recs := range decoded {
 		sk := k
 		sk.seg = miss[j]
+		sk.enc = segs[miss[j]].Encoding
 		c.put(sk, recs)
 		chunks[miss[j]] = recs
 	}

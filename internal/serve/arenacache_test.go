@@ -69,3 +69,27 @@ func TestArenaCacheLRU(t *testing.T) {
 		t.Fatal("second racing put replaced the first decode")
 	}
 }
+
+// TestArenaCacheEncodingKey: the payload encoding is part of the cache
+// key — a slice decoded from a raw segment must never satisfy a lookup
+// for the same segment re-stored compressed (or vice versa).
+func TestArenaCacheEncodingKey(t *testing.T) {
+	c := newArenaCache(1 << 20)
+	raw := arenaKey{tenant: "t", trace: "x", gen: 1, seg: 0, enc: trace.SegEncRaw}
+	c.put(raw, slice(10))
+	comp := raw
+	comp.enc = trace.SegEncFlate
+	if c.get(comp) != nil {
+		t.Fatal("flate-keyed lookup served a raw-keyed entry")
+	}
+	if c.get(raw) == nil {
+		t.Fatal("raw-keyed entry lost")
+	}
+	c.put(comp, slice(20))
+	if got := c.get(comp); len(got) != 20 {
+		t.Fatalf("flate-keyed entry has %d records, want 20", len(got))
+	}
+	if got := c.get(raw); len(got) != 10 {
+		t.Fatalf("raw-keyed entry has %d records, want 10", len(got))
+	}
+}

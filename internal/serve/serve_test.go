@@ -50,9 +50,19 @@ func makeRecords(n int) []trace.Record {
 // segsize records per segment.
 func makeSegmentedTrace(t *testing.T, recs []trace.Record, segsize int) []byte {
 	t.Helper()
+	return makeSegmentedTraceEnc(t, recs, segsize, trace.SegEncRaw)
+}
+
+// makeSegmentedTraceEnc is makeSegmentedTrace with a chosen per-segment
+// payload encoding.
+func makeSegmentedTraceEnc(t *testing.T, recs []trace.Record, segsize int, enc uint8) []byte {
+	t.Helper()
 	var buf bytes.Buffer
 	sw, err := trace.NewSegmentWriter(&buf, trace.CodecDelta, "synthetic test trace")
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.SetEncoding(enc); err != nil {
 		t.Fatal(err)
 	}
 	for lo := 0; lo < len(recs); lo += segsize {
@@ -60,7 +70,7 @@ func makeSegmentedTrace(t *testing.T, recs []trace.Record, segsize int) []byte {
 		if hi > len(recs) {
 			hi = len(recs)
 		}
-		if err := sw.WriteSegment(recs[lo:hi], 0, 0); err != nil {
+		if _, err := sw.WriteSegment(recs[lo:hi], 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -569,5 +579,132 @@ func TestValidation(t *testing.T) {
 	}
 	if _, err := c.Analyze(api.AnalysisRequest{Trace: "tiny", Kind: api.KindCaches}); err == nil {
 		t.Error("caches analysis with no configs accepted")
+	}
+}
+
+// TestCompressedStoredTrace pins the serve half of the container-v2
+// lane: a flate-encoded stored trace must analyse byte-identically to
+// a local sweep over the same bytes, repeated analyses must hit the
+// arena cache (decoded segments are cached post-inflate, so the
+// inflate cost is paid once), and a capture session created with
+// Compress must actually store compressed segments that lint clean.
+func TestCompressedStoredTrace(t *testing.T) {
+	ts, _ := testServer(t, Options{Budget: 400_000, SegmentBytes: 16 << 10})
+	c := NewClient(ts.URL, "alpha")
+
+	recs := makeRecords(30_000)
+	data := makeSegmentedTraceEnc(t, recs, 5000, trace.SegEncFlate)
+	f, err := trace.OpenReaderAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nseg := len(f.Segments())
+	compressed := 0
+	for _, s := range f.Segments() {
+		if s.Encoding == trace.SegEncFlate {
+			compressed++
+		}
+	}
+	if compressed == 0 {
+		t.Fatal("test trace has no compressed segments")
+	}
+	if _, err := c.UploadTrace("comp", data); err != nil {
+		t.Fatal(err)
+	}
+
+	cfgs := []cache.Config{
+		{Label: "a", SizeBytes: 1 << 10, BlockBytes: 16, Assoc: 1, Replacement: cache.LRU, WriteAllocate: true, PIDTags: true},
+	}
+	run := cache.RunOptions{IncludePTE: true}
+	arena, err := f.Arena(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sweep.Caches(arena, cfgs, run, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hits0, _ := obs.Default().PeekCounter("atum_serve_arena_cache_hits_total")
+	miss0, _ := obs.Default().PeekCounter("atum_serve_arena_cache_misses_total")
+	for i := 0; i < 2; i++ {
+		resp, err := c.Analyze(api.AnalysisRequest{Trace: "comp", Kind: api.KindCaches, Caches: cfgs, Run: run})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(resp.Caches, local) {
+			t.Fatalf("analysis %d over compressed trace differs from local sweep", i)
+		}
+	}
+	hits1, _ := obs.Default().PeekCounter("atum_serve_arena_cache_hits_total")
+	miss1, _ := obs.Default().PeekCounter("atum_serve_arena_cache_misses_total")
+	if miss1-miss0 < uint64(nseg) {
+		t.Errorf("first analysis missed %d times, want >= %d (one per segment)", miss1-miss0, nseg)
+	}
+	if hits1-hits0 < uint64(nseg) {
+		t.Errorf("second analysis hit %d times, want >= %d (one per segment)", hits1-hits0, nseg)
+	}
+	if miss1-miss0 >= 2*uint64(nseg) {
+		t.Errorf("repeat analysis re-missed (%d total misses for %d segments): encoding key churned", miss1-miss0, nseg)
+	}
+
+	// A capture session with Compress set stores compressed segments.
+	if _, err := c.CreateSession(api.CreateSessionRequest{Name: "capc", Workloads: []string{"sieve"}, Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	info := waitDone(t, c, "capc")
+	if info.State != api.SessionDone {
+		t.Fatalf("compressed capture ended %q: %s", info.State, info.Error)
+	}
+	stored, err := c.TraceData("capc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := trace.OpenReaderAt(bytes.NewReader(stored), int64(len(stored)))
+	if err != nil {
+		t.Fatalf("stored compressed capture unreadable: %v", err)
+	}
+	var storedPay, storedRaw uint64
+	capComp := 0
+	for _, s := range sf.Segments() {
+		storedPay += s.PayloadBytes
+		storedRaw += s.RawBytes
+		if s.Encoding == trace.SegEncFlate {
+			capComp++
+		}
+	}
+	if capComp == 0 {
+		t.Fatalf("Compress session stored no compressed segments (%d segments)", len(sf.Segments()))
+	}
+	if storedPay >= storedRaw {
+		t.Errorf("compressed capture stored %d bytes for %d raw", storedPay, storedRaw)
+	}
+	if got, err := sf.Records(0); err != nil || uint64(len(got)) != info.Spilled {
+		t.Fatalf("stored compressed capture decode: %d records, err %v, want %d", len(got), err, info.Spilled)
+	}
+	// The lint endpoint runs the container checks over it without
+	// complaint (a well-formed writer never trips seg-raw-len).
+	lr, err := c.Lint("capc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fd := range lr.Findings {
+		if fd.Check == trace.LintSegRawLen {
+			t.Fatalf("well-formed compressed capture flagged by container lint: %+v", fd)
+		}
+	}
+	// And the tenant registry accounted the compressed stored bytes.
+	mt, err := c.MetricsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compBytes uint64
+	for _, line := range strings.Split(mt, "\n") {
+		if n, _ := fmt.Sscanf(line, "atum_spill_compressed_bytes_total %d", &compBytes); n == 1 {
+			break
+		}
+	}
+	if compBytes == 0 {
+		t.Error("atum_spill_compressed_bytes_total never moved on a compressed capture")
 	}
 }

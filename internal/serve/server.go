@@ -347,6 +347,10 @@ func (s *Server) handleLintTrace(w http.ResponseWriter, r *http.Request, t *tena
 	}
 	recs := trace.NewArenaFromChunks(chunks).Flatten()
 	fs := trace.LintFindings(recs)
+	// Container-framing checks (declared-vs-inflated length on
+	// compressed segments) ride along: they audit the bytes, not the
+	// records, so the record lint alone would miss them.
+	fs = append(fs, f.LintContainer()...)
 	if fs == nil {
 		fs = []findings.Finding{}
 	}

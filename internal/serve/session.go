@@ -62,6 +62,10 @@ func (t *tenant) startSession(req api.CreateSessionRequest, opts Options) (*sess
 	default:
 		return nil, fmt.Errorf("unknown codec %q (want raw or delta)", req.Codec)
 	}
+	enc := trace.SegEncRaw
+	if req.Compress {
+		enc = trace.SegEncFlate
+	}
 	if req.Watermark < 0 || req.Watermark > 1 {
 		return nil, fmt.Errorf("watermark %v out of (0, 1]", req.Watermark)
 	}
@@ -98,6 +102,7 @@ func (t *tenant) startSession(req api.CreateSessionRequest, opts Options) (*sess
 		SegmentBytes: segBytes,
 		Watermark:    req.Watermark,
 		Codec:        codec,
+		Encoding:     enc,
 		Meta:         fmt.Sprintf("atum-serve tenant=%s session=%s mix=%s", t.name, req.Name, strings.Join(mix, ",")),
 		Metrics:      t.reg,
 	})

@@ -57,7 +57,7 @@ func streamSegments(t *testing.T, p *Pipeline, recs []trace.Record, nseg int, co
 		if end > len(recs) {
 			end = len(recs)
 		}
-		if err := sw.WriteSegment(recs[off:end], 0, 0); err != nil {
+		if _, err := sw.WriteSegment(recs[off:end], 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -282,10 +282,10 @@ func TestStreamStickyError(t *testing.T) {
 			Payload: append([]byte(nil), s.Payload...),
 		})
 	})
-	if err := sw.WriteSegment(recs[:500], 0, 0); err != nil {
+	if _, err := sw.WriteSegment(recs[:500], 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := sw.WriteSegment(recs[500:], 0, 0); err != nil {
+	if _, err := sw.WriteSegment(recs[500:], 0, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -410,12 +410,12 @@ func FuzzStreamSegmentFeed(f *testing.F) {
 			if end > len(recs) {
 				end = len(recs)
 			}
-			if err := sw.WriteSegment(recs[off:end], 0, 0); err != nil {
+			if _, err := sw.WriteSegment(recs[off:end], 0, 0); err != nil {
 				t.Fatal(err)
 			}
 		}
 		if len(segs) == 0 {
-			if err := sw.WriteSegment(nil, 0, 0); err != nil {
+			if _, err := sw.WriteSegment(nil, 0, 0); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -62,7 +62,9 @@ func TestOpenDegenerateInputs(t *testing.T) {
 	// (Delta codec: raw's records↔payload consistency check would
 	// reject the header before the truncation is even reached.)
 	emptyOverrun := buildSegmented(CodecDelta, segmentBlob(0, 0, nil, 0)[:4+segHeaderBytes])
-	binary.LittleEndian.PutUint64(emptyOverrun[len(emptyOverrun)-8:], 16) // declare 16 bytes, attach none
+	// Declare 16 payload bytes, attach none (payLen sits at header
+	// offset 28, after the marker).
+	binary.LittleEndian.PutUint64(emptyOverrun[len(emptyOverrun)-segHeaderBytes+28:], 16)
 
 	// A segment header cut off halfway.
 	shortHeader := buildSegmented(CodecDelta, segmentBlob(0, 0, nil, 0)[:10])

@@ -31,11 +31,13 @@ var ErrEmpty = errors.New("empty trace stream")
 // segments written as the reserved buffer spills (see SegmentWriter):
 //
 //	magic   [8]byte  "ATUMSEG\x00"
-//	version uint16   (1)
+//	version uint16   (2; readers also accept 1)
 //	codec   uint16
 //	metaLen uint32
 //	meta    [metaLen]byte
-//	segment*   (see segment.go for the per-segment header)
+//	segment*   (see segment.go for the per-segment header; v2 headers
+//	            carry a payload-encoding byte and an uncompressed
+//	            length, so segments can be individually flate-packed)
 //
 // Open reads either container through one Reader; a segmented stream
 // decodes to the exact concatenation of its segments' records, so
@@ -57,9 +59,19 @@ var (
 )
 
 const (
-	version    = 2
-	segVersion = 1
+	version      = 2
+	segVersion   = 2 // written; v1 (no per-segment encoding) still readable
+	segVersionV1 = 1
 )
+
+// segHdrLen returns the per-segment header size (after the marker) for
+// a segment-stream version.
+func segHdrLen(v uint16) int {
+	if v == segVersionV1 {
+		return segHeaderBytesV1
+	}
+	return segHeaderBytes
+}
 
 // maxMetaLen bounds the provenance string (untrusted input on read).
 const maxMetaLen = 1 << 16
@@ -209,10 +221,24 @@ type Decoder struct {
 
 	// Segment-container state. segPay counts the current segment's
 	// undecoded payload bytes so a batch window never crosses the
-	// segment framing.
+	// segment framing. segHdr is the per-segment header size for the
+	// stream's version.
 	segmented bool
+	segHdr    int
 	segs      []SegmentInfo
 	segPay    uint64
+
+	// Compressed-segment state: a flate segment's stored payload is
+	// read whole and inflated up front (the deflate stream is not
+	// seekable), then batches are served from inf — the same batch
+	// codec, one extra buffer. infShort records that the inflated bytes
+	// fell short of the header's promise.
+	infActive bool
+	inf       []byte
+	infPos    int
+	infShort  bool
+	payBuf    []byte // stored-payload scratch, reused across segments
+	infBuf    []byte // inflated-payload scratch, reused across segments
 
 	// Delta-codec inter-record state (reset at segment boundaries).
 	st deltaState
@@ -268,13 +294,15 @@ func newSegmentedDecoder(br *bufio.Reader) (*Decoder, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading segment-stream header: %w", err)
 	}
-	if v := binary.LittleEndian.Uint16(hdr[0:]); v != segVersion {
+	v := binary.LittleEndian.Uint16(hdr[0:])
+	if v != segVersion && v != segVersionV1 {
 		return nil, fmt.Errorf("trace: unsupported segment-stream version %d", v)
 	}
 	d := &Decoder{
 		br:        br,
 		codec:     binary.LittleEndian.Uint16(hdr[2:]),
 		segmented: true,
+		segHdr:    segHdrLen(v),
 	}
 	if d.codec != CodecRaw && d.codec != CodecDelta {
 		return nil, fmt.Errorf("trace: unknown codec %d", d.codec)
@@ -363,15 +391,24 @@ func (d *Decoder) decodeBatch(dst []Record) (int, error) {
 		dst = dst[:rem]
 	}
 	for {
-		window, readErr := d.peekWindow()
-		// hard: the window cannot grow — it already spans the rest of
-		// the segment payload, or the underlying stream is done. A
-		// record truncated at a hard edge is a real error; at a soft
-		// edge it just waits for the next refill.
-		hard := readErr != nil
-		if d.segmented && uint64(len(window)) >= d.segPay {
-			window = window[:d.segPay]
-			hard = true
+		var window []byte
+		var readErr error
+		var hard bool
+		if d.infActive {
+			// Compressed segment: the whole inflated payload is on hand,
+			// so the window is always complete and always hard.
+			window, readErr, hard = d.inf[d.infPos:], io.EOF, true
+		} else {
+			window, readErr = d.peekWindow()
+			// hard: the window cannot grow — it already spans the rest of
+			// the segment payload, or the underlying stream is done. A
+			// record truncated at a hard edge is a real error; at a soft
+			// edge it just waits for the next refill.
+			hard = readErr != nil
+			if d.segmented && uint64(len(window)) >= d.segPay {
+				window = window[:d.segPay]
+				hard = true
+			}
 		}
 
 		if d.codec == CodecRaw {
@@ -435,9 +472,16 @@ func (d *Decoder) peekWindow() ([]byte, error) {
 
 // consume discards decoded payload bytes from the buffer (all of them
 // just peeked, so Discard cannot fail) and charges them to the current
-// segment.
+// segment. For a compressed segment the bytes come from the inflated
+// buffer instead; the stored bytes were consumed when the segment was
+// entered.
 func (d *Decoder) consume(n int) {
 	if n == 0 {
+		return
+	}
+	if d.infActive {
+		d.infPos += n
+		mDecodeBytes.Add(uint64(n))
 		return
 	}
 	d.br.Discard(n)
@@ -448,8 +492,19 @@ func (d *Decoder) consume(n int) {
 }
 
 // discardSegmentTail skips payload bytes left after the current
-// segment's records were all decoded.
+// segment's records were all decoded. For a compressed segment the
+// stored bytes are already consumed; what remains is to drop the
+// inflated tail and surface a short payload the way the raw lane's
+// Discard-at-EOF would.
 func (d *Decoder) discardSegmentTail() error {
+	if d.infActive {
+		short := d.infShort
+		d.infActive, d.inf, d.infPos, d.infShort = false, nil, 0, false
+		if short {
+			return fmt.Errorf("trace: segment %d payload: %w", len(d.segs)-1, io.ErrUnexpectedEOF)
+		}
+		return nil
+	}
 	for d.segPay > 0 {
 		n := d.segPay
 		if n > decodeBufBytes {
@@ -462,6 +517,59 @@ func (d *Decoder) discardSegmentTail() error {
 		}
 	}
 	return nil
+}
+
+// enterCompressedSegment reads the just-parsed segment's stored payload
+// off the stream and inflates it, arming the inf window decodeBatch
+// serves from. Truncation is not an error here — the segment decodes as
+// far as it goes and the shortfall surfaces, record-indexed, from the
+// batch loop — but a corrupt deflate stream in a fully-present payload
+// is.
+func (d *Decoder) enterCompressedSegment(info SegmentInfo) error {
+	stored, short, err := d.readStoredPayload(info)
+	if err != nil {
+		return err
+	}
+	data, infShort, err := inflateSegment(info, stored, short, &d.infBuf)
+	if err != nil {
+		return err
+	}
+	d.inf, d.infPos, d.infShort, d.infActive = data, 0, infShort, true
+	d.segPay = 0
+	return nil
+}
+
+// readStoredPayload reads the current segment's stored payload (up to
+// PayloadBytes bytes) into the decoder's scratch buffer, stopping early
+// — without error — if the stream ends first. The buffer grows only as
+// bytes actually arrive, so a forged length cannot force a giant
+// allocation.
+func (d *Decoder) readStoredPayload(info SegmentInfo) (stored []byte, short bool, err error) {
+	want := info.PayloadBytes
+	buf := d.payBuf[:0]
+	for uint64(len(buf)) < want {
+		chunk := want - uint64(len(buf))
+		if chunk > decodeBufBytes {
+			chunk = decodeBufBytes
+		}
+		need := len(buf) + int(chunk)
+		if cap(buf) < need {
+			grown := make([]byte, len(buf), max(need, 2*cap(buf)))
+			copy(grown, buf)
+			buf = grown
+		}
+		n, rerr := io.ReadFull(d.br, buf[len(buf):need])
+		buf = buf[:len(buf)+n]
+		if rerr != nil {
+			d.payBuf = buf
+			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+				return buf, true, nil
+			}
+			return buf, false, fmt.Errorf("trace: segment %d payload: %w", info.Index, rerr)
+		}
+	}
+	d.payBuf = buf
+	return buf, false, nil
 }
 
 // byteWriter is the sink the codec encoders write to; both bufio.Writer

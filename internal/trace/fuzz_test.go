@@ -21,8 +21,8 @@ func FuzzReadFile(f *testing.F) {
 	// mid-record truncation regression.
 	var seg bytes.Buffer
 	if sw, err := NewSegmentWriter(&seg, CodecDelta, "fuzz"); err == nil {
-		_ = sw.WriteSegment(makeTrace(30, 3), 1, 100)
-		_ = sw.WriteSegment(makeTrace(30, 4), 0, 90)
+		_, _ = sw.WriteSegment(makeTrace(30, 3), 1, 100)
+		_, _ = sw.WriteSegment(makeTrace(30, 4), 0, 90)
 		_ = sw.Close()
 	}
 	f.Add(seg.Bytes())
@@ -37,8 +37,8 @@ func FuzzReadFile(f *testing.F) {
 	// payLen field overruns the stream (records intact).
 	var segRaw bytes.Buffer
 	if sw, err := NewSegmentWriter(&segRaw, CodecRaw, ""); err == nil {
-		_ = sw.WriteSegment(makeTrace(20, 6), 0, 10)
-		_ = sw.WriteSegment(makeTrace(20, 7), 0, 20)
+		_, _ = sw.WriteSegment(makeTrace(20, 6), 0, 10)
+		_, _ = sw.WriteSegment(makeTrace(20, 7), 0, 20)
 		_ = sw.Close()
 	}
 	f.Add(segRaw.Bytes())
@@ -48,6 +48,23 @@ func FuzzReadFile(f *testing.F) {
 	// count(8) dropped(8) cycles(8).
 	overrun[8+8+4+4+4+8+8+8] ^= 0x40
 	f.Add(overrun)
+	// Container v2 seeds: a compressed two-segment stream, a truncation
+	// cutting its deflate payload, and a flipped rawLen byte (the
+	// declared-length field the container lint audits).
+	var comp bytes.Buffer
+	if sw, err := NewSegmentWriter(&comp, CodecDelta, "fuzz"); err == nil {
+		_ = sw.SetEncoding(SegEncFlate)
+		_, _ = sw.WriteSegment(makeTrace(60, 8), 0, 50)
+		_, _ = sw.WriteSegment(makeTrace(60, 9), 2, 60)
+		_ = sw.Close()
+	}
+	f.Add(comp.Bytes())
+	f.Add(comp.Bytes()[:len(comp.Bytes())*2/3])
+	rawLenFlip := bytes.Clone(comp.Bytes())
+	// rawLen sits at header offset 37, after magic(8) hdr(8) meta(4)
+	// marker(4).
+	rawLenFlip[8+8+4+4+37] ^= 0x01
+	f.Add(rawLenFlip)
 	f.Fuzz(func(t *testing.T, b []byte) {
 		recs, err := readAll(bytes.NewReader(b))
 		// The random-access pipeline must agree with the streaming one
@@ -76,6 +93,110 @@ func FuzzReadFile(f *testing.F) {
 		var out bytes.Buffer
 		if err := WriteFile(&out, recs, CodecRaw); err != nil {
 			t.Fatalf("re-encode of parsed trace failed: %v", err)
+		}
+	})
+}
+
+// FuzzCompressedSegmentRoundTrip: record sequences derived from fuzzed
+// bytes must survive the compressed container exactly — written with
+// the flate encoding, decoded by both pipelines, byte-identical to the
+// records that went in — and the segment index must agree with what the
+// writer framed.
+func FuzzCompressedSegmentRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 64), uint8(1))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, uint8(3))
+	f.Add([]byte{0x05, 0x02, 0x07, 0x00, 0x00, 0x10, 0x00, 0x80}, uint8(2))
+	seed := make([]byte, 41*RecordBytes)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed, uint8(5))
+	f.Fuzz(func(t *testing.T, b []byte, nseg uint8) {
+		b = b[:len(b)-len(b)%RecordBytes]
+		recs, err := ParseBuffer(b)
+		if err != nil {
+			t.Fatalf("aligned buffer rejected: %v", err)
+		}
+		// Canonicalise to the domain the delta codec preserves (see
+		// FuzzDeltaRoundTrip).
+		for i := range recs {
+			r := &recs[i]
+			if r.Kind >= NumKinds {
+				r.Kind = KindIFetch
+				r.Width = 4
+			}
+			if r.Kind.IsMemRef() {
+				r.Extra = 0
+				switch r.Width {
+				case 1, 2, 4:
+				default:
+					r.Width = 4
+				}
+			}
+		}
+		n := int(nseg%8) + 1
+		var buf bytes.Buffer
+		sw, err := NewSegmentWriter(&buf, CodecDelta, "fuzz-comp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.SetEncoding(SegEncFlate); err != nil {
+			t.Fatal(err)
+		}
+		per := (len(recs) + n - 1) / n
+		if per == 0 {
+			per = 1
+		}
+		for lo := 0; lo < len(recs) || lo == 0; lo += per {
+			hi := lo + per
+			if hi > len(recs) {
+				hi = len(recs)
+			}
+			if _, err := sw.WriteSegment(recs[lo:hi], 0, 0); err != nil {
+				t.Fatalf("WriteSegment: %v", err)
+			}
+			if lo == 0 && len(recs) == 0 {
+				break
+			}
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		stream := buf.Bytes()
+
+		back, err := readAll(bytes.NewReader(stream))
+		if err != nil {
+			t.Fatalf("streaming decode of own output: %v", err)
+		}
+		fl, err := OpenReaderAt(bytes.NewReader(stream), int64(len(stream)))
+		if err != nil {
+			t.Fatalf("OpenReaderAt of own output: %v", err)
+		}
+		fback, err := fl.Records(2)
+		if err != nil {
+			t.Fatalf("random-access decode of own output: %v", err)
+		}
+		if len(back) != len(recs) || len(fback) != len(recs) {
+			t.Fatalf("round trip length %d/%d != %d", len(back), len(fback), len(recs))
+		}
+		for i := range recs {
+			if back[i] != recs[i] || fback[i] != recs[i] {
+				t.Fatalf("record %d: %+v round-tripped to %+v / %+v", i, recs[i], back[i], fback[i])
+			}
+		}
+		for i, info := range fl.Segments() {
+			switch info.Encoding {
+			case SegEncRaw:
+				if info.RawBytes != info.PayloadBytes {
+					t.Fatalf("segment %d: raw RawBytes %d != PayloadBytes %d", i, info.RawBytes, info.PayloadBytes)
+				}
+			case SegEncFlate:
+				if info.PayloadBytes >= info.RawBytes {
+					t.Fatalf("segment %d: flate stored %d for %d raw bytes", i, info.PayloadBytes, info.RawBytes)
+				}
+			default:
+				t.Fatalf("segment %d: unexpected encoding %d", i, info.Encoding)
+			}
 		}
 	})
 }

@@ -23,14 +23,16 @@ const (
 	LintIFetchUserS0    = "ifetch-user-s0"   // user-mode ifetch from system space
 	LintIFetchKernP0    = "ifetch-kern-p0"   // kernel-mode ifetch from process space
 	LintPTESpace        = "pte-space"        // virtual PTE reference outside system space
+	LintSegRawLen       = "seg-raw-len"      // declared uncompressed length disagrees with the inflated payload
 )
 
-// LintClasses lists every violation class ID Lint can emit.
+// LintClasses lists every violation class ID the lint passes can emit
+// (Lint over records, LintContainer over segment framing).
 func LintClasses() []string {
 	return []string{
 		LintKind, LintWidth, LintSwitchPID, LintSwitchRedundant,
 		LintExceptionWidth, LintPIDDrift, LintIFetchAlign, LintIFetchPhys,
-		LintIFetchUserS0, LintIFetchKernP0, LintPTESpace,
+		LintIFetchUserS0, LintIFetchKernP0, LintPTESpace, LintSegRawLen,
 	}
 }
 
@@ -166,6 +168,47 @@ func LintFindings(recs []Record) []findings.Finding {
 			Severity: "error",
 			Message:  v.msg,
 		}
+	}
+	return out
+}
+
+// LintContainer checks framing-level invariants the record lint cannot
+// see: every compressed segment's payload must inflate to exactly the
+// uncompressed length its header declares. Decode tolerates a tail the
+// header hides (output is capped at RawBytes), which is precisely why a
+// lying header deserves a finding — it is the one corruption the decode
+// path will not surface on its own. One finding per offending segment,
+// anchored at the segment's first record index; truncated segments are
+// skipped (the decode error already covers them).
+func (f *File) LintContainer() []findings.Finding {
+	var out []findings.Finding
+	for i, info := range f.segs {
+		if info.Encoding == SegEncRaw {
+			continue
+		}
+		stored, err := f.SegmentPayload(i)
+		if err != nil || uint64(len(stored)) < info.PayloadBytes {
+			continue
+		}
+		n, ierr := inflatedLen(stored)
+		var msg string
+		switch {
+		case ierr != nil:
+			msg = fmt.Sprintf("segment %d compressed payload does not inflate: %v", info.Index, ierr)
+		case n != info.RawBytes:
+			msg = fmt.Sprintf("segment %d declares %d uncompressed bytes but payload inflates to %d",
+				info.Index, info.RawBytes, n)
+		default:
+			continue
+		}
+		out = append(out, findings.Finding{
+			Plane:    findings.PlaneTrace,
+			Check:    LintSegRawLen,
+			Record:   findings.RecordIndex(f.segBase[i]),
+			Count:    1,
+			Severity: "error",
+			Message:  msg,
+		})
 	}
 	return out
 }

@@ -174,7 +174,12 @@ func TestLintClassIDsStable(t *testing.T) {
 		{Kind: KindPTERead, Addr: 0x1000, Width: 4, PID: 3},                // pte-space
 	}
 	joined := strings.Join(Lint(recs), "\n")
+	// seg-raw-len is a container-framing class (LintContainer, which
+	// needs a *File); its coverage lives in TestLintSegRawLen.
 	for _, class := range LintClasses() {
+		if class == LintSegRawLen {
+			continue
+		}
 		if !strings.Contains(joined, "["+class+"]") {
 			t.Errorf("class %s not exercised: %s", class, joined)
 		}

@@ -12,10 +12,11 @@ import (
 // bumped per batch or per segment, never per record, so the zero-
 // allocation hot path (batch.go) stays untouched.
 var (
-	mDecodeSegments = obs.Default().Counter("atum_decode_segments_total")
-	mDecodeRecords  = obs.Default().Counter("atum_decode_records_total")
-	mDecodeBytes    = obs.Default().Counter("atum_decode_payload_bytes_total")
-	mDecodeSegSecs  = obs.Default().Histogram("atum_decode_segment_seconds", obs.DefSecondsBuckets)
+	mDecodeSegments    = obs.Default().Counter("atum_decode_segments_total")
+	mDecodeRecords     = obs.Default().Counter("atum_decode_records_total")
+	mDecodeBytes       = obs.Default().Counter("atum_decode_payload_bytes_total")
+	mDecodeSegSecs     = obs.Default().Histogram("atum_decode_segment_seconds", obs.DefSecondsBuckets)
+	mDecodeInflateSecs = obs.Default().Histogram("atum_decode_inflate_seconds", obs.DefSecondsBuckets)
 )
 
 // init wires the worker pool's occupancy hook to a gauge. This runs

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package trace
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("memory mapping unsupported on this platform")
+
+// mmapFile always fails here; OpenFileMapped degrades to plain reads.
+func mmapFile(f *os.File, size int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmap(data []byte) error { return nil }

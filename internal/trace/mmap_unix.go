@@ -1,0 +1,20 @@
+//go:build unix
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The caller falls back to
+// plain reads on any error (zero-size files cannot be mapped, and some
+// filesystems refuse).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -30,10 +31,12 @@ type File struct {
 	ra     io.ReaderAt
 	size   int64
 	closer io.Closer
+	mapped []byte // whole container, when memory-mapped (OpenFileMapped)
 
 	codec     uint16
 	meta      string
 	segmented bool
+	segHdr    int    // per-segment header size for the stream's version
 	count     uint64 // records promised by every header in the index
 
 	segs    []SegmentInfo // segmented: per-segment metadata
@@ -60,6 +63,64 @@ func OpenFile(path string) (*File, error) {
 	}
 	f.closer = osf
 	return f, nil
+}
+
+// OpenFileMapped opens path like OpenFile but memory-maps the container
+// when the platform supports it, so raw segment payloads are scanned by
+// the batch codec in place — file pages, zero copies — and compressed
+// ones inflate straight from the mapping into pooled buffers. Where
+// mapping is unavailable (or fails, e.g. on an empty file) it falls
+// back to the plain os.File path; Mapped reports which one the handle
+// got. Close unmaps, so record slices returned by Segment remain valid
+// but payload slices from SegmentPayload do not.
+func OpenFileMapped(path string) (*File, error) {
+	osf, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := osf.Stat()
+	if err != nil {
+		osf.Close()
+		return nil, err
+	}
+	size := st.Size()
+	data, merr := mmapFile(osf, size)
+	if merr != nil {
+		f, err := OpenReaderAt(osf, size)
+		if err != nil {
+			osf.Close()
+			return nil, err
+		}
+		f.closer = osf
+		return f, nil
+	}
+	f, err := OpenReaderAt(bytes.NewReader(data), size)
+	if err != nil {
+		munmap(data)
+		osf.Close()
+		return nil, err
+	}
+	f.mapped = data
+	f.closer = &mappedCloser{f: osf, data: data}
+	return f, nil
+}
+
+// Mapped reports whether the handle serves payloads from a memory
+// mapping (OpenFileMapped on a supporting platform).
+func (f *File) Mapped() bool { return f.mapped != nil }
+
+// mappedCloser releases the mapping before the file.
+type mappedCloser struct {
+	f    *os.File
+	data []byte
+}
+
+func (m *mappedCloser) Close() error {
+	err := munmap(m.data)
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // OpenReaderAt validates the stream header of either container and
@@ -131,11 +192,13 @@ func (f *File) openSegmented() error {
 	if err := f.readAt(hdr[:], 8, "trace: reading segment-stream header"); err != nil {
 		return err
 	}
-	if v := binary.LittleEndian.Uint16(hdr[0:]); v != segVersion {
+	v := binary.LittleEndian.Uint16(hdr[0:])
+	if v != segVersion && v != segVersionV1 {
 		return fmt.Errorf("trace: unsupported segment-stream version %d", v)
 	}
 	f.codec = binary.LittleEndian.Uint16(hdr[2:])
 	f.segmented = true
+	f.segHdr = segHdrLen(v)
 	if f.codec != CodecRaw && f.codec != CodecDelta {
 		return fmt.Errorf("trace: unknown codec %d", f.codec)
 	}
@@ -159,13 +222,14 @@ func (f *File) readMetaAt(metaLen uint32, off int64) error {
 }
 
 // walkSegments builds the segment index by hopping header to header:
-// each hop reads 40 bytes and skips PayloadBytes, so indexing cost is
-// per segment, not per record — cheap enough that metadata-only tools
-// (atum-stats -meta-only) never touch a payload. A final segment whose
-// payload overruns the file stays in the index; the truncation
+// each hop reads one fixed-size header and skips PayloadBytes, so
+// indexing cost is per segment, not per record — cheap enough that
+// metadata-only tools (atum-stats -meta-only) never touch a payload,
+// compressed or not (headers are never compressed). A final segment
+// whose payload overruns the file stays in the index; the truncation
 // surfaces, with its record position, when that segment is decoded.
 func (f *File) walkSegments(off int64) error {
-	var hdr [4 + segHeaderBytes]byte
+	hdr := make([]byte, 4+f.segHdr)
 	for off < f.size {
 		n, err := f.ra.ReadAt(hdr[:], off)
 		if n < len(hdr) {
@@ -290,6 +354,43 @@ func (f *File) Segment(i int) ([]Record, error) {
 	if short {
 		want = avail
 	}
+	if info.Records == 0 && info.Encoding == SegEncRaw {
+		if short {
+			return nil, fmt.Errorf("trace: segment %d payload: %w", info.Index, io.ErrUnexpectedEOF)
+		}
+		return nil, nil
+	}
+
+	// Fetch the stored payload: in place from the mapping when there is
+	// one (the zero-copy path — the batch codec then scans file pages
+	// directly), via a pooled buffer otherwise.
+	var stored []byte
+	if f.mapped != nil {
+		stored = f.mapped[f.segOff[i] : f.segOff[i]+want]
+	} else if want > 0 {
+		pb := payBufPool.Get().(*[]byte)
+		defer payBufPool.Put(pb)
+		if int64(cap(*pb)) < want {
+			*pb = make([]byte, want)
+		}
+		stored = (*pb)[:want]
+		if err := f.readAt(stored, f.segOff[i], fmt.Sprintf("trace: segment %d payload", info.Index)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Compressed segments inflate into a pooled buffer; from here on the
+	// two encodings share one decode.
+	payload := stored
+	if info.Encoding != SegEncRaw {
+		ib := infBufPool.Get().(*[]byte)
+		defer infBufPool.Put(ib)
+		data, infShort, err := inflateSegment(info, stored, short, ib)
+		if err != nil {
+			return nil, err
+		}
+		payload, short = data, infShort
+	}
 	if info.Records == 0 {
 		if short {
 			return nil, fmt.Errorf("trace: segment %d payload: %w", info.Index, io.ErrUnexpectedEOF)
@@ -297,20 +398,10 @@ func (f *File) Segment(i int) ([]Record, error) {
 		return nil, nil
 	}
 
-	pb := payBufPool.Get().(*[]byte)
-	defer payBufPool.Put(pb)
-	if int64(cap(*pb)) < want {
-		*pb = make([]byte, want)
-	}
-	payload := (*pb)[:want]
-	if err := f.readAt(payload, f.segOff[i], fmt.Sprintf("trace: segment %d payload", info.Index)); err != nil {
-		return nil, err
-	}
-
 	// The header's record count sizes the chunk, clamped by what the
 	// payload could possibly encode (counts are untrusted input).
 	alloc := info.Records
-	if max := uint64(want)/minEncRecordBytes + 1; alloc > max {
+	if max := uint64(len(payload))/minEncRecordBytes + 1; alloc > max {
 		alloc = max
 	}
 	dst := make([]Record, alloc)
@@ -344,6 +435,33 @@ func (f *File) Segment(i int) ([]Record, error) {
 	}
 	mDecodeSegments.Inc()
 	mDecodeRecords.Add(uint64(nrec))
-	mDecodeBytes.Add(uint64(want))
+	mDecodeBytes.Add(uint64(len(payload)))
 	return dst[:nrec:nrec], nil
+}
+
+// SegmentPayload returns segment i's stored payload exactly as the
+// container holds it — still deflated for flate segments — possibly
+// shorter than the header's PayloadBytes when the file is truncated
+// (DecodeSegment detects and reports that). On a mapped handle the
+// slice aliases the mapping: zero copies, read-only, invalid after
+// Close. Pair it with Segments()[i] and DecodeSegment for a decode loop
+// that allocates nothing per segment in steady state.
+func (f *File) SegmentPayload(i int) ([]byte, error) {
+	info := f.segs[i]
+	avail := f.size - f.segOff[i]
+	if avail < 0 {
+		avail = 0
+	}
+	want := int64(info.PayloadBytes)
+	if want > avail {
+		want = avail
+	}
+	if f.mapped != nil {
+		return f.mapped[f.segOff[i] : f.segOff[i]+want], nil
+	}
+	buf := make([]byte, want)
+	if err := f.readAt(buf, f.segOff[i], fmt.Sprintf("trace: segment %d payload", info.Index)); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }

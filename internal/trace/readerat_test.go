@@ -124,29 +124,34 @@ func TestDecodeParallelVsSerialByteIdentical(t *testing.T) {
 // possible byte offset and checks that the streaming and random-access
 // pipelines agree exactly: same records on success, same error string
 // on failure — including the wrapped io.ErrUnexpectedEOF with the
-// record index for mid-segment truncation.
+// record index for mid-segment truncation. The sweep runs over both
+// payload encodings: a cut inside a flate payload truncates the
+// deflate stream itself, and both pipelines must classify that as the
+// same segment-indexed truncation, never as corruption.
 func TestDecodeTruncationEquivalence(t *testing.T) {
 	for _, codec := range []uint16{CodecRaw, CodecDelta} {
-		full := writeSegmented(t, makeTrace(120, 31), 3, codec, "cut")
-		for cut := 0; cut <= len(full); cut++ {
-			b := full[:cut]
-			sRecs, sErr := decodeStreaming(b)
-			for _, workers := range []int{1, 4} {
-				rRecs, rErr := decodeRandomAccess(b, workers)
-				switch {
-				case sErr == nil && rErr == nil:
-					compareRecords(t, rRecs, sRecs)
-				case sErr == nil || rErr == nil:
-					t.Fatalf("codec %d cut %d workers %d: streaming err %v, random-access err %v",
-						codec, cut, workers, sErr, rErr)
-				case sErr.Error() != rErr.Error():
-					t.Fatalf("codec %d cut %d workers %d: error mismatch:\n  streaming:     %v\n  random-access: %v",
-						codec, cut, workers, sErr, rErr)
+		for _, enc := range []uint8{SegEncRaw, SegEncFlate} {
+			full := writeSegmentedEnc(t, makeTrace(120, 31), 3, codec, enc, "cut")
+			for cut := 0; cut <= len(full); cut++ {
+				b := full[:cut]
+				sRecs, sErr := decodeStreaming(b)
+				for _, workers := range []int{1, 4} {
+					rRecs, rErr := decodeRandomAccess(b, workers)
+					switch {
+					case sErr == nil && rErr == nil:
+						compareRecords(t, rRecs, sRecs)
+					case sErr == nil || rErr == nil:
+						t.Fatalf("codec %d enc %d cut %d workers %d: streaming err %v, random-access err %v",
+							codec, enc, cut, workers, sErr, rErr)
+					case sErr.Error() != rErr.Error():
+						t.Fatalf("codec %d enc %d cut %d workers %d: error mismatch:\n  streaming:     %v\n  random-access: %v",
+							codec, enc, cut, workers, sErr, rErr)
+					}
 				}
-			}
-			if cut < len(full) && sErr != nil && !errors.Is(sErr, io.ErrUnexpectedEOF) &&
-				cut > 16 { // container headers fail with their own messages
-				t.Fatalf("codec %d cut %d: error %v does not wrap io.ErrUnexpectedEOF", codec, cut, sErr)
+				if cut < len(full) && sErr != nil && !errors.Is(sErr, io.ErrUnexpectedEOF) &&
+					cut > 16 { // container headers fail with their own messages
+					t.Fatalf("codec %d enc %d cut %d: error %v does not wrap io.ErrUnexpectedEOF", codec, enc, cut, sErr)
+				}
 			}
 		}
 	}

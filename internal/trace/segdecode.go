@@ -30,7 +30,10 @@ type StreamSegment struct {
 // absolute index of the segment's first record; errors name record
 // indexes relative to it, exactly as the file-reading decoders would.
 //
-// The payload may be shorter than Info.PayloadBytes promises (a capture
+// The payload is the segment's stored form: when info.Encoding says the
+// segment is compressed, DecodeSegment inflates it (into a pooled
+// buffer) before decoding, so consumers are encoding-agnostic. The
+// payload may be shorter than Info.PayloadBytes promises (a capture
 // cut off mid-spill): the decoded prefix is returned alongside a
 // wrapped io.ErrUnexpectedEOF — the same partial-delivery contract as
 // Reader.Decode, so a streamed consumer and a batch re-read of the
@@ -44,6 +47,18 @@ func DecodeSegment(codec uint16, info SegmentInfo, payload []byte, dst []Record,
 		// Never decode past the framing: a payload slice longer than the
 		// header promises would desynchronise against the file readers.
 		payload = payload[:info.PayloadBytes]
+	}
+	if info.Encoding != SegEncRaw {
+		// The payload is the stored (compressed) form — inflate it into
+		// a pooled buffer before the codec sees it. Records never alias
+		// the inflated bytes, so returning the buffer on exit is safe.
+		ib := infBufPool.Get().(*[]byte)
+		defer infBufPool.Put(ib)
+		data, infShort, err := inflateSegment(info, payload, short, ib)
+		if err != nil {
+			return dst[:0], err
+		}
+		payload, short = data, infShort
 	}
 	if info.Records == 0 {
 		if short {

@@ -36,7 +36,7 @@ func captureSegments(t *testing.T, recs []Record, n int, codec uint16) ([]Stream
 		if end > len(recs) {
 			end = len(recs)
 		}
-		if err := sw.WriteSegment(recs[off:end], 0, 0); err != nil {
+		if _, err := sw.WriteSegment(recs[off:end], 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}

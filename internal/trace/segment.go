@@ -20,22 +20,32 @@ import (
 //	count   uint64   records in this segment
 //	dropped uint64   records lost while this segment was being captured
 //	cycles  uint64   dilation cycles charged during this segment
-//	payLen  uint64   payload bytes that follow
-//	payload [payLen]byte   count records in the stream's codec
+//	payLen  uint64   stored payload bytes that follow
+//	enc     uint8    payload encoding (SegEncRaw / SegEncFlate); v2 only
+//	rawLen  uint64   payload bytes after inflation; v2 only (== payLen
+//	                 for raw segments)
+//	payload [payLen]byte   count records in the stream's codec,
+//	                       stored per enc
 //
-// Every field is little endian. The delta codec's inter-record state
-// resets at each segment boundary, so any segment can be decoded
-// knowing only the stream codec — and the concatenation of all
-// segments' records is byte-identical to the same capture written
-// monolithically.
+// Every field is little endian. Stream version 1 lacks the enc/rawLen
+// fields (every v1 payload is stored raw); readers accept both. Headers
+// are never compressed, so the index walk stays header-only. The delta
+// codec's inter-record state resets at each segment boundary, so any
+// segment can be decoded knowing only the stream codec — and the
+// concatenation of all segments' records is byte-identical to the same
+// capture written monolithically, whatever each segment's encoding.
 
 // segMarker guards each segment header; a payload/payLen mismatch (or
 // corrupt payload) desynchronises the stream and is caught here rather
 // than silently decoding garbage.
 var segMarker = [4]byte{'A', 'S', 'E', 'G'}
 
-// segHeaderBytes is the fixed header size after the marker.
-const segHeaderBytes = 36
+// segHeaderBytes is the fixed v2 header size after the marker;
+// segHeaderBytesV1 is the version-1 size (no enc/rawLen fields).
+const (
+	segHeaderBytes   = 45
+	segHeaderBytesV1 = 36
+)
 
 // maxSegPayload bounds one segment's payload length from an untrusted
 // header.
@@ -48,12 +58,18 @@ type SegmentInfo struct {
 	Records        uint64 // records stored in the segment
 	Dropped        uint64 // records lost during the segment's capture interval
 	DilationCycles uint64 // dilation cycles charged while capturing it
-	PayloadBytes   uint64 // encoded payload size
+	PayloadBytes   uint64 // stored payload size (compressed for flate segments)
+	Encoding       uint8  // payload encoding (SegEncRaw / SegEncFlate)
+	RawBytes       uint64 // payload size after inflation (== PayloadBytes when raw)
 }
 
 func (s SegmentInfo) String() string {
-	return fmt.Sprintf("segment %d: %d records, %d dropped, %d dilation cycles, %d bytes",
+	base := fmt.Sprintf("segment %d: %d records, %d dropped, %d dilation cycles, %d bytes",
 		s.Index, s.Records, s.Dropped, s.DilationCycles, s.PayloadBytes)
+	if s.Encoding != SegEncRaw {
+		base += fmt.Sprintf(" (%s, %d bytes uncompressed)", EncodingName(s.Encoding), s.RawBytes)
+	}
+	return base
 }
 
 // SegmentWriter appends buffer dumps to a segmented trace stream. The
@@ -64,12 +80,27 @@ func (s SegmentInfo) String() string {
 type SegmentWriter struct {
 	w      *bufio.Writer
 	codec  uint16
+	enc    uint8
 	next   uint32
 	pay    bytes.Buffer // per-segment encode buffer, reused
+	comp   bytes.Buffer // per-segment compression buffer, reused
 	closed bool
 	err    error // first write error; sticky
 
 	tee func(StreamSegment) // observes segments after they reach the sink
+}
+
+// SetEncoding selects the payload encoding for subsequently written
+// segments. The default is SegEncRaw. A flate segment that fails to
+// shrink below its raw form is stored raw anyway — the flag is a
+// per-segment fact, not a stream-wide promise — so enabling compression
+// never grows a stream.
+func (sw *SegmentWriter) SetEncoding(enc uint8) error {
+	if enc > segEncMax {
+		return fmt.Errorf("trace: unknown payload encoding %d", enc)
+	}
+	sw.enc = enc
+	return nil
 }
 
 // Tee arranges for fn to observe every subsequently written segment,
@@ -112,16 +143,17 @@ func NewSegmentWriter(w io.Writer, codec uint16, meta string) (*SegmentWriter, e
 }
 
 // WriteSegment appends one buffer dump with its capture-side counters
-// and flushes it to the sink. Empty segments are legal (a spill can
-// race an already-drained buffer). Errors are sticky: once the sink
-// fails, every later call reports the same error so a capture loop can
-// fall back to counted-drop mode.
-func (sw *SegmentWriter) WriteSegment(recs []Record, dropped, dilationCycles uint64) error {
+// and flushes it to the sink, returning the header it wrote (stored and
+// uncompressed sizes, the encoding actually used). Empty segments are
+// legal (a spill can race an already-drained buffer) and always stored
+// raw. Errors are sticky: once the sink fails, every later call reports
+// the same error so a capture loop can fall back to counted-drop mode.
+func (sw *SegmentWriter) WriteSegment(recs []Record, dropped, dilationCycles uint64) (SegmentInfo, error) {
 	if sw.err != nil {
-		return sw.err
+		return SegmentInfo{}, sw.err
 	}
 	if sw.closed {
-		return fmt.Errorf("trace: segment writer closed")
+		return SegmentInfo{}, fmt.Errorf("trace: segment writer closed")
 	}
 	// Encode to memory first: payLen must precede the payload, and a
 	// sink error mid-segment must not leave a half-written segment
@@ -135,39 +167,52 @@ func (sw *SegmentWriter) WriteSegment(recs []Record, dropped, dilationCycles uin
 		encErr = writeDelta(&sw.pay, recs)
 	}
 	if encErr != nil {
-		return encErr
+		return SegmentInfo{}, encErr
+	}
+	raw := sw.pay.Bytes()
+	enc := SegEncRaw
+	stored := raw
+	if sw.enc == SegEncFlate && len(raw) > 0 {
+		sw.comp.Reset()
+		if err := deflateInto(&sw.comp, raw); err != nil {
+			return SegmentInfo{}, err
+		}
+		if sw.comp.Len() < len(raw) {
+			enc, stored = SegEncFlate, sw.comp.Bytes()
+		}
+	}
+	info := SegmentInfo{
+		Index:          sw.next,
+		Records:        uint64(len(recs)),
+		Dropped:        dropped,
+		DilationCycles: dilationCycles,
+		PayloadBytes:   uint64(len(stored)),
+		Encoding:       enc,
+		RawBytes:       uint64(len(raw)),
 	}
 	var hdr [4 + segHeaderBytes]byte
 	copy(hdr[:4], segMarker[:])
-	binary.LittleEndian.PutUint32(hdr[4:], sw.next)
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(recs)))
+	binary.LittleEndian.PutUint32(hdr[4:], info.Index)
+	binary.LittleEndian.PutUint64(hdr[8:], info.Records)
 	binary.LittleEndian.PutUint64(hdr[16:], dropped)
 	binary.LittleEndian.PutUint64(hdr[24:], dilationCycles)
-	binary.LittleEndian.PutUint64(hdr[32:], uint64(sw.pay.Len()))
+	binary.LittleEndian.PutUint64(hdr[32:], info.PayloadBytes)
+	hdr[40] = enc
+	binary.LittleEndian.PutUint64(hdr[41:], info.RawBytes)
 	if _, err := sw.w.Write(hdr[:]); err != nil {
-		return sw.fail(err)
+		return SegmentInfo{}, sw.fail(err)
 	}
-	if _, err := sw.w.Write(sw.pay.Bytes()); err != nil {
-		return sw.fail(err)
+	if _, err := sw.w.Write(stored); err != nil {
+		return SegmentInfo{}, sw.fail(err)
 	}
 	if err := sw.w.Flush(); err != nil {
-		return sw.fail(err)
+		return SegmentInfo{}, sw.fail(err)
 	}
 	if sw.tee != nil {
-		sw.tee(StreamSegment{
-			Codec: sw.codec,
-			Info: SegmentInfo{
-				Index:          sw.next,
-				Records:        uint64(len(recs)),
-				Dropped:        dropped,
-				DilationCycles: dilationCycles,
-				PayloadBytes:   uint64(sw.pay.Len()),
-			},
-			Payload: sw.pay.Bytes(),
-		})
+		sw.tee(StreamSegment{Codec: sw.codec, Info: info, Payload: stored})
 	}
 	sw.next++
-	return nil
+	return info, nil
 }
 
 func (sw *SegmentWriter) fail(err error) error {
@@ -211,10 +256,10 @@ func (d *Decoder) nextSegment() error {
 		return fmt.Errorf("trace: segment %d: bad marker %q", len(d.segs), mk)
 	}
 	var hdr [segHeaderBytes]byte
-	if _, err := io.ReadFull(d.br, hdr[:]); err != nil {
+	if _, err := io.ReadFull(d.br, hdr[:d.segHdr]); err != nil {
 		return fmt.Errorf("trace: segment %d header: %w", len(d.segs), promisedEOF(err))
 	}
-	info, err := parseSegmentHeader(hdr[:], len(d.segs), d.codec)
+	info, err := parseSegmentHeader(hdr[:d.segHdr], len(d.segs), d.codec)
 	if err != nil {
 		return err
 	}
@@ -224,11 +269,15 @@ func (d *Decoder) nextSegment() error {
 	mDecodeSegments.Inc()
 	// Segments are independently encoded: reset the delta codec state.
 	d.st = deltaState{}
+	if info.Encoding != SegEncRaw {
+		return d.enterCompressedSegment(info)
+	}
 	return nil
 }
 
 // parseSegmentHeader decodes and validates the fixed fields after the
-// "ASEG" marker. Both readers share it — the streaming decoder above
+// "ASEG" marker; hdr's length selects the stream version (36 bytes for
+// v1, 45 for v2). Both readers share it — the streaming decoder above
 // and the random-access index walk (readerat.go) — so a malformed
 // header fails with the same message from either entry point.
 func parseSegmentHeader(hdr []byte, at int, codec uint16) (SegmentInfo, error) {
@@ -239,8 +288,21 @@ func parseSegmentHeader(hdr []byte, at int, codec uint16) (SegmentInfo, error) {
 		DilationCycles: binary.LittleEndian.Uint64(hdr[20:]),
 		PayloadBytes:   binary.LittleEndian.Uint64(hdr[28:]),
 	}
+	if len(hdr) >= segHeaderBytes {
+		info.Encoding = hdr[36]
+		info.RawBytes = binary.LittleEndian.Uint64(hdr[37:])
+	}
+	if info.Encoding == SegEncRaw {
+		// The raw payload IS the codec stream; rawLen is informational
+		// there, so normalise rather than trusting a field with nothing
+		// to say (v1 headers do not carry it at all).
+		info.RawBytes = info.PayloadBytes
+	}
 	if info.Index != uint32(at) {
 		return info, fmt.Errorf("trace: segment %d: out-of-order index %d", at, info.Index)
+	}
+	if info.Encoding > segEncMax {
+		return info, fmt.Errorf("trace: segment %d: unknown payload encoding %d", info.Index, info.Encoding)
 	}
 	if info.Records > maxRecordCount {
 		return info, fmt.Errorf("trace: segment %d: implausible record count %d", info.Index, info.Records)
@@ -248,9 +310,12 @@ func parseSegmentHeader(hdr []byte, at int, codec uint16) (SegmentInfo, error) {
 	if info.PayloadBytes > maxSegPayload {
 		return info, fmt.Errorf("trace: segment %d: implausible payload length %d", info.Index, info.PayloadBytes)
 	}
-	if codec == CodecRaw && info.PayloadBytes != info.Records*RecordBytes {
+	if info.RawBytes > maxSegPayload {
+		return info, fmt.Errorf("trace: segment %d: implausible uncompressed length %d", info.Index, info.RawBytes)
+	}
+	if codec == CodecRaw && info.RawBytes != info.Records*RecordBytes {
 		return info, fmt.Errorf("trace: segment %d: payload length %d does not match %d raw records",
-			info.Index, info.PayloadBytes, info.Records)
+			info.Index, info.RawBytes, info.Records)
 	}
 	return info, nil
 }

@@ -13,10 +13,20 @@ import (
 // them through a SegmentWriter.
 func writeSegmented(t *testing.T, recs []Record, n int, codec uint16, meta string) []byte {
 	t.Helper()
+	return writeSegmentedEnc(t, recs, n, codec, SegEncRaw, meta)
+}
+
+// writeSegmentedEnc is writeSegmented with an explicit per-segment
+// payload encoding.
+func writeSegmentedEnc(t *testing.T, recs []Record, n int, codec uint16, enc uint8, meta string) []byte {
+	t.Helper()
 	var buf bytes.Buffer
 	sw, err := NewSegmentWriter(&buf, codec, meta)
 	if err != nil {
 		t.Fatalf("NewSegmentWriter: %v", err)
+	}
+	if err := sw.SetEncoding(enc); err != nil {
+		t.Fatalf("SetEncoding: %v", err)
 	}
 	per := (len(recs) + n - 1) / n
 	for i := 0; i < n; i++ {
@@ -28,7 +38,7 @@ func writeSegmented(t *testing.T, recs []Record, n int, codec uint16, meta strin
 		if hi > len(recs) {
 			hi = len(recs)
 		}
-		if err := sw.WriteSegment(recs[lo:hi], uint64(i), uint64(i)*1000); err != nil {
+		if _, err := sw.WriteSegment(recs[lo:hi], uint64(i), uint64(i)*1000); err != nil {
 			t.Fatalf("WriteSegment %d: %v", i, err)
 		}
 	}
@@ -40,7 +50,10 @@ func writeSegmented(t *testing.T, recs []Record, n int, codec uint16, meta strin
 
 // TestSegmentStitchingDeterminism: the same records written as N
 // segments must decode identically to the monolithic container, for
-// both codecs — the container-level half of the stitching guarantee.
+// both codecs and both payload encodings — the container-level half of
+// the stitching guarantee. The compressed lane must be byte-identical
+// to the uncompressed one: flate changes what is on disk, never what
+// decodes.
 func TestSegmentStitchingDeterminism(t *testing.T) {
 	recs := makeTrace(5000, 7)
 	for _, codec := range []uint16{CodecRaw, CodecDelta} {
@@ -52,41 +65,64 @@ func TestSegmentStitchingDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatalf("monolithic decode: %v", err)
 		}
-		for _, n := range []int{1, 3, 8} {
-			b := writeSegmented(t, recs, n, codec, "stitch-test")
-			rd, err := Open(bytes.NewReader(b))
-			if err != nil {
-				t.Fatalf("codec %d n=%d: Open: %v", codec, n, err)
-			}
-			if !rd.Segmented() {
-				t.Fatalf("codec %d n=%d: stream not recognised as segmented", codec, n)
-			}
-			got, err := rd.Records()
-			if err != nil {
-				t.Fatalf("codec %d n=%d: Records: %v", codec, n, err)
-			}
-			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("codec %d n=%d: segmented decode differs from monolithic", codec, n)
-			}
-			if rd.Meta() != wantMeta {
-				t.Fatalf("codec %d n=%d: meta %q != %q", codec, n, rd.Meta(), wantMeta)
-			}
-			segs := rd.Segments()
-			if len(segs) != n {
-				t.Fatalf("codec %d n=%d: %d segments reported", codec, n, len(segs))
-			}
-			var total uint64
-			for i, s := range segs {
-				if s.Index != uint32(i) {
-					t.Fatalf("segment %d has index %d", i, s.Index)
+		for _, enc := range []uint8{SegEncRaw, SegEncFlate} {
+			for _, n := range []int{1, 3, 8} {
+				b := writeSegmentedEnc(t, recs, n, codec, enc, "stitch-test")
+				rd, err := Open(bytes.NewReader(b))
+				if err != nil {
+					t.Fatalf("codec %d enc %d n=%d: Open: %v", codec, enc, n, err)
 				}
-				if s.Dropped != uint64(i) || s.DilationCycles != uint64(i)*1000 {
-					t.Fatalf("segment %d metadata not preserved: %+v", i, s)
+				if !rd.Segmented() {
+					t.Fatalf("codec %d enc %d n=%d: stream not recognised as segmented", codec, enc, n)
 				}
-				total += s.Records
-			}
-			if total != uint64(len(recs)) {
-				t.Fatalf("codec %d n=%d: segment counts sum to %d, want %d", codec, n, total, len(recs))
+				got, err := rd.Records()
+				if err != nil {
+					t.Fatalf("codec %d enc %d n=%d: Records: %v", codec, enc, n, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("codec %d enc %d n=%d: segmented decode differs from monolithic", codec, enc, n)
+				}
+				if rd.Meta() != wantMeta {
+					t.Fatalf("codec %d enc %d n=%d: meta %q != %q", codec, enc, n, rd.Meta(), wantMeta)
+				}
+				segs := rd.Segments()
+				if len(segs) != n {
+					t.Fatalf("codec %d enc %d n=%d: %d segments reported", codec, enc, n, len(segs))
+				}
+				var total uint64
+				compressed := 0
+				for i, s := range segs {
+					if s.Index != uint32(i) {
+						t.Fatalf("segment %d has index %d", i, s.Index)
+					}
+					if s.Dropped != uint64(i) || s.DilationCycles != uint64(i)*1000 {
+						t.Fatalf("segment %d metadata not preserved: %+v", i, s)
+					}
+					switch s.Encoding {
+					case SegEncRaw:
+						if s.RawBytes != s.PayloadBytes {
+							t.Fatalf("raw segment %d: RawBytes %d != PayloadBytes %d", i, s.RawBytes, s.PayloadBytes)
+						}
+					case SegEncFlate:
+						compressed++
+						if s.PayloadBytes >= s.RawBytes {
+							t.Fatalf("flate segment %d stored %d bytes for %d raw — writer should have fallen back",
+								i, s.PayloadBytes, s.RawBytes)
+						}
+					default:
+						t.Fatalf("segment %d has unexpected encoding %d", i, s.Encoding)
+					}
+					total += s.Records
+				}
+				if enc == SegEncRaw && compressed != 0 {
+					t.Fatalf("codec %d n=%d: raw-encoded stream reports %d compressed segments", codec, n, compressed)
+				}
+				if enc == SegEncFlate && compressed == 0 {
+					t.Fatalf("codec %d n=%d: no segment actually compressed", codec, n)
+				}
+				if total != uint64(len(recs)) {
+					t.Fatalf("codec %d enc %d n=%d: segment counts sum to %d, want %d", codec, enc, n, total, len(recs))
+				}
 			}
 		}
 	}
@@ -155,7 +191,7 @@ func TestSegmentEmptySegments(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, seg := range [][]Record{nil, recs[:4], nil, recs[4:], nil} {
-		if err := sw.WriteSegment(seg, 0, 0); err != nil {
+		if _, err := sw.WriteSegment(seg, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -310,13 +346,13 @@ func TestSegmentWriterStickyError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sw.WriteSegment(recs, 0, 0); err == nil {
+	if _, err := sw.WriteSegment(recs, 0, 0); err == nil {
 		t.Fatal("write into failing sink succeeded")
 	}
 	if sw.Err() == nil {
 		t.Fatal("Err() nil after sink failure")
 	}
-	if err := sw.WriteSegment(recs, 0, 0); err == nil {
+	if _, err := sw.WriteSegment(recs, 0, 0); err == nil {
 		t.Fatal("sticky error not reported on retry")
 	}
 	if err := sw.Close(); err == nil {
