@@ -21,11 +21,21 @@
 // output is identical, only the file shrinks. It requires the
 // segmented path (-segment-bytes), since monolithic captures have no
 // segments to encode.
+//
+// -cpus boots an N-processor machine: the reserved region is divided
+// into per-CPU slices, every core's microcode spills its own sequence-
+// stamped stream, and the output file is the sequence-ordered merge
+// (container v3) — replay it whole, or pick one core back out with
+// cachesim -cpu.
+//
+//	atum-capture -o smp.trc -cpus 4 -workloads sort,sieve,hash,producer,consumer
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -47,6 +57,7 @@ func main() {
 		memMB    = flag.Uint("mem", 8, "physical memory in MB")
 		resKB    = flag.Uint("reserved", 512, "reserved trace region in KB")
 		budget   = flag.Uint64("budget", 2_000_000_000, "instruction budget")
+		cpus     = flag.Int("cpus", 1, "simulated processors; >1 spills per-CPU streams and writes their sequence-ordered merge")
 		compress = flag.Bool("compress", false, "flate-compress stored segments (requires -segment-bytes)")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 		verbose  = flag.Bool("v", false, "print run statistics")
@@ -60,7 +71,10 @@ func main() {
 	}
 	segBytes := common.SegBytes()
 	metrics := &common.Metrics
-	if *compress && segBytes == 0 {
+	if *cpus < 1 {
+		cliutil.Exit2("atum-capture", fmt.Errorf("-cpus %d: need at least one processor", *cpus))
+	}
+	if *compress && segBytes == 0 && *cpus == 1 {
 		cliutil.Exit2("atum-capture", fmt.Errorf("-compress requires -segment-bytes (segments are the unit of compression)"))
 	}
 
@@ -85,6 +99,7 @@ func main() {
 	cfg.Machine.MemSize = uint32(*memMB) << 20
 	cfg.Machine.ReservedSize = uint32(*resKB) << 10
 	cfg.ICRCycles = uint32(*quantum)
+	cfg.CPUs = *cpus
 
 	names := strings.Split(*loads, ",")
 	sys, err := workload.BootMix(cfg, names...)
@@ -113,6 +128,22 @@ func main() {
 	// only in monolithic captures.
 	cfgMeta := fmt.Sprintf("workloads=%s mem=%dMB reserved=%dKB icr=%d cost=%d",
 		*loads, *memMB, *resKB, *quantum, *cost)
+	if *cpus > 1 {
+		cfgMeta = fmt.Sprintf("%s cpus=%d", cfgMeta, *cpus)
+	}
+
+	if *cpus > 1 {
+		enc := trace.SegEncRaw
+		if *compress {
+			enc = trace.SegEncFlate
+		}
+		captureSMP(sys, opts, kernel.SpillConfig{
+			SegmentBytes: segBytes, Codec: codecID, Encoding: enc, Meta: cfgMeta,
+			Seq: new(trace.SeqCounter),
+		}, *out, runMix, *verbose)
+		metrics.Finish(os.Stdout)
+		return
+	}
 
 	if segBytes > 0 {
 		enc := trace.SegEncRaw
@@ -186,6 +217,63 @@ func captureSegmented(sys *kernel.System, opts atum.Options, cfg kernel.SpillCon
 	if verbose {
 		fmt.Printf("instructions: %d  cycles: %d  console: %q\n",
 			sys.M.Instrs, sys.M.Cycles, sys.Console())
+	}
+}
+
+// captureSMP runs the mix with one spill service per core (each core's
+// microcode streams into its own slice of the reserved region) and
+// writes the sequence-ordered merge of the per-CPU streams to out.
+func captureSMP(sys *kernel.System, opts atum.Options, cfg kernel.SpillConfig, out string, runMix func() error, verbose bool) {
+	n := sys.NumCPUs()
+	bufs := make([]*bytes.Buffer, n)
+	sinks := make([]io.Writer, n)
+	for i := range bufs {
+		bufs[i] = new(bytes.Buffer)
+		sinks[i] = bufs[i]
+	}
+	cfg.Options = opts
+	svcs, err := kernel.StartSpillCPUs(sys, sinks, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	runErr := runMix()
+	var total uint64
+	for c, svc := range svcs {
+		if err := svc.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "atum-capture: CPU %d sink failed mid-capture: %v (%d records lost)\n",
+				c, err, svc.LostRecords())
+		}
+		total += svc.SpilledRecords()
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+
+	files := make([]*trace.File, n)
+	for c, b := range bufs {
+		files[c], err = trace.OpenReaderAt(bytes.NewReader(b.Bytes()), int64(b.Len()))
+		if err != nil {
+			fatal(fmt.Errorf("CPU %d stream: %w", c, err))
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := trace.MergeCPUs(f, cfg.Meta+" merged", files...); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("captured %d records on %d CPUs -> %s (merged)\n", total, n, out)
+	for c, svc := range svcs {
+		fmt.Printf("  cpu %d: %d records in %d segment(s)\n", c, svc.SpilledRecords(), svc.Segments())
+		if d := svc.Collector().Dropped; d > 0 {
+			fmt.Printf("  cpu %d: dropped %d records (buffer full while sink stalled)\n", c, d)
+		}
+	}
+	if verbose {
+		fmt.Printf("console: %q\n", sys.Console())
 	}
 }
 

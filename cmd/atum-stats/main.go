@@ -77,6 +77,9 @@ func main() {
 		}
 		fmt.Printf("segments: %d (%d records dropped at capture, %d dilation cycles)\n",
 			len(rd.Segments()), dropped, cycles)
+		if rd.SeqStamped() {
+			printCPUBreakdown(rd.Segments())
+		}
 	}
 	if *metaOnly {
 		// The segment index was built from headers alone; no payload has
@@ -88,12 +91,24 @@ func main() {
 		for _, s := range rd.Segments() {
 			stored += s.PayloadBytes
 			raw += s.RawBytes
-			fmt.Printf("  segment %d: %d records, %d bytes stored (%s, %d uncompressed), %d dropped, %d dilation cycles\n",
-				s.Index, s.Records, s.PayloadBytes, trace.EncodingName(s.Encoding), s.RawBytes, s.Dropped, s.DilationCycles)
+			stamp := ""
+			if rd.SeqStamped() {
+				stamp = fmt.Sprintf(" [cpu %d seq %d]", s.CPU, s.Seq)
+			}
+			fmt.Printf("  segment %d:%s %d records, %d bytes stored (%s, %d uncompressed), %d dropped, %d dilation cycles\n",
+				s.Index, stamp, s.Records, s.PayloadBytes, trace.EncodingName(s.Encoding), s.RawBytes, s.Dropped, s.DilationCycles)
 		}
-		if len(rd.Segments()) > 0 && stored > 0 {
-			fmt.Printf("payload: %d bytes stored for %d uncompressed (%.2fx compression)\n",
-				stored, raw, float64(raw)/float64(stored))
+		// Every segmented stream gets the payload summary — a stream of
+		// empty segments (stored == 0) used to drop the line entirely,
+		// which read as truncated output; the ratio alone is undefined
+		// then, so only it degrades.
+		if len(rd.Segments()) > 0 {
+			ratio := "n/a"
+			if stored > 0 {
+				ratio = fmt.Sprintf("%.2fx", float64(raw)/float64(stored))
+			}
+			fmt.Printf("payload: %d bytes stored for %d uncompressed (%s compression)\n",
+				stored, raw, ratio)
 		}
 		return
 	}
@@ -121,7 +136,30 @@ func main() {
 	lintFailed := false
 	if *check {
 		sections = append(sections, func() string {
-			violations := trace.Lint(arena.Flatten())
+			// A merged SMP trace interleaves per-CPU streams at segment
+			// granularity, so serial-machine invariants (PID continuity
+			// across switch markers) only hold per CPU — lint each
+			// core's stream, not the interleave.
+			var violations []string
+			if rd.SeqStamped() {
+				maxCPU := 0
+				for _, s := range rd.Segments() {
+					if int(s.CPU) > maxCPU {
+						maxCPU = int(s.CPU)
+					}
+				}
+				for c := 0; c <= maxCPU; c++ {
+					ca, err := rd.ArenaCPU(*decodeW, c)
+					if err != nil {
+						fatal(err)
+					}
+					for _, v := range trace.Lint(ca.Flatten()) {
+						violations = append(violations, fmt.Sprintf("cpu %d: %s", c, v))
+					}
+				}
+			} else {
+				violations = trace.Lint(arena.Flatten())
+			}
 			// Container-framing checks ride along: a compressed segment
 			// whose header lies about its uncompressed length decodes
 			// cleanly, so only this pass can catch it.
@@ -227,6 +265,27 @@ func loadBaseline(path string) (float64, error) {
 		return 0, fmt.Errorf("%s: no parallel.records_per_sec", path)
 	}
 	return doc.Parallel.RecordsPerSec, nil
+}
+
+// printCPUBreakdown aggregates an SMP stream's segment index by
+// processor — pure header arithmetic, so it prints even under
+// -meta-only without decoding a record.
+func printCPUBreakdown(segs []trace.SegmentInfo) {
+	maxCPU := 0
+	for _, s := range segs {
+		if int(s.CPU) > maxCPU {
+			maxCPU = int(s.CPU)
+		}
+	}
+	type tally struct{ segments, records uint64 }
+	per := make([]tally, maxCPU+1)
+	for _, s := range segs {
+		per[s.CPU].segments++
+		per[s.CPU].records += s.Records
+	}
+	for cpu, t := range per {
+		fmt.Printf("  cpu %d: %d segment(s), %d records\n", cpu, t.segments, t.records)
+	}
 }
 
 func fatal(err error) {

@@ -44,6 +44,7 @@ func main() {
 		entries  = flag.Uint("entries", 256, "TLB entries")
 		mattson  = flag.Bool("mattson", false, "one-pass stack-distance analysis: print the fully-associative LRU miss curve")
 		l2       = flag.String("l2", "", "two-level mode: unified L2 of this size behind split L1s of -size")
+		cpu      = flag.Int("cpu", -1, "replay only this CPU's segments of a sequence-stamped SMP trace (-1: whole machine)")
 		stream   = flag.Bool("stream", false, "stream the trace through the pipeline: one pass, memory bounded by one decode buffer; trace-file - reads stdin")
 		common   cliutil.CommonOptions
 	)
@@ -64,12 +65,15 @@ func main() {
 	}
 	defer metrics.Finish(os.Stdout)
 
+	if *cpu >= 0 && *stream {
+		fatal(fmt.Errorf("-cpu needs batch mode: the streaming pipeline carries no per-segment CPU attribution"))
+	}
 	if common.Remote != "" {
 		remoteRun(common.Remote, flag.Arg(0), remoteFlags{
 			size: *size, block: uint32(*block), assoc: uint32(*assoc), repl: *repl, flush: *flush,
 			userOnly: *userOnly, pte: *pte, sweepArg: *sweepArg, sizesArg: *sizesArg,
 			tlb: *tlb, entries: uint32(*entries), mattson: *mattson, l2: *l2, stream: *stream,
-			workers: *workers, decodeWorkers: *decodeW, sampleSets: uint32(*sampleK),
+			cpu: *cpu, workers: *workers, decodeWorkers: *decodeW, sampleSets: uint32(*sampleK),
 		})
 		return
 	}
@@ -94,7 +98,7 @@ func main() {
 			fatal(err)
 		}
 		defer rd.Close()
-		src, err = rd.Arena(*decodeW)
+		src, err = rd.ArenaCPU(*decodeW, *cpu)
 		if err != nil {
 			fatal(err)
 		}

@@ -32,6 +32,7 @@ type remoteFlags struct {
 	mattson  bool
 	l2       string
 	stream   bool
+	cpu      int
 
 	workers       int
 	decodeWorkers int
@@ -52,6 +53,9 @@ func remoteRun(addr, path string, f remoteFlags) {
 		Stream:        f.stream,
 		Workers:       f.workers,
 		DecodeWorkers: f.decodeWorkers,
+	}
+	if f.cpu >= 0 {
+		req.CPU = &f.cpu
 	}
 
 	switch {

@@ -46,6 +46,13 @@ type Options struct {
 	// reserved region. It is rounded down to a record multiple.
 	BufBytes uint32
 
+	// BufOffset places the buffer BufOffset bytes into the reserved
+	// region instead of at its base. An SMP capture slices the one
+	// reserved region into per-CPU buffers this way — each core's
+	// collector records into its own slice, so cores never contend for
+	// a write pointer. Must be a record multiple.
+	BufOffset uint32
+
 	// OnFull, if non-nil, is called when the buffer fills (the sample is
 	// complete). The callback typically calls Extract and lets tracing
 	// continue; if it leaves the collector paused, subsequent references
@@ -175,6 +182,16 @@ func Install(m *micro.Machine, opts Options) (*Collector, error) {
 	}
 	base := m.Mem.ReservedBase()
 	size := m.Mem.ReservedSize()
+	if opts.BufOffset != 0 {
+		if opts.BufOffset%trace.RecordBytes != 0 {
+			return nil, fmt.Errorf("atum: buffer offset %d is not a record multiple", opts.BufOffset)
+		}
+		if opts.BufOffset >= size {
+			return nil, fmt.Errorf("atum: buffer offset %d outside the %d-byte reserved region", opts.BufOffset, size)
+		}
+		base += opts.BufOffset
+		size -= opts.BufOffset
+	}
 	if opts.BufBytes != 0 && opts.BufBytes < size {
 		size = opts.BufBytes
 	}
@@ -185,7 +202,10 @@ func Install(m *micro.Machine, opts Options) (*Collector, error) {
 	c := &Collector{m: m, opts: opts, base: base, size: size, recording: true, installed: true,
 		met: newCaptureMetrics(opts.Metrics)}
 	if opts.Watermark != 0 {
-		if opts.Watermark < 0 || opts.Watermark > 1 {
+		// NaN compares false against every bound, so test for the valid
+		// interval and reject everything else — non-finite values
+		// included — rather than testing for the invalid ones.
+		if !(opts.Watermark > 0 && opts.Watermark <= 1) {
 			return nil, fmt.Errorf("atum: watermark %v out of (0, 1]", opts.Watermark)
 		}
 		// Record-align the threshold (floats only at install time; the

@@ -1,6 +1,7 @@
 package atum_test
 
 import (
+	"math"
 	"reflect"
 
 	"atum/internal/atum"
@@ -165,9 +166,12 @@ func TestExtractSegmentStats(t *testing.T) {
 }
 
 // TestWatermarkValidation: out-of-range watermarks are install errors.
+// NaN is the regression case: it compares false against every bound, so
+// validation that tested for the *invalid* interval let it through and
+// armed a watermark of zero bytes.
 func TestWatermarkValidation(t *testing.T) {
 	sys := buildSystem(t, helloSrc)
-	for _, wm := range []float64{-0.1, 1.5} {
+	for _, wm := range []float64{-0.1, 1.5, math.NaN(), math.Inf(1), math.Inf(-1)} {
 		opts := atum.DefaultOptions()
 		opts.Watermark = wm
 		if _, err := atum.Install(sys.M, opts); err == nil {

@@ -11,6 +11,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 
 	"atum/internal/analysis"
@@ -231,6 +232,9 @@ func All() []struct {
 		{"a4", A4WritePolicy},
 		{"a5", A5TraceDrivenFidelity},
 		{"a6", A6SegmentedCapture},
+		{"m1", M1SharingMisses},
+		{"m2", M2MigrationTB},
+		{"m3", M3PerCoreMix},
 	}
 }
 
@@ -882,14 +886,26 @@ func A5TraceDrivenFidelity(Options) (*Report, error) {
 		Headers: []string{"workload", "hw misses", "naive replay", "delta",
 			"walk-aware replay", "delta"},
 	}
-	// Two-process mixes: the scheduler's same-process fast path means a
-	// solo workload is never context-switched (no TB flushes, a handful
-	// of cold misses), which leaves nothing for a replay to be faithful
-	// *to*. Pairs switch every quantum, so the flush/refill traffic that
-	// trace-driven studies must reproduce is actually present.
-	for _, mix := range [][]string{{"sieve", "qsort"}, {"qsort", "tree"}, {"tree", "sieve"}} {
-		name := mix[0] + "+" + mix[1]
+	// Wide multiprogramming mixes on a small (32-entry) TB: every quantum
+	// the incoming process's translation walks deposit its page-table
+	// pteVA entries in the system half, where they conflict with the
+	// pages the clock handler and scheduler touch on every tick.  A
+	// naive replay that drops KindPTERead records never exerts that
+	// pressure, so it misses the resulting evictions entirely.  The
+	// effect is a conflict phenomenon of the direct-mapped system half —
+	// which pages collide depends on where the boot allocator placed
+	// each process's page tables and kernel stack — so the mixes below
+	// are chosen (and pinned by TestA5Fidelity) to exhibit it with a
+	// wide margin; a solo workload would show none of it, because the
+	// scheduler's same-process fast path never flushes or re-walks.
+	for _, mix := range [][]string{
+		{"fib", "list", "queue", "producer", "consumer", "wc", "grep", "sort"},
+		{"queue", "producer", "fib", "sort", "wc", "list", "consumer", "grep"},
+		{"fib", "list", "queue", "producer", "consumer", "wc", "grep", "sort", "qsort"},
+	} {
+		name := strings.Join(mix, "+")
 		cfg := sysConfig()
+		cfg.Machine.TBEntries = 32
 		sys, err := workload.BootMix(cfg, mix...)
 		if err != nil {
 			return nil, err

@@ -10,7 +10,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "t3", "a1", "a2", "a3", "a4", "a5", "a6"}
+	want := []string{"t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "t3", "a1", "a2", "a3", "a4", "a5", "a6", "m1", "m2", "m3"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(got), len(want))

@@ -1,0 +1,330 @@
+// Multiprocessor experiments: the paper captured ATUM traces on a
+// multiprocessor VAX 8350 by giving each processor its own reserved
+// buffer and merging the per-CPU dumps afterwards (section 4.4 —
+// "tracing multiprocessors is no harder than tracing one processor,
+// because each processor traces itself"). These experiments reproduce
+// that methodology on the simulated SMP machine: each core's microcode
+// spills sequence-stamped segments into its own stream, trace.MergeCPUs
+// reassembles the machine-wide interleave, and the M* experiments ask
+// the questions only a multiprocessor trace can answer — how sharing
+// one cache across cores changes miss traffic, what cross-CPU process
+// migration does to translation buffers, and how the OS/user mix
+// differs per core.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"atum/internal/analysis"
+	"atum/internal/cache"
+	"atum/internal/kernel"
+	"atum/internal/micro"
+	"atum/internal/tlbsim"
+	"atum/internal/trace"
+	"atum/internal/workload"
+)
+
+// mpMix is the workload mix for the multiprocessor experiments: enough
+// runnable processes that every core stays busy and processes migrate
+// between cores as quanta expire, including a pipe-coupled pair whose
+// blocking keeps the scheduler moving work across CPUs.
+var mpMix = []string{"sort", "sieve", "hash", "producer", "consumer"}
+
+// mpSegmentBytes bounds each spilled segment so every core emits many
+// segments and the merged stream genuinely interleaves CPUs.
+const mpSegmentBytes = 32 << 10
+
+// mpCapture memoizes one SMP capture per CPU count: the per-CPU stream
+// images and their sequence-ordered merge. Experiments share these —
+// the capture itself is deterministic, so memoization is invisible in
+// the reports.
+type mpCapture struct {
+	once   sync.Once
+	perCPU [][]byte
+	merged []byte
+	err    error
+}
+
+var mpCaptures sync.Map // int (ncpu) -> *mpCapture
+
+// captureMP boots mpMix on an ncpu machine, streams every core's
+// trace through its own spill service (one shared sequence counter),
+// and merges the per-CPU streams. Results are memoized per CPU count.
+func captureMP(ncpu int) (*mpCapture, error) {
+	v, _ := mpCaptures.LoadOrStore(ncpu, &mpCapture{})
+	c := v.(*mpCapture)
+	c.once.Do(func() { c.perCPU, c.merged, c.err = runMPCapture(ncpu) })
+	return c, c.err
+}
+
+func runMPCapture(ncpu int) (perCPU [][]byte, merged []byte, err error) {
+	cfg := sysConfig()
+	cfg.CPUs = ncpu
+	sys, err := workload.BootMix(cfg, mpMix...)
+	if err != nil {
+		return nil, nil, err
+	}
+	bufs := make([]*bytes.Buffer, ncpu)
+	sinks := make([]io.Writer, ncpu)
+	for i := range bufs {
+		bufs[i] = new(bytes.Buffer)
+		sinks[i] = bufs[i]
+	}
+	svcs, err := kernel.StartSpillCPUs(sys, sinks, kernel.SpillConfig{
+		SegmentBytes: mpSegmentBytes,
+		Codec:        trace.CodecDelta,
+		Meta:         fmt.Sprintf("experiment=MP cpus=%d", ncpu),
+		Seq:          new(trace.SeqCounter),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	reason, runErr := sys.Run(2_000_000_000)
+	for _, s := range svcs {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if runErr != nil {
+		return nil, nil, runErr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if reason != micro.StopHalt {
+		return nil, nil, fmt.Errorf("experiments: %d-CPU mix did not finish: %v", ncpu, reason)
+	}
+	files := make([]*trace.File, ncpu)
+	perCPU = make([][]byte, ncpu)
+	for i, b := range bufs {
+		perCPU[i] = b.Bytes()
+		files[i], err = trace.OpenReaderAt(bytes.NewReader(perCPU[i]), int64(len(perCPU[i])))
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: CPU %d stream: %w", i, err)
+		}
+	}
+	var mbuf bytes.Buffer
+	if err := trace.MergeCPUs(&mbuf, fmt.Sprintf("experiment=MP cpus=%d merged", ncpu), files...); err != nil {
+		return nil, nil, err
+	}
+	return perCPU, mbuf.Bytes(), nil
+}
+
+// mpMerged opens the memoized merged stream for one CPU count.
+func mpMerged(ncpu int) (*trace.File, error) {
+	c, err := captureMP(ncpu)
+	if err != nil {
+		return nil, err
+	}
+	return trace.OpenReaderAt(bytes.NewReader(c.merged), int64(len(c.merged)))
+}
+
+// mpCPUCounts are the machine sizes the M* experiments sweep.
+var mpCPUCounts = []int{1, 2, 4}
+
+// ---- M1: sharing-induced misses ----
+
+// M1SharingMisses replays the same multiprocessor capture two ways
+// through one cache geometry: the merged machine-wide interleave models
+// all cores sharing a single cache (cross-CPU interference evicts live
+// lines), while summing per-core replays models private per-CPU caches
+// (each migration re-fetches the process's working set from scratch).
+// The gap between the two is the sharing/migration miss traffic that a
+// uniprocessor trace simply cannot exhibit.
+func M1SharingMisses(o Options) (*Report, error) {
+	tb := &analysis.Table{
+		Title: "Shared vs private caches over one SMP capture (same geometry)",
+		Headers: []string{"cpus", "refs", "shared-cache misses", "miss rate",
+			"sum of private misses", "miss rate", "sharing-induced"},
+	}
+	opts := cache.RunOptions{IncludePTE: true}
+	cfgs := []cache.Config{baseCacheCfg()}
+	for _, n := range mpCPUCounts {
+		f, err := mpMerged(n)
+		if err != nil {
+			return nil, err
+		}
+		shared, err := f.Arena(o.DecodeWorkers)
+		if err != nil {
+			return nil, err
+		}
+		res, err := o.sweepCaches(shared, cfgs, opts)
+		if err != nil {
+			return nil, err
+		}
+		var private cache.Stats
+		for c := 0; c < n; c++ {
+			a, err := f.ArenaCPU(o.DecodeWorkers, c)
+			if err != nil {
+				return nil, err
+			}
+			pres, err := o.sweepCaches(a, cfgs, opts)
+			if err != nil {
+				return nil, err
+			}
+			private.Accesses += pres[0].Stats.Accesses
+			private.Misses += pres[0].Stats.Misses
+		}
+		sh := res[0].Stats
+		delta := "0.0%"
+		if private.Misses != 0 {
+			delta = analysis.F(100*(float64(sh.Misses)-float64(private.Misses))/float64(private.Misses), 1) + "%"
+		}
+		tb.AddRow(analysis.N(uint64(n)), analysis.N(sh.Accesses),
+			analysis.N(sh.Misses), analysis.F(100*sh.MissRate(), 2)+"%",
+			analysis.N(private.Misses), analysis.F(100*private.MissRate(), 2)+"%",
+			delta)
+	}
+	return &Report{
+		ID:     "M1",
+		Title:  "Multiprocessor: sharing-induced cache misses",
+		Tables: []*analysis.Table{tb},
+		Notes: []string{
+			"the merged stream replays the global interleave (one cache shared by all",
+			"cores); the per-CPU replays model private per-core caches. The shared",
+			"cache consistently misses more: cores' reference streams interleave at",
+			"segment granularity and evict each other's live lines — interference",
+			"that exists only on a multiprocessor, which is why the paper insisted on",
+			"per-processor buffers merged into one trace rather than sampling one CPU.",
+		},
+	}, nil
+}
+
+// ---- M2: translation buffers under migration ----
+
+// M2MigrationTB measures what cross-CPU process migration does to
+// per-core translation buffers: each core's TB only ever sees the
+// quanta scheduled onto that core, so a migrating process re-walks its
+// page tables on every new CPU. The migrated-PIDs column counts user
+// processes whose references appear on more than one CPU — direct
+// evidence, from segment attribution alone, that the capture really
+// did move processes between cores.
+func M2MigrationTB(o Options) (*Report, error) {
+	tb := &analysis.Table{
+		Title: "Per-core TB replay of one SMP capture (64-entry split TB per core)",
+		Headers: []string{"cpus", "migrated pids", "tb misses (all cores)",
+			"miss rate", "vs 1 cpu"},
+	}
+	tcfg := tlbsim.Config{
+		Entries:       64,
+		Assoc:         1,
+		SplitSystem:   true,
+		FlushOnSwitch: true,
+		IncludeSystem: true,
+		WalkRefs:      true,
+	}
+	var base uint64
+	for _, n := range mpCPUCounts {
+		f, err := mpMerged(n)
+		if err != nil {
+			return nil, err
+		}
+		var total tlbsim.Stats
+		pidCPUs := map[uint8]map[int]bool{}
+		for c := 0; c < n; c++ {
+			a, err := f.ArenaCPU(o.DecodeWorkers, c)
+			if err != nil {
+				return nil, err
+			}
+			st, err := o.sweepTBs(a, []tlbsim.Config{tcfg})
+			if err != nil {
+				return nil, err
+			}
+			total.Accesses += st[0].Accesses
+			total.Misses += st[0].Misses
+			if err := a.EachChunk(func(recs []trace.Record) error {
+				for _, r := range recs {
+					if r.User {
+						if pidCPUs[r.PID] == nil {
+							pidCPUs[r.PID] = map[int]bool{}
+						}
+						pidCPUs[r.PID][c] = true
+					}
+				}
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		migrated := 0
+		for _, cpus := range pidCPUs {
+			if len(cpus) > 1 {
+				migrated++
+			}
+		}
+		if n == 1 {
+			base = total.Misses
+		}
+		vs := "1.00x"
+		if base != 0 {
+			vs = analysis.F(float64(total.Misses)/float64(base), 2) + "x"
+		}
+		tb.AddRow(analysis.N(uint64(n)), analysis.N(uint64(migrated)),
+			analysis.N(total.Misses), analysis.F(100*total.MissRate(), 2)+"%",
+			vs)
+	}
+	return &Report{
+		ID:     "M2",
+		Title:  "Multiprocessor: translation buffers under cross-CPU migration",
+		Tables: []*analysis.Table{tb},
+		Notes: []string{
+			"each core's TB replays only that core's segments of the merged capture.",
+			"Migration cuts both ways: with cores scarce, processes bounce between",
+			"them and every arrival flushes and re-walks (the 2-CPU spike), while",
+			"with a core per process each TB multiplexes almost nothing and the",
+			"flush/refill traffic of time-sharing nearly vanishes — the migrated-pids",
+			"column, recovered purely from segment attribution, shows the processes",
+			"really did move.",
+		},
+	}, nil
+}
+
+// ---- M3: per-core OS/user mix ----
+
+// M3PerCoreMix breaks the machine-wide OS-vs-user story (F1) down per
+// processor on the 4-CPU capture — visible only because every segment
+// of the merged stream says which CPU produced it. The striking shape:
+// the extra cores' system share is dominated by the scheduler's idle
+// scan once the short mix drains, so "OS overhead" on a multiprocessor
+// is mostly the cost of having nothing to run.
+func M3PerCoreMix(o Options) (*Report, error) {
+	const ncpu = 4
+	tb := &analysis.Table{
+		Title: fmt.Sprintf("Per-core reference mix (%d-CPU capture of %v)", ncpu, mpMix),
+		Headers: []string{"cpu", "segments", "mem refs", "%system",
+			"ctx switches", "distinct pids"},
+	}
+	f, err := mpMerged(ncpu)
+	if err != nil {
+		return nil, err
+	}
+	segsOn := make([]uint64, ncpu)
+	for _, s := range f.Segments() {
+		segsOn[s.CPU]++
+	}
+	for c := 0; c < ncpu; c++ {
+		a, err := f.ArenaCPU(o.DecodeWorkers, c)
+		if err != nil {
+			return nil, err
+		}
+		sum := trace.SummarizeSource(a)
+		tb.AddRow(analysis.N(uint64(c)), analysis.N(segsOn[c]),
+			analysis.N(sum.MemRefs), analysis.F(sum.PercentSystem(), 1),
+			analysis.N(sum.CtxSwitches), analysis.N(uint64(sum.DistinctPIDs)))
+	}
+	return &Report{
+		ID:     "M3",
+		Title:  "Multiprocessor: per-core OS/user mix",
+		Tables: []*analysis.Table{tb},
+		Notes: []string{
+			"per-CPU attribution comes from the v3 segment stamps alone — the same",
+			"merged artifact replays as the whole machine, any single core, or this",
+			"per-core breakdown, without recapturing. The high system shares off",
+			"CPU 0 are the idle scheduler scan: cores that run out of work trace",
+			"their own waiting, exactly as ATUM would have seen on a real 8350.",
+		},
+	}, nil
+}

@@ -31,6 +31,15 @@ const MaxProcs = 16
 type Config struct {
 	Machine micro.Config
 
+	// CPUs is the number of processors sharing the machine's memory
+	// (0 or 1 builds the classic uniprocessor). Every CPU runs the same
+	// kernel image from kstart with a private interval timer, a private
+	// kernel stack, and a private copy of the percpu page mapped through
+	// its own system page table; everything else — process table, frame
+	// pool, pipe, console, swap device — is shared, with the kernel's
+	// spinlocks arbitrating access.
+	CPUs int
+
 	// ICRCycles is the interval-timer period in microcycles; QuantumTicks
 	// is the number of ticks per scheduling quantum. The product is the
 	// preemption interval.
@@ -83,6 +92,11 @@ const (
 	ProcNapping   ProcState = 3
 	ProcPipeWrite ProcState = 4
 	ProcPipeRead  ProcState = 5
+	// ProcRunning marks a process claimed by a CPU: between a scheduler's
+	// claim (1 -> 6, under the kernel spinlock) and the process parking
+	// itself again, no other CPU may dispatch it and the frame stealer
+	// will not take its pages.
+	ProcRunning ProcState = 6
 )
 
 // KilledStatus is the exit status recorded for processes the kernel
@@ -91,12 +105,20 @@ const KilledStatus uint32 = 0xFFFFFFFF
 
 // System is a booted (or bootable) machine+kernel+processes assembly.
 type System struct {
+	// M is the boot processor. Cores lists every processor, Cores[0] == M;
+	// on a uniprocessor it has one entry. All cores share one physical
+	// memory and one swap device but have private architectural state
+	// (registers, TB, interval timer) and private ATUM microstores — a
+	// collector installs on one core and sees that core's references.
 	M      *micro.Machine
+	Cores  []*micro.Machine
 	Kernel *vax.Program
 	Procs  []*Proc
 
 	cfg       Config
 	allocPA   uint32
+	percpuPA  uint32   // physical address of the percpu page in the image
+	percpu    []uint32 // per-CPU physical address of its percpu page copy
 	finalized bool
 }
 
@@ -181,6 +203,77 @@ func NewSystem(cfg Config) (*System, error) {
 	m.CPU.PSL = uint32(vax.ModeKernel)<<vax.PSLCurModShift | 31<<vax.PSLIPLShift
 	m.CPU.R[vax.PC] = kprog.MustSymbol("kstart")
 
+	s.Cores = []*micro.Machine{m}
+	s.percpuPA = s.kernPA("percpu")
+	s.percpu = []uint32{s.percpuPA}
+
+	// Additional processors: each shares the memory, SCB and kernel image
+	// but gets its own system page table (a copy of CPU 0's, with the
+	// percpu page remapped to a private frame), its own boot/idle kernel
+	// stack, and its own interval timer programmed by kstart.
+	ncpu := cfg.CPUs
+	if ncpu <= 0 {
+		ncpu = 1
+	}
+	if ncpu > MaxProcs {
+		return nil, fmt.Errorf("kernel: %d CPUs exceeds the supported maximum %d", ncpu, MaxProcs)
+	}
+	for c := 1; c < ncpu; c++ {
+		mc := micro.NewOnMemory(cfg.Machine, m)
+		mc.CPUID = uint8(c)
+		mc.SCBB = scbPA
+
+		sptc, err := s.alloc(pageAlign(frames * 4))
+		if err != nil {
+			return nil, err
+		}
+		spt, err := m.Mem.Bytes(sptPA, frames*4)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Mem.LoadBytes(sptc, spt); err != nil {
+			return nil, err
+		}
+		pcpPA, err := s.alloc(mem.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		pcp, err := m.Mem.Bytes(s.percpuPA, mem.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Mem.LoadBytes(pcpPA, pcp); err != nil {
+			return nil, err
+		}
+		pte := mmu.MakePTE(pcpPA/mem.PageSize, mmu.ProtKW)
+		if err := m.Mem.Store32(sptc+4*(s.percpuPA/mem.PageSize), pte); err != nil {
+			return nil, err
+		}
+		mc.MMU.SBR = sptc
+		mc.MMU.SLR = frames
+		mc.MMU.MapEn = true
+
+		stk, err := s.alloc(2 * mem.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		mc.CPU.KSP = KVBase + stk + 2*mem.PageSize
+		mc.CPU.R[vax.SP] = mc.CPU.KSP
+		mc.CPU.PSL = uint32(vax.ModeKernel)<<vax.PSLCurModShift | 31<<vax.PSLIPLShift
+		mc.CPU.R[vax.PC] = kprog.MustSymbol("kstart")
+
+		s.percpu = append(s.percpu, pcpPA)
+		s.Cores = append(s.Cores, mc)
+	}
+	// TB shootdown bus: TBIA/TBIS on any core broadcasts to all siblings.
+	for _, a := range s.Cores {
+		for _, b := range s.Cores {
+			if a != b {
+				a.TBPeers = append(a.TBPeers, b.MMU)
+			}
+		}
+	}
+
 	// Configuration cells.
 	if err := s.pokeSym("icrval", cfg.ICRCycles); err != nil {
 		return nil, err
@@ -188,8 +281,16 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := s.pokeSym("quantum", cfg.QuantumTicks); err != nil {
 		return nil, err
 	}
-	if err := s.pokeSym("qleft", cfg.QuantumTicks); err != nil {
-		return nil, err
+	for c := range s.Cores {
+		if err := s.pokePercpu("cpuid", c, uint32(c)); err != nil {
+			return nil, err
+		}
+		if err := s.pokePercpu("qleft", c, cfg.QuantumTicks); err != nil {
+			return nil, err
+		}
+		if err := s.pokePercpu("idlesp", c, s.Cores[c].CPU.KSP); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -224,6 +325,22 @@ func (s *System) pokeArr(sym string, idx int, v uint32) error {
 // peekArr reads kernel array cell sym[idx].
 func (s *System) peekArr(sym string, idx int) (uint32, error) {
 	return s.M.Mem.Load32(s.kernPA(sym) + 4*uint32(idx))
+}
+
+// percpuAddr locates percpu cell sym in the physical frame backing that
+// page on the given CPU (CPU 0's lives in the kernel image itself).
+func (s *System) percpuAddr(sym string, cpu int) uint32 {
+	return s.percpu[cpu] + (s.kernPA(sym) - s.percpuPA)
+}
+
+// pokePercpu writes a percpu cell on one CPU.
+func (s *System) pokePercpu(sym string, cpu int, v uint32) error {
+	return s.M.Mem.Store32(s.percpuAddr(sym, cpu), v)
+}
+
+// peekPercpu reads a percpu cell on one CPU.
+func (s *System) peekPercpu(sym string, cpu int) (uint32, error) {
+	return s.M.Mem.Load32(s.percpuAddr(sym, cpu))
 }
 
 // Spawn loads a program image as a new process. maxHeapPages bounds the
@@ -384,8 +501,13 @@ func (s *System) Finalize() error {
 	if err := s.pokeSym("nproc", uint32(len(s.Procs))); err != nil {
 		return err
 	}
-	if err := s.pokeSym("curproc", uint32(len(s.Procs)-1)); err != nil {
-		return err
+	// curproc is percpu: every CPU's first scan starts just past the last
+	// slot, i.e. at process 0, and the claim lock spreads the early picks
+	// across the cores.
+	for c := range s.Cores {
+		if err := s.pokePercpu("curproc", c, uint32(len(s.Procs)-1)); err != nil {
+			return err
+		}
 	}
 
 	first := s.allocPA / mem.PageSize
@@ -432,14 +554,60 @@ func (s *System) Rusage(p *Proc) (syscalls, faults, switches uint32, err error) 
 }
 
 // Run boots (or continues) the system for at most maxInstrs instructions
-// (0 = unlimited). It returns when the kernel halts — all processes have
-// exited — or the budget is exhausted.
+// across all cores (0 = unlimited). It returns when the kernel halts —
+// all processes have exited and every CPU executed HALT — or the budget
+// is exhausted.
+//
+// On a multiprocessor the cores are interleaved by a deterministic
+// rule: each step executes the non-halted core with the smallest cycle
+// count (ties to the lowest CPU id), the discrete-event equivalent of
+// cores running at the same clock rate. One instruction at a time on
+// one goroutine makes memory sequentially consistent and every
+// instruction atomic — the model the kernel's interlocked-instruction
+// spinlocks assume — and makes an N-core run a pure function of the
+// configuration, so captures replay bit-for-bit.
 func (s *System) Run(maxInstrs uint64) (micro.StopReason, error) {
 	if !s.finalized {
 		return 0, fmt.Errorf("kernel: Run before Finalize")
 	}
-	return s.M.Run(maxInstrs)
+	if len(s.Cores) == 1 {
+		return s.M.Run(maxInstrs)
+	}
+	var start uint64
+	for _, c := range s.Cores {
+		start += c.Instrs
+	}
+	for {
+		var next *micro.Machine
+		var executed uint64
+		for _, c := range s.Cores {
+			executed += c.Instrs
+			if c.Halted() {
+				continue
+			}
+			if next == nil || c.Cycles < next.Cycles {
+				next = c
+			}
+		}
+		if next == nil {
+			return micro.StopHalt, nil
+		}
+		for _, c := range s.Cores {
+			if c.TakeStopRequest() {
+				return micro.StopRequested, nil
+			}
+		}
+		if maxInstrs > 0 && executed-start >= maxInstrs {
+			return micro.StopInstrLimit, nil
+		}
+		if err := next.Step(); err != nil {
+			return micro.StopHalt, err
+		}
+	}
 }
+
+// NumCPUs reports how many processors the system was built with.
+func (s *System) NumCPUs() int { return len(s.Cores) }
 
 // Console returns everything processes have written.
 func (s *System) Console() string { return string(s.M.Mem.Console()) }

@@ -11,6 +11,28 @@ package kernel
 // reads the symbol table of this program to wire SCB vectors and to poke
 // the configuration and process-table cells before starting the machine.
 //
+// The kernel is symmetric-multiprocessor capable: every CPU executes
+// this same image from kstart. Shared state (the process table, frame
+// pool, pipe, swap allocator) is guarded by two spinlocks built on the
+// interlocked branch-on-bit instructions:
+//
+//   - klock guards the scheduler and memory manager: process-state
+//     claims and context hand-offs, the free-frame stack, the frame
+//     stealer, and swap-block allocation.
+//   - piplock guards the pipe (head/tail/count/buffer).
+//
+// Lock order is piplock -> klock (a pipe copy may page-fault into the
+// frame allocator); no path acquires piplock while holding klock.
+// Spinlock holders never sleep: klock is only taken at IPL 31 or from
+// fault/syscall paths that cannot be preempted (the clock handler never
+// takes a lock and never preempts kernel mode).
+//
+// Per-CPU state (current process, quantum, scheduler scratch) lives in
+// the percpu page: one page-aligned block of cells that the builder
+// maps, through each CPU's private system page table, to a different
+// physical frame. The assembly refers to plain symbols; which frame a
+// reference lands in depends only on which CPU executes it.
+//
 // Conventions:
 //   - system calls: CHMK #n with args in r1.., result in r0; r1-r5 are
 //     caller-saved. Codes: 0 exit(status), 1 write(buf,len),
@@ -21,41 +43,56 @@ package kernel
 //     Blocking calls (pipe full/empty) suspend the process and rewind
 //     the saved PC so the two-byte "chmk #n" re-executes on wakeup.
 //   - process states: 0 free, 1 runnable, 2 dead, 3 napping,
-//     4 pipe-write wait, 5 pipe-read wait.
+//     4 pipe-write wait, 5 pipe-read wait, 6 running (claimed by a
+//     CPU). A process is claimable only in state 1, and only under
+//     klock, so no two CPUs ever run the same process; its context is
+//     parked in its PCB before its state becomes anything claimable or
+//     wakeable again, so a claim can always ldpctx safely.
 //   - the system page table identity-maps all usable RAM, so the kernel
 //     reaches any physical frame f at virtual 0x80000000 + 512*f.
 //   - memory: frames come from a free stack; when it runs dry the pager
 //     steals a dynamically mapped frame (fowner/fvpn bookkeeping), swaps
 //     it to disk, and marks the victim PTE with the swap flag (bit 30)
-//     and block number. Exit reclaims a process's frames via its page
-//     tables. Builder-mapped frames (kernel, page tables, images,
-//     initial stacks) have no owner entry and are never stolen.
+//     and block number. Frames whose owner is running on another CPU
+//     are skipped (stealing under a live context loses updates); the
+//     quantum guarantees owners park, so the retry loop terminates.
+//     Exit reclaims a process's frames via its page tables.
+//     Builder-mapped frames (kernel, page tables, images, initial
+//     stacks) have no owner entry and are never stolen.
 const Source = `
 ; ---------------------------------------------------------------------
-; atum-sim kernel
+; atum-sim kernel (SMP)
 ; ---------------------------------------------------------------------
 	.org	0x80000000
 
 ; ---- boot ----------------------------------------------------------
+; Every CPU starts here: program the private interval timer, then join
+; the scheduler with no live context.
 kstart:	movl	icrval, r0
 	mtpr	r0, #26		; ICR: microcycles per clock tick
 	mtpr	#0x40, #24	; ICCS: run
 	brw	pick		; select the first process
 
 ; ---- scheduler ------------------------------------------------------
-; resched: pick the next runnable process. The interrupted context is
-; saved (svpctx) only when the decision is to run a *different* process;
-; re-dispatching the interrupted process — the common case under
-; preemption with one runnable process — takes a fast path with no PCB
-; traffic, no TB flush and no switch marker, since the reference stream
-; never changes hands. ctxlive tracks whether a live context still sits
-; on the kernel stack (resched entry) or was parked into its PCB /
-; never existed (idle loop, boot, kill).
+; resched: pick the next process for this CPU. The interrupted context
+; is saved (svpctx) only when the decision is to run a *different*
+; process; re-dispatching the interrupted process — the common case
+; under preemption with nothing else runnable — takes a fast path with
+; no PCB traffic, no TB flush and no switch marker, since the reference
+; stream never changes hands. ctxlive tracks whether a live context
+; still sits on this CPU's kernel stack (resched entry) or was parked
+; into its PCB / never existed (boot, kill, post-block).
+;
+; The whole decision runs at IPL 31 under klock: claims (state 1 -> 6)
+; and hand-offs (park, then state 6 -> 1) are atomic across CPUs, so
+; the running process's registers are always either live on exactly one
+; CPU or parked in its PCB — never both.
 resched: movl	#1, ctxlive
 	movl	r1, savr1	; the scan below clobbers r1/r2; a deferred
 	movl	r2, savr2	; svpctx must park the process's own values
 pick:	mtpr	#31, #18	; block the clock: the scan must not race
 				; a tick waking processes mid-decision
+pklk:	bbssi	#0, klock, pklk
 	movl	nproc, r2	; attempts remaining
 	movl	curproc, r1
 pickl:	incl	r1
@@ -66,55 +103,96 @@ pick1:	cmpl	procstate[r1], #1
 	beql	found
 	decl	r2
 	bgtr	pickl
-	; nothing runnable now: is anyone waiting (napping or on the pipe)?
-	; A live context stays on the kernel stack across the idle loop —
-	; the idle loop and the clock handler are stack-neutral, so if the
-	; waiter that wakes is the interrupted process itself, the fast
-	; path below resumes it without ever having parked it.
-	clrl	r1
+	; nothing else runnable on the machine. If this CPU interrupted a
+	; process (still state 6, claimed by us), resume it directly —
+	; its context never left our kernel stack.
+	tstl	ctxlive
+	beql	pick1a
+	brw	fastgo
+	; no context: is anyone waiting (napping, on the pipe) or running
+	; on another CPU? Then spin through an interrupt window; a tick
+	; or a sibling's hand-off will make someone runnable.
+pick1a:	clrl	r1
 pick2:	cmpl	r1, nproc
 	bgequ	pick3
 	cmpl	procstate[r1], #2
-	bgtr	idle		; state 3/4/5
+	bgtr	idle		; state 3/4/5/6
 	incl	r1
 	brb	pick2
-pick3:	halt			; every process is dead: workload finished
-idle:	mtpr	#0, #18		; open a one-instruction interrupt window
+pick3:	clrl	klock
+	halt			; every process is dead: workload finished
+idle:	clrl	klock
+	mtpr	#0, #18		; open a one-instruction interrupt window
 	nop			; (a pending tick is taken here)
 	brw	pick		; rescan at IPL 31
-found:	incl	procswtch[r1]	; dispatch count (fast or full path)
+found:	movl	#6, procstate[r1] ; claim: ours alone from here on
+	incl	procswtch[r1]	; dispatch count (fast or full path)
 	movl	quantum, qleft
-	cmpl	r1, curproc
-	bneq	fndsw
 	tstl	ctxlive
-	bneq	fndgo
-fndsw:	tstl	ctxlive
 	beql	fndld
+	; park the interrupted process with its own r1/r2 back in place,
+	; then — only then — publish it runnable for the other CPUs.
 	movl	r1, savidx	; keep the pick across the context save
 	movl	savr1, r1
 	movl	savr2, r2
-	svpctx			; park the outgoing context
+	svpctx
+	movl	curproc, r1
+	movl	#1, procstate[r1]
 	movl	savidx, r1
 fndld:	clrl	ctxlive
 	movl	r1, curproc
+	clrl	klock
 	mtpr	procpcb[r1], #16 ; PCBB
 	ldpctx
 	rei
-	; same process re-picked with its context still live on the kernel
-	; stack: resume it directly, with its own r1/r2 back in place.
-fndgo:	clrl	ctxlive
+	; same process resumed with its context still live on this CPU's
+	; kernel stack: restore its r1/r2 and drop straight back in.
+fastgo:	movl	curproc, r1
+	incl	procswtch[r1]
+	movl	quantum, qleft
+	clrl	ctxlive
 	movl	savr1, r1
 	movl	savr2, r2
+	clrl	klock
 	rei
 
+; ---- block: park the current process off-CPU -------------------------
+; entry: r3 = new state (3 napping, 4 pipe-write wait, 5 pipe-read
+; wait); the saved exception frame is still on the kernel stack and the
+; user's registers are otherwise intact (they are about to be parked).
+; The state is published only after svpctx, so a waker can never make
+; the process claimable while its registers are still live on this CPU;
+; a wake that happens in between is re-issued by the clock rescue.
+; After parking, this CPU continues on its private idle stack.
+block:	mtpr	#31, #18	; hold interrupts across the hand-off
+blklk:	bbssi	#0, klock, blklk
+	svpctx			; park registers, PC/PSL, MMU state
+	movl	curproc, r4
+	movl	r3, procstate[r4]
+	cmpl	r3, #3
+	beql	blk_go		; nappers are the clock's job anyway
+	movl	#1, pipersc	; pipe waiter parked: arm the clock rescue
+				; (after the state store, so a rescue that
+				; consumes the flag always sees the state)
+blk_go:	movl	idlesp, sp	; off the parked process's kernel stack
+	clrl	klock
+	brw	pick
+
 ; ---- interval timer -------------------------------------------------
-; Wakes nappers each tick; preempts only user-mode execution (the
-; kernel, including the idle loop, is never preempted).
+; Every CPU's private timer drives preemption of its own user-mode
+; execution (the kernel, including the idle loop, is never preempted).
+; CPU 0's timer additionally owns the machine-wide tick work: uptime,
+; napper wake-up, and the pipe wake rescue — a blocked pipe process
+; whose wake raced its own parking (the waker saw it still running and
+; skipped it) is re-woken here, so a lost wake-up costs at most one
+; tick, never a hang.
 h_clock: pushr	#0x0e		; r1-r3
+	tstl	cpuid
+	bneq	ck_d		; machine-wide work is CPU 0's alone
 	incl	ticks		; system uptime, in clock ticks
 	clrl	r1
 ck_l:	cmpl	r1, nproc
-	bgequ	ck_d
+	bgequ	ck_p
 	cmpl	procstate[r1], #3
 	bneq	ck_n
 	decl	procnap[r1]
@@ -122,6 +200,18 @@ ck_l:	cmpl	r1, nproc
 	movl	#1, procstate[r1]
 ck_n:	incl	r1
 	brb	ck_l
+ck_p:	tstl	pipersc		; rescue only when a pipe waiter parked
+	beql	ck_d		; since the last one: the flag keeps the
+	clrl	pipersc		; common tick cheap enough that the handler
+				; fits the tick interval even at ~20x
+				; dilation (a waiter re-arms it, so a wake
+				; this scan misses is re-issued next tick)
+	cmpl	pipecnt, #256	; lock-free reads: a stale value just
+	bgequ	ck_p2		; defers the wake to the next tick
+	bsbw	wake4
+ck_p2:	tstl	pipecnt
+	bleq	ck_d
+	bsbw	wake5
 ck_d:	movl	16(sp), r2	; interrupted PSL (12 saved bytes + PC)
 	ashl	#-24, r2, r2
 	bicl2	#0xfffffffc, r2
@@ -185,16 +275,18 @@ sys_sbrk:
 	mfpr	#9, r5		; P0LR
 	cmpl	r4, r5
 	bgtru	sb_fail		; beyond the program region: kill
-sbloop:	bsbw	getframe	; r4 = frame
-	bsbw	zeroframe	; zero it (clobbers r5, r6)
+sbloop:	bsbw	getframe	; r4 = frame (takes and releases klock)
+	bsbw	zeroframe	; zero it (clobbers r5, r6); ours alone —
+				; fowner is still clear, so no stealer
+				; will pick it, and the lock is dropped
 	bisl3	#0xa0000000, r4, r5 ; PTE: valid | user-rw | pfn
 	mfpr	#8, r6		; P0BR (system va of the page table)
 	movl	r5, (r6)[r3]
-	movl	curproc, r6	; frame bookkeeping for the stealer
-	incl	r6
-	movl	r6, fowner[r4]
 	ashl	#9, r3, r6
 	movl	r6, fvpn[r4]
+	movl	curproc, r6	; frame bookkeeping for the stealer;
+	incl	r6		; fowner is the publish and goes last
+	movl	r6, fowner[r4]
 	incl	r3
 	sobgtr	r1, sbloop
 sbdone:	movl	curproc, r2
@@ -240,22 +332,39 @@ sys_nap:
 	bleq	napz
 	movl	curproc, r3
 	movl	r1, procnap[r3]
-	movl	#3, procstate[r3]
 	clrl	r0
-	brw	resched
+	movl	#3, r3
+	brw	block
 napz:	clrl	r0
 	rei
 
-; pipewrite(r1=buf, r2=len) -> r0 = bytes written; blocks while full
+; pipewrite(r1=buf, r2=len) -> r0 = bytes written; blocks while full.
+; The user buffer is touched page by page *before* piplock is taken: a
+; page fault (or a kill on a bad address) must happen lock-free. After
+; the touch the pages stay resident — this process is state 6 and the
+; stealer skips running owners — so the copy loop under piplock cannot
+; fault.
 sys_pipewrite:
 	tstl	r2
-	bleq	pwz
+	bgtr	pw_s
+	clrl	r0
+	rei
+pw_s:	pushr	#0x18		; r3, r4
+	movl	r1, r3
+	addl3	r1, r2, r4	; end (exclusive)
+pwt:	movzbl	(r3), r0	; touch (fault lands here, no lock held)
+	addl2	#512, r3
+	cmpl	r3, r4
+	blss	pwt
+	movzbl	-1(r4), r0	; last byte's page
+	popr	#0x18
+pwlk:	bbssi	#0, piplock, pwlk
 	cmpl	pipecnt, #256
 	blss	pw_go
+	clrl	piplock		; release before parking
 	subl2	#2, (sp)	; rewind saved PC: re-execute "chmk #6"
-	movl	curproc, r3
-	movl	#4, procstate[r3]
-	brw	resched
+	movl	#4, r3
+	brw	block
 pw_go:	clrl	r0
 pw_l:	tstl	r2
 	bleq	pw_d
@@ -272,21 +381,35 @@ pw_l:	tstl	r2
 	incl	r0
 	decl	r2
 	brb	pw_l
-pw_d:	bsbw	wake5		; data available: wake blocked readers
-	rei
-pwz:	clrl	r0
+pw_d:	clrl	piplock
+	bsbw	wake5		; data available: wake blocked readers
 	rei
 
-; piperead(r1=buf, r2=maxlen) -> r0 = bytes read; blocks while empty
+; piperead(r1=buf, r2=maxlen) -> r0 = bytes read; blocks while empty.
+; Same pre-touch discipline as pipewrite (the copyout writes, but a
+; read touch is enough to make the page resident and writable: user
+; pages are mapped user-rw).
 sys_piperead:
 	tstl	r2
-	bleq	prz
+	bgtr	pr_s
+	clrl	r0
+	rei
+pr_s:	pushr	#0x18		; r3, r4
+	movl	r1, r3
+	addl3	r1, r2, r4
+prt:	movzbl	(r3), r0
+	addl2	#512, r3
+	cmpl	r3, r4
+	blss	prt
+	movzbl	-1(r4), r0
+	popr	#0x18
+prlk:	bbssi	#0, piplock, prlk
 	tstl	pipecnt
 	bgtr	pr_go
+	clrl	piplock
 	subl2	#2, (sp)	; rewind saved PC: re-execute "chmk #7"
-	movl	curproc, r3
-	movl	#5, procstate[r3]
-	brw	resched
+	movl	#5, r3
+	brw	block
 pr_go:	clrl	r0
 pr_l:	tstl	r2
 	bleq	pr_d
@@ -303,12 +426,14 @@ pr_l:	tstl	r2
 	incl	r0
 	decl	r2
 	brb	pr_l
-pr_d:	bsbw	wake4		; space available: wake blocked writers
-	rei
-prz:	clrl	r0
+pr_d:	clrl	piplock
+	bsbw	wake4		; space available: wake blocked writers
 	rei
 
-; wake4/wake5: make every process in pipe-wait state runnable
+; wake4/wake5: make every process in pipe-wait state runnable. The
+; 4->1 / 5->1 stores need no lock: a parked pipe-waiter has no other
+; writers (claims take 1->6 under klock only), and concurrent wakers
+; all store the same value.
 wake4:	clrl	r1
 w4l:	cmpl	r1, nproc
 	bgequ	w4d
@@ -333,14 +458,19 @@ w5d:	rsb
 kill:	movl	curproc, r1
 	movl	#0xffffffff, procexit[r1]
 kill_common:
+	mtpr	#31, #18	; reclaim mutates the shared frame pool
+kllk:	bbssi	#0, klock, kllk
 	bsbw	reclaim		; free the address space
 	movl	curproc, r1
 	movl	#2, procstate[r1] ; dead
+	movl	idlesp, sp	; off the dead process's kernel stack
+	clrl	klock
 	brw	pick
 
 ; reclaim: free every resident frame of the current process by walking
 ; its page tables. Swapped pages just lose their PTEs (their disk blocks
-; leak; the swap device is unbounded). Clobbers r1-r3, r5-r7.
+; leak; the swap device is unbounded). Caller holds klock (the free
+; stack and fowner are shared). Clobbers r1-r3, r5-r7.
 reclaim: mfpr	#8, r5		; P0BR
 	mfpr	#9, r6		; P0LR
 	movl	#1, r3		; vpn 0 is the guard page (kernel frame 0)
@@ -365,10 +495,11 @@ rc_l1:	cmpl	r3, #0x200000
 rc_n1:	clrl	(r5)[r3]
 	incl	r3
 	brb	rc_l1
-rc_done: mtpr	#0, #57		; TBIA
-	rsb
+rc_done: mtpr	#0, #57		; TBIA (broadcast: siblings drop stale
+	rsb			; translations of the freed pages too)
 
-; freeframe: return frame r7 to the free stack. Clobbers r2.
+; freeframe: return frame r7 to the free stack. Caller holds klock.
+; Clobbers r2.
 freeframe: movl	freecnt, r2
 	movl	r7, freestk[r2]
 	incl	freecnt
@@ -400,7 +531,7 @@ tnv_p1:	mfpr	#11, r4		; P1LR
 	blssu	tnv_kill	; below the stack window
 	movl	#10, r2		; P1BR processor-register number
 tnv_map:
-	bsbw	getframe	; r4 = new frame (may steal + swap out)
+	bsbw	getframe	; r4 = new frame (takes and releases klock)
 	mfpr	r2, r5		; page-table base
 	movl	(r5)[r3], r6	; prior PTE
 	bbs	#30, r6, tnv_in	; swapped-out page: read it back
@@ -415,11 +546,11 @@ tnv_fin:
 	mfpr	r2, r5		; reload page-table base
 	bisl3	#0xa0000000, r4, r6 ; PTE: valid | user-rw | pfn
 	movl	r6, (r5)[r3]
-	movl	curproc, r6	; frame bookkeeping
-	incl	r6
+	bicl3	#0x1ff, r1, r6	; frame bookkeeping: PTE and fvpn first,
+	movl	r6, fvpn[r4]	; fowner last — fowner is what a stealer
+	movl	curproc, r6	; keys on, so a frame becomes visible
+	incl	r6		; only fully described
 	movl	r6, fowner[r4]
-	bicl3	#0x1ff, r1, r6
-	movl	r6, fvpn[r4]
 	popr	#0x7f
 	addl2	#8, sp		; discard info+va
 	rei			; restart the faulting instruction
@@ -440,29 +571,50 @@ h_arith: addl2	#4, sp		; type code
 h_resv:	brw	kill
 
 ; ---- frame allocation -------------------------------------------------
-; getframe: produce a free frame number in r4. Takes from the free stack
-; when possible; otherwise steals a dynamically mapped frame: writes the
+; getframe: produce a free frame number in r4. Takes klock itself (and
+; releases it before returning). Takes from the free stack when
+; possible; otherwise steals a dynamically mapped frame: writes the
 ; victim page to a fresh swap block, marks the victim PTE swapped, and
-; flushes the TB. Halts only if nothing is stealable (true OOM).
+; broadcast-flushes the TBs. Victims whose owner is running on another
+; CPU are skipped — swapping a page under a live context would lose its
+; in-flight stores — but our own frames are fair game (we are here, not
+; touching them). If every owned frame has a running owner the scan
+; drops the lock and retries: preemption parks the owners within a
+; quantum. Halts only if nothing is owned at all (true OOM).
 ; Clobbers only r4 (steal path saves r5-r9).
-getframe: decl	freecnt
+getframe:
+gflk:	bbssi	#0, klock, gflk
+	decl	freecnt
 	blss	gf_steal
 	movl	freecnt, r4
 	movl	freestk[r4], r4
+	clrl	klock
 	rsb
 gf_steal:
 	clrl	freecnt		; undo the decrement
 	pushr	#0x03e0		; r5-r9
-	movl	stealhand, r4
+gs_rs:	movl	stealhand, r4
 	movl	nframes, r5	; attempts
+	clrl	r9		; saw an owned-but-running frame
 gs_l:	incl	r4
 	cmpl	r4, nframes
 	blss	gs_1
 	clrl	r4
-gs_1:	tstl	fowner[r4]
-	bneq	gs_f
-	sobgtr	r5, gs_l
-	halt			; nothing stealable: out of memory
+gs_1:	movl	fowner[r4], r8
+	beql	gs_nx		; unowned: builder frame or free
+	decl	r8		; owner process index
+	cmpl	r8, curproc
+	beql	gs_f		; our own frame: steal it
+	cmpl	procstate[r8], #6
+	bneq	gs_f		; parked owner: steal it
+	movl	#1, r9		; running elsewhere: skip
+gs_nx:	sobgtr	r5, gs_l
+	tstl	r9
+	beql	gs_oom
+	clrl	klock		; let the running owners park, retry
+gs_w:	bbssi	#0, klock, gs_w
+	brb	gs_rs
+gs_oom:	halt			; nothing stealable: out of memory
 gs_f:	movl	r4, stealhand
 	movl	disknext, r6	; allocate a swap block
 	incl	disknext
@@ -487,8 +639,9 @@ gs_pte:	ashl	#-9, r9, r7
 	bicl2	#0xffe00000, r7	; victim vpn
 	bisl3	#0x40000000, r6, r9 ; swapped PTE: flag | block
 	movl	r9, (r5)[r7]
-	mtpr	#0, #57		; TBIA: drop any cached translation
+	mtpr	#0, #57		; TBIA: every CPU drops the translation
 	popr	#0x03e0
+	clrl	klock
 	rsb
 
 ; zeroframe: clear the 512-byte frame r4 via its system mapping.
@@ -500,17 +653,29 @@ zfl:	clrl	(r5)+
 	sobgtr	r6, zfl
 	rsb
 
-; ---- kernel data ------------------------------------------------------
-	.align	4
-icrval:	.long	0		; microcycles per clock tick (builder)
-quantum: .long	0		; ticks per scheduling quantum (builder)
-qleft:	.long	0
+; ---- per-CPU data -----------------------------------------------------
+; One page, mapped to a private physical frame through each CPU's own
+; system page table: the same virtual cell names a different location
+; on every CPU. The builder initialises each CPU's copy.
+	.align	512
+percpu:
+cpuid:	.long	0		; this CPU's identity (builder)
+curproc: .long	0		; process this CPU is running
+qleft:	.long	0		; quantum ticks remaining
 ctxlive: .long	0		; interrupted context on kstack, not yet saved
 savr1:	.long	0		; r1/r2 at resched entry (scan scratch)
 savr2:	.long	0
 savidx:	.long	0		; picked process across a deferred svpctx
+idlesp:	.long	0		; top of this CPU's private idle/boot stack
+	.align	512
+percpuend:
+
+; ---- shared kernel data -----------------------------------------------
+klock:	.long	0		; scheduler + memory-manager spinlock
+piplock: .long	0		; pipe spinlock
+icrval:	.long	0		; microcycles per clock tick (builder)
+quantum: .long	0		; ticks per scheduling quantum (builder)
 nproc:	.long	0
-curproc: .long	0
 ticks:	.long	0
 nframes: .long	0		; usable frames (builder)
 stealhand: .long 0
@@ -527,6 +692,7 @@ procswtch: .space 4*16		; times scheduled in
 pipehead: .long	0
 pipetail: .long	0
 pipecnt: .long	0
+pipersc: .long	0		; a pipe waiter parked; clock rescue armed
 pipebuf: .space	256
 freecnt: .long	0
 freestk: .space 4*16384		; free frame stack (frame numbers)

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"atum/internal/atum"
+	"atum/internal/micro"
 	"atum/internal/obs"
 	"atum/internal/trace"
 )
@@ -55,6 +56,19 @@ type SpillConfig struct {
 
 	// Meta is the stream's provenance string.
 	Meta string
+
+	// CPU stamps every segment of this service with a processor id; it
+	// only takes effect with Seq set (uniprocessor streams carry no
+	// per-segment identity). StartSpillCPUs fills it per core.
+	CPU uint16
+
+	// Seq, when non-nil, switches the stream to the sequence-stamped v3
+	// container: every spilled segment draws the next machine-wide
+	// sequence mark at the moment it is written. All services of one
+	// SMP capture share a single counter, so the marks are the global
+	// spill order and trace.MergeCPUs can interleave the per-CPU
+	// streams deterministically.
+	Seq *trace.SeqCounter
 
 	// OnSegment, when set, observes every segment immediately after it
 	// reaches the sink — the splice point for the streaming analysis
@@ -118,6 +132,8 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 type SpillService struct {
 	col *atum.Collector
 	sw  *trace.SegmentWriter
+	cpu uint16
+	seq *trace.SeqCounter // nil for unstamped (uniprocessor) streams
 
 	// spilled/lost/segments are polled by monitors while the capture
 	// loop writes them: atomics, never plain fields.
@@ -147,11 +163,64 @@ type SpillService struct {
 // the workload, then calls Close to flush the final partial segment and
 // uninstall the patches.
 func StartSpill(sys *System, w io.Writer, cfg SpillConfig) (*SpillService, error) {
+	return startSpillOn(sys.M, w, cfg)
+}
+
+// StartSpillCPUs starts one spill service per core of an SMP system,
+// each streaming to the matching sink. The reserved region is divided
+// into equal per-CPU slices (each core's microcode writes only its own
+// slice), and all services share one sequence counter, so the per-CPU
+// streams carry globally ordered sequence marks and trace.MergeCPUs can
+// reassemble the machine-wide spill order afterwards. Callers close
+// every returned service, even on a partial-start error.
+func StartSpillCPUs(sys *System, sinks []io.Writer, cfg SpillConfig) ([]*SpillService, error) {
+	n := sys.NumCPUs()
+	if len(sinks) != n {
+		return nil, fmt.Errorf("kernel: %d spill sinks for %d CPUs", len(sinks), n)
+	}
+	if cfg.Seq == nil {
+		cfg.Seq = new(trace.SeqCounter)
+	}
+	reserved := sys.M.Mem.ReservedSize()
+	slice := reserved / uint32(n)
+	slice -= slice % trace.RecordBytes
+	if slice == 0 {
+		return nil, fmt.Errorf("kernel: %d-byte reserved region cannot hold %d per-CPU buffers", reserved, n)
+	}
+	if cfg.SegmentBytes == 0 || cfg.SegmentBytes > slice {
+		cfg.SegmentBytes = slice
+	}
+	svcs := make([]*SpillService, 0, n)
+	for c, m := range sys.Cores {
+		ccfg := cfg
+		ccfg.CPU = uint16(c)
+		ccfg.Options.BufOffset = uint32(c) * slice
+		ccfg.Options.BufBytes = ccfg.SegmentBytes
+		s, err := startSpillOn(m, sinks[c], ccfg)
+		if err != nil {
+			for _, prev := range svcs {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("kernel: spill service for CPU %d: %w", c, err)
+		}
+		svcs = append(svcs, s)
+	}
+	return svcs, nil
+}
+
+func startSpillOn(m *micro.Machine, w io.Writer, cfg SpillConfig) (*SpillService, error) {
 	if cfg.Options.OnWatermark != nil || cfg.Options.OnFull != nil {
 		return nil, fmt.Errorf("kernel: spill service owns the collector callbacks")
 	}
 	met := newSpillMetrics(cfg.Metrics)
-	sw, err := trace.NewSegmentWriter(&countingWriter{w: w, n: met.bytes}, cfg.Codec, cfg.Meta)
+	cw := &countingWriter{w: w, n: met.bytes}
+	var sw *trace.SegmentWriter
+	var err error
+	if cfg.Seq != nil {
+		sw, err = trace.NewSegmentWriterV3(cw, cfg.Codec, cfg.Meta)
+	} else {
+		sw, err = trace.NewSegmentWriter(cw, cfg.Codec, cfg.Meta)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +230,7 @@ func StartSpill(sys *System, w io.Writer, cfg SpillConfig) (*SpillService, error
 	if cfg.OnSegment != nil {
 		sw.Tee(cfg.OnSegment)
 	}
-	s := &SpillService{sw: sw, met: met, done: make(chan struct{})}
+	s := &SpillService{sw: sw, cpu: cfg.CPU, seq: cfg.Seq, met: met, done: make(chan struct{})}
 	opts := cfg.Options
 	if opts.Metrics == nil {
 		opts.Metrics = cfg.Metrics
@@ -183,7 +252,7 @@ func StartSpill(sys *System, w io.Writer, cfg SpillConfig) (*SpillService, error
 			s.spill(c)
 		}
 	}
-	col, err := atum.Install(sys.M, opts)
+	col, err := atum.Install(m, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +289,12 @@ func (s *SpillService) spillLocked(c *atum.Collector) {
 		return
 	}
 	start := time.Now()
-	info, err := s.sw.WriteSegment(recs, st.Dropped, st.DilationCycles)
+	var info trace.SegmentInfo
+	if s.seq != nil {
+		info, err = s.sw.WriteSegmentSeq(recs, st.Dropped, st.DilationCycles, s.cpu, s.seq.Next())
+	} else {
+		info, err = s.sw.WriteSegment(recs, st.Dropped, st.DilationCycles)
+	}
 	if err != nil {
 		s.addLost(uint64(len(recs)))
 		s.fail(c, err)

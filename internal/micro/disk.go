@@ -15,6 +15,12 @@ import "atum/internal/vax"
 // Operations are synchronous (the kernel spins zero time) but charge
 // DiskOpCycles to model transfer latency. Blocks are allocated lazily;
 // reading a never-written block yields zeros.
+//
+// On an SMP machine the block store is one shared device (every core
+// pages to the same swap), while the block/address registers are
+// per-processor: each core's controller port holds its own transfer
+// parameters, so two cores programming a transfer concurrently do not
+// clobber each other's registers.
 const (
 	PrDISKBLK  = 40
 	PrDISKADDR = 41
@@ -27,43 +33,50 @@ const (
 	DiskOpCycles = 2500
 )
 
-type disk struct {
-	blk    uint32
-	addr   uint32
+// diskStore is the shared block store (and traffic counters) behind
+// every core's controller port.
+type diskStore struct {
 	blocks map[uint32][]byte
 	// Ops counts transfers (paging-activity statistics).
 	reads, writes uint64
 }
 
-// DiskStats reports swap traffic.
+// disk is one core's controller port: private transfer registers over
+// the shared store.
+type disk struct {
+	blk   uint32
+	addr  uint32
+	store *diskStore
+}
+
+// DiskStats reports swap traffic. The counters live on the shared
+// store, so on an SMP machine every core reports machine-wide totals.
 func (m *Machine) DiskStats() (reads, writes uint64) {
-	return m.disk.reads, m.disk.writes
+	return m.disk.store.reads, m.disk.store.writes
 }
 
 // diskOp executes a transfer; invalid parameters are machine checks
 // (only the kernel drives this device).
 func (m *Machine) diskOp(op uint32) {
-	if m.disk.blocks == nil {
-		m.disk.blocks = make(map[uint32][]byte)
-	}
 	m.Cycles += DiskOpCycles
+	st := m.disk.store
 	switch op {
 	case DiskWrite:
 		buf, err := m.Mem.Bytes(m.disk.addr, 512)
 		if err != nil {
 			raise(vax.VecMachineCheck, true)
 		}
-		m.disk.blocks[m.disk.blk] = append([]byte(nil), buf...)
-		m.disk.writes++
+		st.blocks[m.disk.blk] = append([]byte(nil), buf...)
+		st.writes++
 	case DiskRead:
-		data := m.disk.blocks[m.disk.blk]
+		data := st.blocks[m.disk.blk]
 		if data == nil {
 			data = make([]byte, 512)
 		}
 		if err := m.Mem.LoadBytes(m.disk.addr, data); err != nil {
 			raise(vax.VecMachineCheck, true)
 		}
-		m.disk.reads++
+		st.reads++
 	default:
 		raise(vax.VecReserved, true)
 	}

@@ -433,6 +433,48 @@ func stockExec(info *vax.InstrInfo) func(*Machine) {
 			}
 		}
 
+	case vax.OpBBSSI, vax.OpBBCCI:
+		// Interlocked test-and-set/clear. Instructions are atomic in
+		// this simulator (the SMP driver interleaves whole
+		// instructions), so the read-modify-write below is indivisible
+		// with respect to other CPUs by construction; the distinct
+		// opcodes exist so kernel spinlocks are explicit in the source
+		// and carry the architecture's interlocked cost.
+		setBit := info.Opcode == vax.OpBBSSI
+		return func(m *Machine) {
+			pos := m.readRef(m.evalOperand(op[0]), vax.L)
+			base := m.evalOperand(op[1])
+			d := m.evalBranch(op[2])
+			var bit uint32
+			if base.kind == refReg {
+				if pos > 31 {
+					raise(vax.VecReserved, true)
+				}
+				bit = m.CPU.R[base.reg] >> pos & 1
+				if setBit {
+					m.CPU.R[base.reg] |= 1 << pos
+				} else {
+					m.CPU.R[base.reg] &^= 1 << pos
+				}
+			} else {
+				addr := base.addr + pos>>3
+				b := m.readVirt(addr, 1)
+				bit = b >> (pos & 7) & 1
+				if setBit {
+					b |= 1 << (pos & 7)
+				} else {
+					b &^= 1 << (pos & 7)
+				}
+				m.writeVirt(addr, 1, b)
+			}
+			// BBSSI branches when the bit WAS set, BBCCI when it was
+			// clear — i.e. when the interlocked attempt failed to
+			// change the lock's state in the caller's favour.
+			if (bit != 0) == setBit {
+				m.branch(d)
+			}
+		}
+
 	case vax.OpAOBLSS, vax.OpAOBLEQ:
 		orEqual := info.Opcode == vax.OpAOBLEQ
 		return func(m *Machine) {

@@ -177,6 +177,15 @@ type Machine struct {
 
 	CurPID uint8
 
+	// CPUID identifies this processor on an SMP machine (0 on a
+	// uniprocessor); MFPR PrCPUID reads it. TBPeers lists the sibling
+	// cores' translation buffers: MTPR to TBIA/TBIS broadcasts the
+	// invalidate to them, modelling a hardware shootdown bus, while
+	// context-local invalidations (LDPCTX, base-register writes) stay
+	// on this core's TB.
+	CPUID   uint8
+	TBPeers []*mmu.Unit
+
 	// Clocks and counters.
 	Cycles   uint64
 	Instrs   uint64
@@ -215,6 +224,20 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newOn(cfg, phys, &diskStore{blocks: make(map[uint32][]byte)}), nil
+}
+
+// NewOnMemory constructs an additional processor of an SMP machine: a
+// full CPU (own registers, MMU/TB, microstore, clocks) sharing the
+// given physical memory and the primary's swap disk. Each core has its
+// own microstore, so tracing microcode is installed per CPU — exactly
+// the per-processor patching the paper's successors needed for
+// multiprocessor ATUM.
+func NewOnMemory(cfg Config, primary *Machine) *Machine {
+	return newOn(cfg, primary.Mem, primary.disk.store)
+}
+
+func newOn(cfg Config, phys *mem.Physical, store *diskStore) *Machine {
 	if cfg.TBEntries == 0 {
 		cfg.TBEntries = 512
 	}
@@ -223,10 +246,11 @@ func New(cfg Config) (*Machine, error) {
 		MMU:   mmu.New(phys, cfg.TBEntries),
 		Costs: cfg.Costs,
 	}
+	m.disk.store = store
 	m.MMU.Obs = (*mmuObserver)(m)
 	m.Microstore.loadStock()
 	m.CPU.PSL = uint32(vax.ModeKernel) << vax.PSLCurModShift
-	return m, nil
+	return m
 }
 
 // mmuObserver adapts the machine to mmu.Observer without exporting the
@@ -277,6 +301,15 @@ func (m *Machine) RequestStop() { m.stopRequest = true }
 
 // Halted reports whether the machine executed HALT.
 func (m *Machine) Halted() bool { return m.halted }
+
+// TakeStopRequest reports whether a hook requested a stop and clears
+// the flag. External run loops (the SMP driver steps cores itself
+// instead of delegating to Run) poll it between instructions.
+func (m *Machine) TakeStopRequest() bool {
+	r := m.stopRequest
+	m.stopRequest = false
+	return r
+}
 
 func (m *Machine) mode() uint8 { return uint8(vax.CurMode(m.CPU.PSL)) }
 

@@ -180,9 +180,18 @@ func execMTPR(op []vax.OperandSpec) func(*Machine) {
 			m.MMU.TB.InvalidateAll()
 			m.flushIBuf()
 		case vax.PrTBIA:
+			// Explicit invalidates broadcast to sibling cores (the
+			// shootdown bus): the kernel issues TBIA after changing a
+			// shared mapping, and every core's TB must drop it.
 			m.MMU.TB.InvalidateAll()
+			for _, tb := range m.TBPeers {
+				tb.TB.InvalidateAll()
+			}
 		case vax.PrTBIS:
 			m.MMU.TB.InvalidateSingle(v)
+			for _, tb := range m.TBPeers {
+				tb.TB.InvalidateSingle(v)
+			}
 		case vax.PrTXDB:
 			if err := m.Mem.Store8(mem.ConsoleTX, byte(v)); err != nil {
 				raise(vax.VecMachineCheck, true)
@@ -246,6 +255,8 @@ func execMFPR(op []vax.OperandSpec) func(*Machine) {
 			if m.MMU.MapEn {
 				v = 1
 			}
+		case vax.PrCPUID:
+			v = uint32(m.CPUID)
 		default:
 			raise(vax.VecReserved, true)
 		}

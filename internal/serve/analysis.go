@@ -38,6 +38,18 @@ func (s *Server) runAnalysis(t *tenant, req api.AnalysisRequest) (*api.AnalysisR
 	if err != nil {
 		return nil, fmt.Errorf("trace %q: %w", req.Trace, err)
 	}
+	if req.CPU != nil {
+		if !f.SeqStamped() {
+			return nil, fmt.Errorf("trace %q is not sequence-stamped; no per-CPU attribution to filter on", req.Trace)
+		}
+		var sel [][]trace.Record
+		for i, info := range f.Segments() {
+			if int(info.CPU) == *req.CPU {
+				sel = append(sel, chunks[i])
+			}
+		}
+		chunks = sel
+	}
 	var src trace.Source = trace.NewArenaFromChunks(chunks)
 	if req.UserOnly {
 		src = src.(*trace.Arena).FilterUser()

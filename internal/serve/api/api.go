@@ -134,6 +134,13 @@ type AnalysisRequest struct {
 	Run      cache.RunOptions `json:"run,omitempty"`
 	UserOnly bool             `json:"user_only,omitempty"`
 
+	// CPU, when set, replays only the segments the given processor
+	// captured — meaningful for sequence-stamped (container v3) SMP
+	// traces, whose segments carry per-CPU attribution. Nil replays
+	// the whole machine-wide interleave. Requests naming a CPU against
+	// an unstamped trace fail rather than silently analysing nothing.
+	CPU *int `json:"cpu,omitempty"`
+
 	Stream        bool   `json:"stream,omitempty"`
 	Workers       int    `json:"workers,omitempty"`
 	DecodeWorkers int    `json:"decode_workers,omitempty"`

@@ -60,15 +60,19 @@ var (
 
 const (
 	version      = 2
-	segVersion   = 2 // written; v1 (no per-segment encoding) still readable
+	segVersion   = 2 // default written; v1 (no per-segment encoding) still readable
 	segVersionV1 = 1
+	segVersion3  = 3 // sequence-stamped (SMP per-CPU / merged) streams
 )
 
 // segHdrLen returns the per-segment header size (after the marker) for
 // a segment-stream version.
 func segHdrLen(v uint16) int {
-	if v == segVersionV1 {
+	switch v {
+	case segVersionV1:
 		return segHeaderBytesV1
+	case segVersion3:
+		return segHeaderBytesV3
 	}
 	return segHeaderBytes
 }
@@ -295,7 +299,7 @@ func newSegmentedDecoder(br *bufio.Reader) (*Decoder, error) {
 		return nil, fmt.Errorf("trace: reading segment-stream header: %w", err)
 	}
 	v := binary.LittleEndian.Uint16(hdr[0:])
-	if v != segVersion && v != segVersionV1 {
+	if v != segVersion && v != segVersionV1 && v != segVersion3 {
 		return nil, fmt.Errorf("trace: unsupported segment-stream version %d", v)
 	}
 	d := &Decoder{

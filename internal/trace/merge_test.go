@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// cpuSeg is one spilled segment of a synthetic SMP capture.
+type cpuSeg struct {
+	recs []Record
+	cpu  uint16
+	seq  uint64
+}
+
+// splitSMP deals recs into nseg segments round-robin over ncpu CPUs,
+// drawing sequence marks from one shared counter — the same shape the
+// kernel's per-CPU spill services produce.
+func splitSMP(recs []Record, ncpu, nseg int) [][]cpuSeg {
+	var ctr SeqCounter
+	per := (len(recs) + nseg - 1) / nseg
+	out := make([][]cpuSeg, ncpu)
+	for i := 0; i < nseg; i++ {
+		lo, hi := i*per, (i+1)*per
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		c := i % ncpu
+		out[c] = append(out[c], cpuSeg{recs: recs[lo:hi], cpu: uint16(c), seq: ctr.Next()})
+	}
+	return out
+}
+
+// writeCPUStream writes one CPU's segments as a sequence-stamped (v3)
+// stream.
+func writeCPUStream(t *testing.T, segs []cpuSeg, codec uint16, enc uint8, meta string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw, err := NewSegmentWriterV3(&buf, codec, meta)
+	if err != nil {
+		t.Fatalf("NewSegmentWriterV3: %v", err)
+	}
+	if err := sw.SetEncoding(enc); err != nil {
+		t.Fatalf("SetEncoding: %v", err)
+	}
+	for _, s := range segs {
+		if _, err := sw.WriteSegmentSeq(s.recs, 0, 0, s.cpu, s.seq); err != nil {
+			t.Fatalf("WriteSegmentSeq: %v", err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func openStream(t *testing.T, b []byte) *File {
+	t.Helper()
+	f, err := OpenReaderAt(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatalf("OpenReaderAt: %v", err)
+	}
+	return f
+}
+
+func mergeStreams(t *testing.T, meta string, streams [][]byte, order []int) []byte {
+	t.Helper()
+	files := make([]*File, len(order))
+	for i, idx := range order {
+		files[i] = openStream(t, streams[idx])
+	}
+	var buf bytes.Buffer
+	if err := MergeCPUs(&buf, meta, files...); err != nil {
+		t.Fatalf("MergeCPUs: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestMergeCPUsDeterminism: for every CPU count, codec and payload
+// encoding, the merged stream is byte-identical regardless of the
+// order the per-CPU inputs are presented in, decodes identically for
+// any decode-worker count, replays as the global sequence order, and
+// gives each core's records back unchanged through ArenaCPU.
+func TestMergeCPUsDeterminism(t *testing.T) {
+	recs := makeTrace(6000, 11)
+	for _, ncpu := range []int{1, 2, 4} {
+		for _, codec := range []uint16{CodecRaw, CodecDelta} {
+			for _, enc := range []uint8{SegEncRaw, SegEncFlate} {
+				name := fmt.Sprintf("cpus=%d/codec=%d/enc=%d", ncpu, codec, enc)
+				perCPU := splitSMP(recs, ncpu, 4*ncpu)
+				streams := make([][]byte, ncpu)
+				for c, segs := range perCPU {
+					streams[c] = writeCPUStream(t, segs, codec, enc, "smp")
+				}
+
+				fwd := make([]int, ncpu)
+				rev := make([]int, ncpu)
+				rot := make([]int, ncpu)
+				for i := range fwd {
+					fwd[i] = i
+					rev[i] = ncpu - 1 - i
+					rot[i] = (i + 1) % ncpu
+				}
+				merged := mergeStreams(t, "merged", streams, fwd)
+				for _, order := range [][]int{rev, rot} {
+					if other := mergeStreams(t, "merged", streams, order); !bytes.Equal(merged, other) {
+						t.Fatalf("%s: merge order %v changed the output bytes", name, order)
+					}
+				}
+
+				f := openStream(t, merged)
+				if !f.SeqStamped() {
+					t.Fatalf("%s: merged stream is not sequence-stamped", name)
+				}
+				serial, err := f.Records(1)
+				if err != nil {
+					t.Fatalf("%s: decode: %v", name, err)
+				}
+				parallel, err := f.Records(8)
+				if err != nil {
+					t.Fatalf("%s: parallel decode: %v", name, err)
+				}
+				if !reflect.DeepEqual(serial, parallel) {
+					t.Fatalf("%s: 1-worker and 8-worker decodes differ", name)
+				}
+				// Segments were dealt out in seq order, so the merged
+				// replay is the original record stream.
+				if !reflect.DeepEqual(serial, recs) {
+					t.Fatalf("%s: merged replay is not the global sequence order", name)
+				}
+
+				for c, segs := range perCPU {
+					a, err := f.ArenaCPU(2, c)
+					if err != nil {
+						t.Fatalf("%s: ArenaCPU(%d): %v", name, c, err)
+					}
+					var want []Record
+					for _, s := range segs {
+						want = append(want, s.recs...)
+					}
+					if got := a.Flatten(); !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s: cpu %d replay has %d records, want %d (or content differs)",
+							name, c, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergeCPUsRejects: inputs that are not one capture's coherent set
+// of sequence-stamped streams are errors, not silent corruption.
+func TestMergeCPUsRejects(t *testing.T) {
+	recs := makeTrace(600, 5)
+	perCPU := splitSMP(recs, 2, 4)
+	s0 := writeCPUStream(t, perCPU[0], CodecDelta, SegEncRaw, "smp")
+	s1 := writeCPUStream(t, perCPU[1], CodecDelta, SegEncRaw, "smp")
+	var buf bytes.Buffer
+
+	if err := MergeCPUs(&buf, "m"); err == nil {
+		t.Error("merge of zero inputs accepted")
+	}
+
+	// Unstamped (v2) input.
+	v2 := writeSegmented(t, recs, 3, CodecDelta, "v2")
+	if err := MergeCPUs(&buf, "m", openStream(t, v2)); err == nil {
+		t.Error("merge accepted an unstamped v2 stream")
+	}
+
+	// Codec mismatch.
+	raw0 := writeCPUStream(t, perCPU[0], CodecRaw, SegEncRaw, "smp")
+	if err := MergeCPUs(&buf, "m", openStream(t, raw0), openStream(t, s1)); err == nil {
+		t.Error("merge accepted mixed codecs")
+	}
+
+	// Duplicate sequence marks (the same stream twice is not a capture's
+	// per-CPU set).
+	if err := MergeCPUs(&buf, "m", openStream(t, s0), openStream(t, s0)); err == nil {
+		t.Error("merge accepted duplicate sequence marks")
+	}
+}

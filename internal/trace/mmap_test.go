@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestOpenFileMappedAppendIsolation: the mapping covers only the
+// indexed prefix, privately. A spill service appending segments to the
+// same file after the reader opened it must not change what the open
+// handle decodes — the regression was a MAP_SHARED map of the whole
+// (page-rounded) file, through which late writes landing in the final
+// page's slack became visible to payload aliases the open-time index
+// never promised.
+func TestOpenFileMappedAppendIsolation(t *testing.T) {
+	recs := makeTrace(4000, 71)
+	b := writeSegmentedEnc(t, recs, 5, CodecDelta, SegEncFlate, "append-iso")
+	path := filepath.Join(t.TempDir(), "t.trc")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFileMapped(path)
+	if err != nil {
+		t.Fatalf("OpenFileMapped: %v", err)
+	}
+	defer f.Close()
+	if runtime.GOOS == "linux" && !f.Mapped() {
+		t.Fatal("mapping unexpectedly unavailable on linux")
+	}
+	if f.Mapped() {
+		if want := f.indexedPrefix(); int64(len(f.mapped)) != want {
+			t.Fatalf("mapped %d bytes, want the indexed prefix (%d)", len(f.mapped), want)
+		}
+	}
+
+	// Another writer appends to the trace file behind the reader's back —
+	// first junk that would corrupt any payload alias into the tail page,
+	// then enough to grow the file past the next page boundary.
+	w, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := make([]byte, 8192)
+	for i := range junk {
+		junk[i] = 0xAA
+	}
+	if _, err := w.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := f.Records(3)
+	if err != nil {
+		t.Fatalf("Records after append: %v", err)
+	}
+	compareRecords(t, got, recs)
+}

@@ -9,12 +9,15 @@ import (
 
 // mmapFile maps size bytes of f read-only. The caller falls back to
 // plain reads on any error (zero-size files cannot be mapped, and some
-// filesystems refuse).
+// filesystems refuse). The mapping is private: a MAP_SHARED map of a
+// file a spill service is still appending to would expose concurrent
+// writes landing in the final page's rounded-up slack, so payload
+// aliases could see bytes the open-time index never promised.
 func mmapFile(f *os.File, size int64) ([]byte, error) {
 	if size <= 0 || int64(int(size)) != size {
 		return nil, syscall.EINVAL
 	}
-	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
 }
 
 func munmap(data []byte) error { return syscall.Munmap(data) }

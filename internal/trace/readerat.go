@@ -33,11 +33,12 @@ type File struct {
 	closer io.Closer
 	mapped []byte // whole container, when memory-mapped (OpenFileMapped)
 
-	codec     uint16
-	meta      string
-	segmented bool
-	segHdr    int    // per-segment header size for the stream's version
-	count     uint64 // records promised by every header in the index
+	codec      uint16
+	meta       string
+	segmented  bool
+	seqStamped bool   // v3 stream: segments carry cpu/seq marks
+	segHdr     int    // per-segment header size for the stream's version
+	count      uint64 // records promised by every header in the index
 
 	segs    []SegmentInfo // segmented: per-segment metadata
 	segOff  []int64       // file offset of each segment's payload
@@ -73,6 +74,13 @@ func OpenFile(path string) (*File, error) {
 // back to the plain os.File path; Mapped reports which one the handle
 // got. Close unmaps, so record slices returned by Segment remain valid
 // but payload slices from SegmentPayload do not.
+//
+// The index is built from the file first and only then is the mapping
+// established, private (copy-on-write) and covering exactly the prefix
+// the index describes. A capture still appending to the file therefore
+// cannot leak bytes past the open-time index into SegmentPayload
+// aliases: the appended tail is outside the mapping entirely, not
+// hiding in the page-rounded slack of a shared whole-file map.
 func OpenFileMapped(path string) (*File, error) {
 	osf, err := os.Open(path)
 	if err != nil {
@@ -83,26 +91,38 @@ func OpenFileMapped(path string) (*File, error) {
 		osf.Close()
 		return nil, err
 	}
-	size := st.Size()
-	data, merr := mmapFile(osf, size)
-	if merr != nil {
-		f, err := OpenReaderAt(osf, size)
-		if err != nil {
-			osf.Close()
-			return nil, err
-		}
-		f.closer = osf
-		return f, nil
-	}
-	f, err := OpenReaderAt(bytes.NewReader(data), size)
+	f, err := OpenReaderAt(osf, st.Size())
 	if err != nil {
-		munmap(data)
 		osf.Close()
 		return nil, err
 	}
+	f.closer = osf
+	data, merr := mmapFile(osf, f.indexedPrefix())
+	if merr != nil {
+		return f, nil // unmappable (empty file, exotic fs): plain file path
+	}
+	f.ra = bytes.NewReader(data)
 	f.mapped = data
 	f.closer = &mappedCloser{f: osf, data: data}
 	return f, nil
+}
+
+// indexedPrefix returns how many leading bytes of the file the open-time
+// header index accounts for: everything up to the end of the last
+// segment's promised payload, clamped to the file size seen at open (a
+// truncated final payload is still the index's business — the error
+// surfaces at decode). For monolithic streams the whole file is the
+// index's coverage.
+func (f *File) indexedPrefix() int64 {
+	if !f.segmented || len(f.segs) == 0 {
+		return f.size
+	}
+	last := len(f.segs) - 1
+	end := f.segOff[last] + int64(f.segs[last].PayloadBytes)
+	if end > f.size {
+		end = f.size
+	}
+	return end
 }
 
 // Mapped reports whether the handle serves payloads from a memory
@@ -193,11 +213,12 @@ func (f *File) openSegmented() error {
 		return err
 	}
 	v := binary.LittleEndian.Uint16(hdr[0:])
-	if v != segVersion && v != segVersionV1 {
+	if v != segVersion && v != segVersionV1 && v != segVersion3 {
 		return fmt.Errorf("trace: unsupported segment-stream version %d", v)
 	}
 	f.codec = binary.LittleEndian.Uint16(hdr[2:])
 	f.segmented = true
+	f.seqStamped = v == segVersion3
 	f.segHdr = segHdrLen(v)
 	if f.codec != CodecRaw && f.codec != CodecDelta {
 		return fmt.Errorf("trace: unknown codec %d", f.codec)
@@ -245,6 +266,16 @@ func (f *File) walkSegments(off int64) error {
 		if err != nil {
 			return err
 		}
+		if f.seqStamped {
+			last := uint64(0)
+			if n := len(f.segs); n > 0 {
+				last = f.segs[n-1].Seq
+			}
+			if info.Seq <= last {
+				return fmt.Errorf("trace: segment %d: sequence mark %d not above previous %d",
+					info.Index, info.Seq, last)
+			}
+		}
 		f.segBase = append(f.segBase, f.count)
 		f.segOff = append(f.segOff, off+int64(len(hdr)))
 		f.segs = append(f.segs, info)
@@ -260,6 +291,13 @@ func (f *File) Meta() string { return f.meta }
 // Segmented reports whether the underlying stream is a segment
 // container rather than a monolithic file.
 func (f *File) Segmented() bool { return f.segmented }
+
+// SeqStamped reports whether the stream's segments carry cpu/seq marks
+// (a version-3 container: a per-CPU SMP stream or a MergeCPUs output).
+func (f *File) SeqStamped() bool { return f.seqStamped }
+
+// Codec returns the stream's record codec (CodecRaw or CodecDelta).
+func (f *File) Codec() uint16 { return f.codec }
 
 // Segments returns the full per-segment metadata index (nil for
 // monolithic streams). Unlike the streaming Reader, the index is
@@ -302,6 +340,40 @@ func (f *File) Arena(workers int) (*Arena, error) {
 		return rd.Arena()
 	}
 	chunks, err := par.Map(workers, len(f.segs), f.Segment)
+	if err != nil {
+		return nil, err
+	}
+	a := &Arena{}
+	for _, c := range chunks {
+		if len(c) > 0 {
+			a.chunks = append(a.chunks, c)
+			a.n += len(c)
+		}
+	}
+	return a, nil
+}
+
+// ArenaCPU decodes only the segments captured by one processor of a
+// sequence-stamped (v3) stream into a chunked arena — a single core's
+// replay out of a per-CPU or merged SMP trace. cpu < 0 selects every
+// segment (identical to Arena). Chunk order follows segment order, so
+// the result is deterministic for any worker count.
+func (f *File) ArenaCPU(workers, cpu int) (*Arena, error) {
+	if cpu < 0 {
+		return f.Arena(workers)
+	}
+	if !f.seqStamped {
+		return nil, fmt.Errorf("trace: stream is not sequence-stamped; no per-CPU attribution to filter on")
+	}
+	var idx []int
+	for i, s := range f.segs {
+		if int(s.CPU) == cpu {
+			idx = append(idx, i)
+		}
+	}
+	chunks, err := par.Map(workers, len(idx), func(i int) ([]Record, error) {
+		return f.Segment(idx[i])
+	})
 	if err != nil {
 		return nil, err
 	}

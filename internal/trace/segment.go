@@ -24,16 +24,27 @@ import (
 //	enc     uint8    payload encoding (SegEncRaw / SegEncFlate); v2 only
 //	rawLen  uint64   payload bytes after inflation; v2 only (== payLen
 //	                 for raw segments)
+//	cpu     uint16   capturing processor id; v3 only
+//	seq     uint64   global sequence mark (machine-wide spill order,
+//	                 strictly increasing within a stream); v3 only
 //	payload [payLen]byte   count records in the stream's codec,
 //	                       stored per enc
 //
 // Every field is little endian. Stream version 1 lacks the enc/rawLen
-// fields (every v1 payload is stored raw); readers accept both. Headers
-// are never compressed, so the index walk stays header-only. The delta
-// codec's inter-record state resets at each segment boundary, so any
-// segment can be decoded knowing only the stream codec — and the
-// concatenation of all segments' records is byte-identical to the same
-// capture written monolithically, whatever each segment's encoding.
+// fields (every v1 payload is stored raw); version 3 appends the SMP
+// cpu/seq stamps; readers accept all three. Headers are never
+// compressed, so the index walk stays header-only. The delta codec's
+// inter-record state resets at each segment boundary, so any segment
+// can be decoded knowing only the stream codec — and the concatenation
+// of all segments' records is byte-identical to the same capture
+// written monolithically, whatever each segment's encoding.
+//
+// The cpu/seq pair is what makes multiprocessor capture mergeable: each
+// core spills into its own stream, every spill draws the next value
+// from one machine-wide sequence counter, and trace.MergeCPUs later
+// interleaves the per-CPU segments back into global spill order by seq
+// alone — no cross-core clock needed, exactly the "global sequence
+// mark" the roadmap's MP tracing lineage calls for.
 
 // segMarker guards each segment header; a payload/payLen mismatch (or
 // corrupt payload) desynchronises the stream and is caught here rather
@@ -41,10 +52,12 @@ import (
 var segMarker = [4]byte{'A', 'S', 'E', 'G'}
 
 // segHeaderBytes is the fixed v2 header size after the marker;
-// segHeaderBytesV1 is the version-1 size (no enc/rawLen fields).
+// segHeaderBytesV1 is the version-1 size (no enc/rawLen fields);
+// segHeaderBytesV3 appends the cpu/seq stamps.
 const (
 	segHeaderBytes   = 45
 	segHeaderBytesV1 = 36
+	segHeaderBytesV3 = 55
 )
 
 // maxSegPayload bounds one segment's payload length from an untrusted
@@ -61,6 +74,8 @@ type SegmentInfo struct {
 	PayloadBytes   uint64 // stored payload size (compressed for flate segments)
 	Encoding       uint8  // payload encoding (SegEncRaw / SegEncFlate)
 	RawBytes       uint64 // payload size after inflation (== PayloadBytes when raw)
+	CPU            uint16 // capturing processor (v3 streams; 0 otherwise)
+	Seq            uint64 // global sequence mark (v3 streams; sequence marks start at 1, so 0 means unstamped)
 }
 
 func (s SegmentInfo) String() string {
@@ -68,6 +83,9 @@ func (s SegmentInfo) String() string {
 		s.Index, s.Records, s.Dropped, s.DilationCycles, s.PayloadBytes)
 	if s.Encoding != SegEncRaw {
 		base += fmt.Sprintf(" (%s, %d bytes uncompressed)", EncodingName(s.Encoding), s.RawBytes)
+	}
+	if s.Seq != 0 {
+		base += fmt.Sprintf(" [cpu %d seq %d]", s.CPU, s.Seq)
 	}
 	return base
 }
@@ -78,14 +96,16 @@ func (s SegmentInfo) String() string {
 // (if still growing) trace after every spill — a capture killed
 // mid-run loses at most the records still in the reserved buffer.
 type SegmentWriter struct {
-	w      *bufio.Writer
-	codec  uint16
-	enc    uint8
-	next   uint32
-	pay    bytes.Buffer // per-segment encode buffer, reused
-	comp   bytes.Buffer // per-segment compression buffer, reused
-	closed bool
-	err    error // first write error; sticky
+	w       *bufio.Writer
+	codec   uint16
+	enc     uint8
+	next    uint32
+	seqOn   bool         // v3 stream: segments carry cpu/seq stamps
+	lastSeq uint64       // last stamp written (stamps must strictly increase)
+	pay     bytes.Buffer // per-segment encode buffer, reused
+	comp    bytes.Buffer // per-segment compression buffer, reused
+	closed  bool
+	err     error // first write error; sticky
 
 	tee func(StreamSegment) // observes segments after they reach the sink
 }
@@ -116,6 +136,24 @@ func (sw *SegmentWriter) Tee(fn func(StreamSegment)) { sw.tee = fn }
 // NewSegmentWriter writes the segmented stream header to w and returns
 // the writer positioned for the first segment.
 func NewSegmentWriter(w io.Writer, codec uint16, meta string) (*SegmentWriter, error) {
+	return newSegmentWriter(w, codec, meta, segVersion)
+}
+
+// NewSegmentWriterV3 opens a version-3 (sequence-stamped) stream:
+// every segment must be written through WriteSegmentSeq with a CPU id
+// and a strictly increasing global sequence mark. Per-CPU SMP spill
+// services and MergeCPUs write these; uniprocessor captures keep
+// writing v2 so their bytes are unchanged.
+func NewSegmentWriterV3(w io.Writer, codec uint16, meta string) (*SegmentWriter, error) {
+	sw, err := newSegmentWriter(w, codec, meta, segVersion3)
+	if err != nil {
+		return nil, err
+	}
+	sw.seqOn = true
+	return sw, nil
+}
+
+func newSegmentWriter(w io.Writer, codec uint16, meta string, version uint16) (*SegmentWriter, error) {
 	if codec != CodecRaw && codec != CodecDelta {
 		return nil, fmt.Errorf("trace: unknown codec %d", codec)
 	}
@@ -127,7 +165,7 @@ func NewSegmentWriter(w io.Writer, codec uint16, meta string) (*SegmentWriter, e
 		return nil, err
 	}
 	var hdr [8]byte
-	binary.LittleEndian.PutUint16(hdr[0:], segVersion)
+	binary.LittleEndian.PutUint16(hdr[0:], version)
 	binary.LittleEndian.PutUint16(hdr[2:], codec)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(meta)))
 	if _, err := sw.w.Write(hdr[:]); err != nil {
@@ -149,6 +187,32 @@ func NewSegmentWriter(w io.Writer, codec uint16, meta string) (*SegmentWriter, e
 // raw. Errors are sticky: once the sink fails, every later call reports
 // the same error so a capture loop can fall back to counted-drop mode.
 func (sw *SegmentWriter) WriteSegment(recs []Record, dropped, dilationCycles uint64) (SegmentInfo, error) {
+	if sw.seqOn {
+		return SegmentInfo{}, fmt.Errorf("trace: sequence-stamped (v3) stream: use WriteSegmentSeq")
+	}
+	return sw.writeSegment(recs, dropped, dilationCycles, 0, 0)
+}
+
+// WriteSegmentSeq appends one buffer dump to a v3 stream, stamped with
+// the capturing CPU and a global sequence mark. Marks start at 1 and
+// must strictly increase within the stream (per-CPU streams drawing
+// from one shared counter satisfy this naturally; so does a merged
+// stream, whose marks are the union).
+func (sw *SegmentWriter) WriteSegmentSeq(recs []Record, dropped, dilationCycles uint64, cpu uint16, seq uint64) (SegmentInfo, error) {
+	if !sw.seqOn {
+		return SegmentInfo{}, fmt.Errorf("trace: not a sequence-stamped stream: use WriteSegment")
+	}
+	if seq <= sw.lastSeq {
+		return SegmentInfo{}, fmt.Errorf("trace: sequence mark %d not above previous %d", seq, sw.lastSeq)
+	}
+	info, err := sw.writeSegment(recs, dropped, dilationCycles, cpu, seq)
+	if err == nil {
+		sw.lastSeq = seq
+	}
+	return info, err
+}
+
+func (sw *SegmentWriter) writeSegment(recs []Record, dropped, dilationCycles uint64, cpu uint16, seq uint64) (SegmentInfo, error) {
 	if sw.err != nil {
 		return SegmentInfo{}, sw.err
 	}
@@ -189,8 +253,10 @@ func (sw *SegmentWriter) WriteSegment(recs []Record, dropped, dilationCycles uin
 		PayloadBytes:   uint64(len(stored)),
 		Encoding:       enc,
 		RawBytes:       uint64(len(raw)),
+		CPU:            cpu,
+		Seq:            seq,
 	}
-	var hdr [4 + segHeaderBytes]byte
+	var hdr [4 + segHeaderBytesV3]byte
 	copy(hdr[:4], segMarker[:])
 	binary.LittleEndian.PutUint32(hdr[4:], info.Index)
 	binary.LittleEndian.PutUint64(hdr[8:], info.Records)
@@ -199,7 +265,13 @@ func (sw *SegmentWriter) WriteSegment(recs []Record, dropped, dilationCycles uin
 	binary.LittleEndian.PutUint64(hdr[32:], info.PayloadBytes)
 	hdr[40] = enc
 	binary.LittleEndian.PutUint64(hdr[41:], info.RawBytes)
-	if _, err := sw.w.Write(hdr[:]); err != nil {
+	hdrLen := 4 + segHeaderBytes
+	if sw.seqOn {
+		binary.LittleEndian.PutUint16(hdr[49:], cpu)
+		binary.LittleEndian.PutUint64(hdr[51:], seq)
+		hdrLen = 4 + segHeaderBytesV3
+	}
+	if _, err := sw.w.Write(hdr[:hdrLen]); err != nil {
 		return SegmentInfo{}, sw.fail(err)
 	}
 	if _, err := sw.w.Write(stored); err != nil {
@@ -255,13 +327,23 @@ func (d *Decoder) nextSegment() error {
 	if mk != segMarker {
 		return fmt.Errorf("trace: segment %d: bad marker %q", len(d.segs), mk)
 	}
-	var hdr [segHeaderBytes]byte
+	var hdr [segHeaderBytesV3]byte
 	if _, err := io.ReadFull(d.br, hdr[:d.segHdr]); err != nil {
 		return fmt.Errorf("trace: segment %d header: %w", len(d.segs), promisedEOF(err))
 	}
 	info, err := parseSegmentHeader(hdr[:d.segHdr], len(d.segs), d.codec)
 	if err != nil {
 		return err
+	}
+	if d.segHdr == segHeaderBytesV3 {
+		last := uint64(0)
+		if n := len(d.segs); n > 0 {
+			last = d.segs[n-1].Seq
+		}
+		if info.Seq <= last {
+			return fmt.Errorf("trace: segment %d: sequence mark %d not above previous %d",
+				info.Index, info.Seq, last)
+		}
 	}
 	d.segs = append(d.segs, info)
 	d.count += info.Records
@@ -277,9 +359,9 @@ func (d *Decoder) nextSegment() error {
 
 // parseSegmentHeader decodes and validates the fixed fields after the
 // "ASEG" marker; hdr's length selects the stream version (36 bytes for
-// v1, 45 for v2). Both readers share it — the streaming decoder above
-// and the random-access index walk (readerat.go) — so a malformed
-// header fails with the same message from either entry point.
+// v1, 45 for v2, 55 for v3). Both readers share it — the streaming
+// decoder above and the random-access index walk (readerat.go) — so a
+// malformed header fails with the same message from either entry point.
 func parseSegmentHeader(hdr []byte, at int, codec uint16) (SegmentInfo, error) {
 	info := SegmentInfo{
 		Index:          binary.LittleEndian.Uint32(hdr[0:]),
@@ -291,6 +373,13 @@ func parseSegmentHeader(hdr []byte, at int, codec uint16) (SegmentInfo, error) {
 	if len(hdr) >= segHeaderBytes {
 		info.Encoding = hdr[36]
 		info.RawBytes = binary.LittleEndian.Uint64(hdr[37:])
+	}
+	if len(hdr) >= segHeaderBytesV3 {
+		info.CPU = binary.LittleEndian.Uint16(hdr[45:])
+		info.Seq = binary.LittleEndian.Uint64(hdr[47:])
+		if info.Seq == 0 {
+			return info, fmt.Errorf("trace: segment %d: zero sequence mark in a stamped stream", info.Index)
+		}
 	}
 	if info.Encoding == SegEncRaw {
 		// The raw payload IS the codec stream; rawLen is informational

@@ -302,10 +302,12 @@ const (
 	OpMOVAL  byte = 0xDE
 	OpPUSHAL byte = 0xDF
 
-	OpBBS  byte = 0xE0
-	OpBBC  byte = 0xE1
-	OpBLBS byte = 0xE8
-	OpBLBC byte = 0xE9
+	OpBBS   byte = 0xE0
+	OpBBC   byte = 0xE1
+	OpBBSSI byte = 0xE6
+	OpBBCCI byte = 0xE7
+	OpBLBS  byte = 0xE8
+	OpBLBC  byte = 0xE9
 
 	OpACBL   byte = 0xF1
 	OpAOBLSS byte = 0xF2
@@ -467,6 +469,11 @@ func init() {
 
 	def(OpBBS, "bbs", 6, false, ops(rl(), vb(), bb())...)
 	def(OpBBC, "bbc", 6, false, ops(rl(), vb(), bb())...)
+	// Interlocked branch-on-bit: test, then set (BBSSI) or clear
+	// (BBCCI) the bit as one indivisible access — the architecture's
+	// multiprocessor spinlock primitives.
+	def(OpBBSSI, "bbssi", 8, false, ops(rl(), vb(), bb())...)
+	def(OpBBCCI, "bbcci", 8, false, ops(rl(), vb(), bb())...)
 	def(OpBLBS, "blbs", 4, false, ops(rl(), bb())...)
 	def(OpBLBC, "blbc", 4, false, ops(rl(), bb())...)
 
@@ -507,6 +514,7 @@ const (
 	PrMAPEN = 56 // memory mapping enable
 	PrTBIA  = 57 // translation buffer invalidate all
 	PrTBIS  = 58 // translation buffer invalidate single (by VA)
+	PrCPUID = 62 // identity of the executing processor (read-only)
 )
 
 // Exception and interrupt vectors (offsets into the system control block).
